@@ -1,0 +1,235 @@
+//! Point-to-point shortest path with an A* distance heuristic.
+//!
+//! The paper evaluates A* on the road graphs using an equirectangular
+//! distance approximation as the heuristic.  Our synthetic road networks
+//! carry planar coordinates, so the heuristic is the scaled Euclidean
+//! distance to the target; the scale is chosen to stay *admissible* (never
+//! overestimate) with respect to the generator's weight formula, which keeps
+//! the parallel result exact.
+//!
+//! Task priority is the usual `f = g + h`; a task is wasted if its `g` value
+//! is stale or if the vertex can no longer improve the best known route to
+//! the target.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use smq_core::{Scheduler, Task};
+use smq_graph::CsrGraph;
+use smq_runtime::ExecutorConfig;
+
+use crate::workload::AlgoResult;
+
+/// Result of an A* run.
+#[derive(Debug, Clone)]
+pub struct AstarRun {
+    /// Shortest distance from source to target (`u64::MAX` if unreachable).
+    pub distance: u64,
+    /// Work and wall-clock accounting.
+    pub result: AlgoResult,
+}
+
+/// The admissible heuristic: scaled Euclidean distance between `v` and the
+/// target.  The road generator assigns each edge a weight of at least
+/// `100 × euclidean length`, so scaling by 100 and rounding down never
+/// overestimates the remaining cost.  Graphs without coordinates fall back
+/// to a zero heuristic (plain Dijkstra).
+pub fn heuristic(graph: &CsrGraph, v: u32, target: u32) -> u64 {
+    match (graph.coordinates(v), graph.coordinates(target)) {
+        (Some((vx, vy)), Some((tx, ty))) => {
+            let d = ((vx - tx).powi(2) + (vy - ty).powi(2)).sqrt();
+            (d * 100.0).floor().max(0.0) as u64
+        }
+        _ => 0,
+    }
+}
+
+/// Exact sequential A*.  Returns the source→target distance and the number
+/// of expanded vertices (baseline task count).
+pub fn sequential(graph: &CsrGraph, source: u32, target: u32) -> (u64, u64) {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let n = graph.num_nodes();
+    let mut g_score = vec![u64::MAX; n];
+    let mut heap = BinaryHeap::new();
+    let mut expanded = 0u64;
+    g_score[source as usize] = 0;
+    heap.push(Reverse((heuristic(graph, source, target), 0u64, source)));
+    while let Some(Reverse((_f, g, v))) = heap.pop() {
+        if g > g_score[v as usize] {
+            continue;
+        }
+        if v == target {
+            return (g, expanded + 1);
+        }
+        expanded += 1;
+        for (u, w) in graph.neighbors(v) {
+            let ng = g + u64::from(w);
+            if ng < g_score[u as usize] {
+                g_score[u as usize] = ng;
+                heap.push(Reverse((ng + heuristic(graph, u, target), ng, u)));
+            }
+        }
+    }
+    (g_score[target as usize], expanded)
+}
+
+/// Runs A* from `source` to `target` on `scheduler` with `threads` workers.
+pub fn parallel<S>(
+    graph: &CsrGraph,
+    source: u32,
+    target: u32,
+    scheduler: &S,
+    threads: usize,
+) -> AstarRun
+where
+    S: Scheduler<Task>,
+{
+    let n = graph.num_nodes();
+    assert!((source as usize) < n && (target as usize) < n, "vertex out of range");
+    let g_score: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+    g_score[source as usize].store(0, Ordering::Relaxed);
+    let best_target = AtomicU64::new(u64::MAX);
+    let useful = AtomicU64::new(0);
+    let wasted = AtomicU64::new(0);
+
+    let metrics = smq_runtime::run(
+        scheduler,
+        &ExecutorConfig::new(threads),
+        vec![Task::new(heuristic(graph, source, target), u64::from(source))],
+        |task, sink| {
+            let v = task.value as u32;
+            let g = g_score[v as usize].load(Ordering::Relaxed);
+            // Recompute the expected priority; a mismatch means a better path
+            // to `v` has been found since this task was pushed.
+            let expected_f = g.saturating_add(heuristic(graph, v, target));
+            if task.key > expected_f || g == u64::MAX {
+                wasted.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            // Prune vertices that cannot improve the best route found so far
+            // (admissible heuristic ⇒ f is a lower bound on any route via v).
+            if expected_f >= best_target.load(Ordering::Relaxed) {
+                wasted.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            useful.fetch_add(1, Ordering::Relaxed);
+            if v == target {
+                best_target.fetch_min(g, Ordering::Relaxed);
+                return;
+            }
+            for (u, w) in graph.neighbors(v) {
+                let ng = g + u64::from(w);
+                let slot = &g_score[u as usize];
+                let mut current = slot.load(Ordering::Relaxed);
+                while ng < current {
+                    match slot.compare_exchange_weak(
+                        current,
+                        ng,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
+                        Ok(_) => {
+                            if u == target {
+                                best_target.fetch_min(ng, Ordering::Relaxed);
+                            }
+                            sink.push(Task::new(
+                                ng + heuristic(graph, u, target),
+                                u64::from(u),
+                            ));
+                            break;
+                        }
+                        Err(observed) => current = observed,
+                    }
+                }
+            }
+        },
+    );
+
+    AstarRun {
+        distance: g_score[target as usize].load(Ordering::Relaxed),
+        result: AlgoResult {
+            metrics,
+            useful_tasks: useful.into_inner(),
+            wasted_tasks: wasted.into_inner(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sssp;
+    use smq_graph::generators::{road_network, RoadNetworkParams};
+    use smq_multiqueue::{MultiQueue, MultiQueueConfig};
+    use smq_scheduler::{HeapSmq, SmqConfig};
+
+    fn road() -> CsrGraph {
+        road_network(RoadNetworkParams {
+            width: 20,
+            height: 20,
+            removal_percent: 10,
+            seed: 17,
+        })
+    }
+
+    #[test]
+    fn heuristic_is_admissible_on_generated_roads() {
+        // h(v) must never exceed the true remaining distance.
+        let g = road();
+        let target = (g.num_nodes() - 1) as u32;
+        let (dist_from_target, _) = sssp::sequential(&g, target);
+        for v in 0..g.num_nodes() as u32 {
+            let true_dist = dist_from_target[v as usize];
+            if true_dist != u64::MAX {
+                assert!(
+                    heuristic(&g, v, target) <= true_dist,
+                    "heuristic overestimates at vertex {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_astar_matches_dijkstra() {
+        let g = road();
+        let target = (g.num_nodes() - 1) as u32;
+        let (dist, _) = sssp::sequential(&g, 0);
+        let (astar_dist, expanded) = sequential(&g, 0, target);
+        assert_eq!(astar_dist, dist[target as usize]);
+        // The heuristic should prune a meaningful part of the graph.
+        assert!(expanded as usize <= g.num_nodes());
+    }
+
+    #[test]
+    fn parallel_astar_is_exact_with_smq() {
+        let g = road();
+        let target = (g.num_nodes() - 1) as u32;
+        let (expected, _) = sequential(&g, 0, target);
+        let smq: HeapSmq<Task> = HeapSmq::new(SmqConfig::default_for_threads(2));
+        let run = parallel(&g, 0, target, &smq, 2);
+        assert_eq!(run.distance, expected);
+        assert!(run.result.useful_tasks > 0);
+    }
+
+    #[test]
+    fn parallel_astar_is_exact_with_multiqueue() {
+        let g = road();
+        let target = (g.num_nodes() / 2) as u32;
+        let (expected, _) = sequential(&g, 0, target);
+        let mq: MultiQueue<Task> = MultiQueue::new(MultiQueueConfig::classic(2));
+        let run = parallel(&g, 0, target, &mq, 2);
+        assert_eq!(run.distance, expected);
+    }
+
+    #[test]
+    fn unreachable_target_reports_max() {
+        use smq_graph::GraphBuilder;
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 5);
+        let g = b.build();
+        let smq: HeapSmq<Task> = HeapSmq::new(SmqConfig::default_for_threads(1));
+        let run = parallel(&g, 0, 2, &smq, 1);
+        assert_eq!(run.distance, u64::MAX);
+    }
+}

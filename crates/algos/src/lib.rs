@@ -1,0 +1,27 @@
+//! Task-parallel graph algorithms formulated over relaxed priority
+//! schedulers, plus exact sequential references.
+//!
+//! These are the four workloads of the paper's evaluation (Section 5):
+//!
+//! * [`sssp`] — single-source shortest paths with priority = tentative
+//!   distance (the delta-stepping-style formulation Galois uses),
+//! * [`bfs`] — breadth-first search, i.e. SSSP with unit weights,
+//! * [`astar`] — point-to-point shortest path guided by a Euclidean
+//!   (equirectangular-style) distance heuristic,
+//! * [`mst`] — Borůvka's minimum-spanning-forest algorithm with per-component
+//!   tasks prioritized by component size.
+//!
+//! Every parallel run reports both wall-clock metrics (via `smq-runtime`) and
+//! the algorithm-level *work* counters the paper uses to quantify wasted
+//! work: how many tasks were executed versus how many a perfectly ordered
+//! execution would need.
+
+#![warn(missing_docs)]
+
+pub mod astar;
+pub mod bfs;
+pub mod mst;
+pub mod sssp;
+pub mod workload;
+
+pub use workload::AlgoResult;

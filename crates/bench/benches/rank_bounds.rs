@@ -1,0 +1,51 @@
+//! Criterion bench over the Theorem-1 rank simulator: measures the cost of
+//! the analytical-model simulation itself and records (via assertions) that
+//! the measured rank ordering matches the theorem's qualitative prediction
+//! (more stealing ⇒ lower rank cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smq_core::Probability;
+use smq_rank::{simulate, RankSimConfig};
+
+fn bench_rank_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem1_rank_simulation");
+    group.sample_size(10);
+
+    for &(queues, p) in &[(8usize, 2u32), (8, 16), (32, 2), (32, 16)] {
+        let config = RankSimConfig {
+            queues,
+            initial_tasks: 150_000,
+            batch: 1,
+            p_steal: Probability::new(p),
+            gamma: 0.0,
+            steps: 5_000,
+            seed: 7,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("simulate", format!("n={queues}_p=1/{p}")),
+            &config,
+            |b, cfg| b.iter(|| simulate(cfg)),
+        );
+    }
+    group.finish();
+
+    // Qualitative check run once outside the timing loops: Theorem 1 says
+    // rank cost grows when stealing becomes rarer.
+    let frequent = simulate(&RankSimConfig {
+        queues: 16,
+        p_steal: Probability::new(2),
+        ..RankSimConfig::default()
+    });
+    let rare = simulate(&RankSimConfig {
+        queues: 16,
+        p_steal: Probability::new(32),
+        ..RankSimConfig::default()
+    });
+    assert!(
+        rare.mean_top_rank > frequent.mean_top_rank,
+        "rank ordering contradicts Theorem 1: {rare:?} vs {frequent:?}"
+    );
+}
+
+criterion_group!(benches, bench_rank_simulation);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Criterion micro-benchmarks: per-operation cost of each scheduler and of
+//! the SMQ's core substrates (d-ary heap, stealing buffer).
+//!
+//! These are not figures from the paper; they support its ablation
+//! discussion (Section 4) by quantifying the per-operation cost differences
+//! that motivate the stealing-buffer design.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smq_core::{Probability, Scheduler, SchedulerHandle, Task};
+use smq_dheap::DAryHeap;
+use smq_multiqueue::{MultiQueue, MultiQueueConfig};
+use smq_obim::{Obim, ObimConfig};
+use smq_scheduler::{HeapSmq, SmqConfig, StealingBuffer};
+use smq_spraylist::{SprayList, SprayListConfig};
+
+const OPS: u64 = 10_000;
+
+/// Pushes `OPS` tasks and pops them all back through a single handle.
+fn push_pop_cycle<S: Scheduler<Task>>(scheduler: &S) {
+    let mut handle = scheduler.handle(0);
+    for i in 0..OPS {
+        handle.push(Task::new((i * 2_654_435_761) % OPS, i));
+    }
+    let mut popped = 0;
+    let mut misses = 0;
+    while popped < OPS && misses < 1_000 {
+        match handle.pop() {
+            Some(_) => {
+                popped += 1;
+                misses = 0;
+            }
+            None => misses += 1,
+        }
+    }
+    assert_eq!(popped, OPS, "scheduler lost tasks during the benchmark");
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("push_pop_10k");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("smq_heap", "default"), |b| {
+        b.iter(|| {
+            let smq: HeapSmq<Task> = HeapSmq::new(SmqConfig::default_for_threads(2));
+            push_pop_cycle(&smq);
+        })
+    });
+    group.bench_function(BenchmarkId::new("classic_mq", "C=4"), |b| {
+        b.iter(|| {
+            let mq: MultiQueue<Task> = MultiQueue::new(MultiQueueConfig::classic(2));
+            push_pop_cycle(&mq);
+        })
+    });
+    group.bench_function(BenchmarkId::new("obim", "delta=6"), |b| {
+        b.iter(|| {
+            let obim: Obim<Task> = Obim::new(ObimConfig::obim(2, 6, 32));
+            push_pop_cycle(&obim);
+        })
+    });
+    group.bench_function(BenchmarkId::new("spraylist", "default"), |b| {
+        b.iter(|| {
+            let sl: SprayList<Task> = SprayList::new(SprayListConfig::default_for_threads(2));
+            push_pop_cycle(&sl);
+        })
+    });
+    group.finish();
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates");
+    group.sample_size(20);
+
+    group.bench_function("dary_heap_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut heap = DAryHeap::new(4);
+            for i in 0..OPS {
+                heap.push(Task::new((i * 48_271) % OPS, i));
+            }
+            while heap.pop().is_some() {}
+        })
+    });
+    group.bench_function("stealing_buffer_fill_steal", |b| {
+        let buffer: StealingBuffer<Task> = StealingBuffer::new(16);
+        let batch: Vec<Task> = (0..16).map(|i| Task::new(i, i)).collect();
+        let mut out = Vec::with_capacity(16);
+        b.iter(|| {
+            buffer.fill(&batch);
+            out.clear();
+            assert_eq!(buffer.steal_into(&mut out), 16);
+        })
+    });
+    group.bench_function("smq_steal_probability_sampling", |b| {
+        let mut rng = smq_core::rng::Pcg32::new(1);
+        let p = Probability::new(8);
+        b.iter(|| {
+            let mut hits = 0u32;
+            for _ in 0..1_000 {
+                if p.sample(&mut rng) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_substrates);
+criterion_main!(benches);

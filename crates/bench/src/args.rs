@@ -1,0 +1,108 @@
+//! Minimal command-line handling shared by the figure binaries.
+
+/// Common knobs accepted by every figure binary.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Worker thread count for parallel runs.
+    pub threads: usize,
+    /// `true` when `--scale full` was passed: larger graphs and finer
+    /// parameter grids (closer to the paper's sweeps).
+    pub full_scale: bool,
+    /// Repetitions per configuration (results are averaged).
+    pub repetitions: usize,
+    /// Base PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        Self {
+            threads: 4,
+            full_scale: false,
+            repetitions: 3,
+            seed: 0xBE7C,
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parses `--threads N`, `--scale small|full`, `--reps N`, `--seed N`
+    /// from an iterator of arguments.  Unknown flags are returned so callers
+    /// can handle binary-specific options.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> (Self, Vec<String>) {
+        let mut out = Self::default();
+        let mut rest = Vec::new();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--threads" => {
+                    out.threads = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--threads needs a positive integer");
+                }
+                "--scale" => {
+                    let v = iter.next().expect("--scale needs small|full");
+                    out.full_scale = match v.as_str() {
+                        "full" => true,
+                        "small" => false,
+                        other => panic!("unknown scale '{other}', expected small|full"),
+                    };
+                }
+                "--reps" => {
+                    out.repetitions = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--reps needs a positive integer");
+                }
+                "--seed" => {
+                    out.seed = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs an integer");
+                }
+                _ => rest.push(arg),
+            }
+        }
+        assert!(out.threads >= 1, "need at least one thread");
+        assert!(out.repetitions >= 1, "need at least one repetition");
+        (out, rest)
+    }
+
+    /// Parses the real process arguments (skipping the program name).
+    pub fn from_env() -> (Self, Vec<String>) {
+        Self::parse(std::env::args().skip(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> (BenchArgs, Vec<String>) {
+        BenchArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_without_args() {
+        let (args, rest) = parse(&[]);
+        assert_eq!(args.threads, 4);
+        assert!(!args.full_scale);
+        assert!(rest.is_empty());
+    }
+
+    #[test]
+    fn parses_known_flags_and_passes_through_unknown() {
+        let (args, rest) = parse(&["--threads", "8", "--scale", "full", "--queue", "heap", "--reps", "5"]);
+        assert_eq!(args.threads, 8);
+        assert!(args.full_scale);
+        assert_eq!(args.repetitions, 5);
+        assert_eq!(rest, vec!["--queue".to_string(), "heap".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scale")]
+    fn bad_scale_value_panics() {
+        let _ = parse(&["--scale", "medium"]);
+    }
+}

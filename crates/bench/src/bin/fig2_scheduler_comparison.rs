@@ -1,0 +1,124 @@
+//! Figure 2 (and Appendix Figs 21–22): comparison of SMQ (tuned and
+//! default), the optimized NUMA-aware Multi-Queue, OBIM, PMOD, RELD and
+//! SprayList across all workloads and graphs.
+//!
+//! For every scheduler the binary reports speedup over the single-threaded
+//! classic Multi-Queue baseline and the work increase (total tasks executed
+//! relative to that baseline), the two quantities plotted in Figure 2.
+
+use smq_bench::{
+    report::f2, run_workload, schedulers::baseline, standard_graphs, BenchArgs, SchedulerSpec,
+    Table, Workload,
+};
+use smq_core::Probability;
+use smq_multiqueue::{DeletePolicy, InsertPolicy};
+
+fn competitors(threads: usize) -> Vec<(&'static str, SchedulerSpec)> {
+    let numa_k = if threads >= 2 { Some(threads as u32 * 2) } else { None };
+    vec![
+        (
+            "SMQ (Tuned)",
+            SchedulerSpec::SmqHeap {
+                steal_size: 16,
+                p_steal: Probability::new(4),
+                numa_k,
+            },
+        ),
+        ("SMQ (Default)", SchedulerSpec::smq_default()),
+        (
+            "SMQ skip-list",
+            SchedulerSpec::SmqSkipList {
+                steal_size: 16,
+                p_steal: Probability::new(8),
+                numa_k: None,
+            },
+        ),
+        (
+            "MQ optimized (NUMA)",
+            SchedulerSpec::OptimizedMq {
+                c: 4,
+                insert: InsertPolicy::Batching(16),
+                delete: DeletePolicy::Batching(16),
+                numa_k,
+            },
+        ),
+        (
+            "OBIM",
+            SchedulerSpec::Obim {
+                delta_shift: 10,
+                chunk_size: 32,
+            },
+        ),
+        (
+            "PMOD",
+            SchedulerSpec::Pmod {
+                delta_shift: 10,
+                chunk_size: 32,
+            },
+        ),
+        ("RELD", SchedulerSpec::Reld { c: 4 }),
+        ("SprayList", SchedulerSpec::SprayList),
+    ]
+}
+
+fn main() {
+    let (args, _rest) = BenchArgs::from_env();
+    let specs = standard_graphs(args.full_scale, args.seed);
+    let schedulers = competitors(args.threads);
+
+    let mut results = Vec::new();
+    for workload in Workload::ALL {
+        for spec in &specs {
+            if workload == Workload::Astar && !spec.graph.has_coordinates() {
+                continue;
+            }
+            if workload == Workload::Mst && spec.graph.avg_degree() > 10.0 {
+                continue; // the paper runs MST on the road graphs
+            }
+            let (base_secs, base_tasks) = baseline(workload, spec, args.seed);
+            let mut table = Table::new(
+                format!(
+                    "Figure 2 — {} on {} ({} threads; speedup over 1-thread MQ / work increase)",
+                    workload.name(),
+                    spec.name,
+                    args.threads
+                ),
+                &["Scheduler", "Speedup", "Work increase", "Wasted %", "NUMA locality"],
+            );
+            for (label, kind) in &schedulers {
+                let mut secs = 0.0;
+                let mut tasks = 0u64;
+                let mut wasted = 0u64;
+                let mut locality = None;
+                for rep in 0..args.repetitions {
+                    let r = run_workload(kind, workload, spec, args.threads, args.seed + rep as u64);
+                    secs += r.seconds;
+                    tasks += r.total_tasks();
+                    wasted += r.wasted_tasks;
+                    locality = r.node_locality.or(locality);
+                }
+                let secs = secs / args.repetitions as f64;
+                let tasks_avg = tasks / args.repetitions as u64;
+                let speedup = base_secs / secs.max(1e-9);
+                let increase = tasks_avg as f64 / base_tasks.max(1) as f64;
+                let wasted_pct = 100.0 * wasted as f64 / tasks.max(1) as f64;
+                table.add_row(vec![
+                    label.to_string(),
+                    f2(speedup),
+                    f2(increase),
+                    f2(wasted_pct),
+                    locality.map(f2).unwrap_or_else(|| "-".to_string()),
+                ]);
+                results.push((
+                    workload.name(),
+                    spec.name,
+                    label.to_string(),
+                    speedup,
+                    increase,
+                ));
+            }
+            table.print();
+        }
+    }
+    smq_bench::report::print_json("fig2_scheduler_comparison", &results);
+}

@@ -1,0 +1,91 @@
+//! Appendix E.1–E.4 (Tables 16–23): NUMA weight `K` ablation for the
+//! optimised Multi-Queue variants.
+//!
+//! `K = 1` is the non-NUMA-aware baseline; larger `K` makes out-of-node
+//! queue choices rarer.  The table reports speedup over the single-threaded
+//! classic Multi-Queue and the measured fraction of in-node queue accesses
+//! (the paper's E_int metric).
+
+use smq_bench::{
+    report::f2, run_workload, schedulers::baseline, standard_graphs, BenchArgs, SchedulerSpec,
+    Table, Workload,
+};
+use smq_core::Probability;
+use smq_multiqueue::{DeletePolicy, InsertPolicy};
+
+fn main() {
+    let (args, _rest) = BenchArgs::from_env();
+    assert!(
+        args.threads >= 2 && args.threads % 2 == 0,
+        "the NUMA sweep simulates two sockets and needs an even thread count >= 2"
+    );
+    let specs = standard_graphs(args.full_scale, args.seed);
+    let ks: Vec<u32> = if args.full_scale {
+        vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+    } else {
+        vec![1, 4, 16, 64, 256]
+    };
+
+    let variants: Vec<(&str, InsertPolicy, DeletePolicy)> = vec![
+        (
+            "insert=TL delete=TL",
+            InsertPolicy::TemporalLocality(Probability::new(64)),
+            DeletePolicy::TemporalLocality(Probability::new(64)),
+        ),
+        (
+            "insert=TL delete=B",
+            InsertPolicy::TemporalLocality(Probability::new(64)),
+            DeletePolicy::Batching(16),
+        ),
+        (
+            "insert=B delete=TL",
+            InsertPolicy::Batching(16),
+            DeletePolicy::TemporalLocality(Probability::new(64)),
+        ),
+        (
+            "insert=B delete=B",
+            InsertPolicy::Batching(16),
+            DeletePolicy::Batching(16),
+        ),
+    ];
+
+    let mut results = Vec::new();
+    for (variant_name, insert, delete) in &variants {
+        for spec in &specs {
+            let workload = Workload::Sssp;
+            let (base_secs, _) = baseline(workload, spec, args.seed);
+            let mut header = vec!["K".to_string(), "Speedup".to_string(), "In-node ratio".to_string()];
+            let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+            let mut table = Table::new(
+                format!(
+                    "Tables 16-23 — MQ {variant_name} NUMA sweep: SSSP on {} ({} threads, 2 simulated nodes)",
+                    spec.name, args.threads
+                ),
+                &header_refs,
+            );
+            header.clear();
+            for &k in &ks {
+                let kind = SchedulerSpec::OptimizedMq {
+                    c: 4,
+                    insert: *insert,
+                    delete: *delete,
+                    numa_k: Some(k),
+                };
+                let mut secs = 0.0;
+                let mut locality = 0.0;
+                for rep in 0..args.repetitions {
+                    let r = run_workload(&kind, workload, spec, args.threads, args.seed + rep as u64);
+                    secs += r.seconds;
+                    locality += r.node_locality.unwrap_or(0.0);
+                }
+                let secs = secs / args.repetitions as f64;
+                let locality = locality / args.repetitions as f64;
+                let speedup = base_secs / secs.max(1e-9);
+                table.add_row(vec![k.to_string(), f2(speedup), f2(locality)]);
+                results.push((variant_name.to_string(), spec.name, k, speedup, locality));
+            }
+            table.print();
+        }
+    }
+    smq_bench::report::print_json("table16_23_mq_numa", &results);
+}

@@ -1,0 +1,70 @@
+//! Appendix E.5–E.6 (Tables 24–27): NUMA weight `K` ablation for the
+//! Stealing Multi-Queue (heap and skip-list variants).
+
+use smq_bench::{
+    report::f2, run_workload, schedulers::baseline, standard_graphs, BenchArgs, SchedulerSpec,
+    Table, Workload,
+};
+use smq_core::Probability;
+
+fn main() {
+    let (args, rest) = BenchArgs::from_env();
+    assert!(
+        args.threads >= 2 && args.threads % 2 == 0,
+        "the NUMA sweep simulates two sockets and needs an even thread count >= 2"
+    );
+    let mut queue = "heap".to_string();
+    let mut it = rest.into_iter();
+    while let Some(flag) = it.next() {
+        if flag == "--queue" {
+            queue = it.next().expect("--queue needs heap|skiplist");
+        }
+    }
+    let specs = standard_graphs(args.full_scale, args.seed);
+    let ks: Vec<u32> = if args.full_scale {
+        vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+    } else {
+        vec![1, 4, 16, 64, 256]
+    };
+
+    let mut results = Vec::new();
+    for spec in &specs {
+        let workload = Workload::Sssp;
+        let (base_secs, _) = baseline(workload, spec, args.seed);
+        let mut table = Table::new(
+            format!(
+                "Tables 24-27 — SMQ ({queue}) NUMA sweep: SSSP on {} ({} threads, 2 simulated nodes)",
+                spec.name, args.threads
+            ),
+            &["K", "Speedup", "In-node steal ratio"],
+        );
+        for &k in &ks {
+            let kind = match queue.as_str() {
+                "skiplist" => SchedulerSpec::SmqSkipList {
+                    steal_size: 4,
+                    p_steal: Probability::new(8),
+                    numa_k: Some(k),
+                },
+                _ => SchedulerSpec::SmqHeap {
+                    steal_size: 4,
+                    p_steal: Probability::new(8),
+                    numa_k: Some(k),
+                },
+            };
+            let mut secs = 0.0;
+            let mut locality = 0.0;
+            for rep in 0..args.repetitions {
+                let r = run_workload(&kind, workload, spec, args.threads, args.seed + rep as u64);
+                secs += r.seconds;
+                locality += r.node_locality.unwrap_or(0.0);
+            }
+            let secs = secs / args.repetitions as f64;
+            let locality = locality / args.repetitions as f64;
+            let speedup = base_secs / secs.max(1e-9);
+            table.add_row(vec![k.to_string(), f2(speedup), f2(locality)]);
+            results.push((queue.clone(), spec.name, k, speedup, locality));
+        }
+        table.print();
+    }
+    smq_bench::report::print_json("table24_27_smq_numa", &results);
+}

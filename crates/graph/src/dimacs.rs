@@ -1,0 +1,233 @@
+//! DIMACS shortest-path challenge file formats.
+//!
+//! The paper's road graphs (USA, USA-West) are distributed in the 9th DIMACS
+//! implementation challenge format: a `.gr` file with `a <from> <to> <weight>`
+//! arc lines and an optional `.co` file with `v <id> <x> <y>` coordinate
+//! lines (ids are 1-based).  These readers let the benchmark harness run on
+//! the real datasets when they are present on disk; writers are provided so
+//! tests can round-trip synthetic graphs through the format.
+
+use std::io::{self, BufRead, Write};
+
+use crate::csr::{CsrGraph, GraphBuilder};
+
+/// Errors produced by the DIMACS parsers.
+#[derive(Debug)]
+pub enum DimacsError {
+    /// Underlying IO failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based line number and a description.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for DimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DimacsError::Io(e) => write!(f, "io error: {e}"),
+            DimacsError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DimacsError {}
+
+impl From<io::Error> for DimacsError {
+    fn from(e: io::Error) -> Self {
+        DimacsError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> DimacsError {
+    DimacsError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Reads a DIMACS `.gr` graph.  Arc endpoints are converted from the format's
+/// 1-based ids to 0-based vertex ids.
+pub fn read_gr<R: BufRead>(reader: R) -> Result<CsrGraph, DimacsError> {
+    let mut builder: Option<GraphBuilder> = None;
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("p") => {
+                // "p sp <nodes> <arcs>"
+                let _format = parts.next();
+                let nodes: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(line_no, "missing node count in p line"))?;
+                builder = Some(GraphBuilder::new(nodes));
+            }
+            Some("a") => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| parse_err(line_no, "arc line before problem line"))?;
+                let from: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(line_no, "bad arc source"))?;
+                let to: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(line_no, "bad arc target"))?;
+                let weight: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse_err(line_no, "bad arc weight"))?;
+                if from == 0 || to == 0 {
+                    return Err(parse_err(line_no, "DIMACS vertex ids are 1-based"));
+                }
+                b.add_edge(from - 1, to - 1, weight);
+            }
+            Some(other) => {
+                return Err(parse_err(line_no, format!("unknown record type '{other}'")));
+            }
+            None => {}
+        }
+    }
+    builder
+        .map(GraphBuilder::build)
+        .ok_or_else(|| parse_err(0, "no problem line found"))
+}
+
+/// Reads a DIMACS `.co` coordinate file and returns `(id - 1) -> (x, y)`
+/// coordinates scaled by `scale` (DIMACS stores integer micro-degrees; a
+/// scale of `1e-6` recovers degrees).
+pub fn read_co<R: BufRead>(reader: R, num_nodes: usize, scale: f64) -> Result<Vec<(f64, f64)>, DimacsError> {
+    let mut coords = vec![(0.0, 0.0); num_nodes];
+    for (idx, line) in reader.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('p') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("v") {
+            continue;
+        }
+        let id: usize = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(line_no, "bad vertex id"))?;
+        let x: f64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(line_no, "bad x coordinate"))?;
+        let y: f64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse_err(line_no, "bad y coordinate"))?;
+        if id == 0 || id > num_nodes {
+            return Err(parse_err(line_no, "vertex id out of range"));
+        }
+        coords[id - 1] = (x * scale, y * scale);
+    }
+    Ok(coords)
+}
+
+/// Writes a graph in DIMACS `.gr` format (1-based ids).
+pub fn write_gr<W: Write>(graph: &CsrGraph, mut writer: W) -> io::Result<()> {
+    writeln!(writer, "c generated by smq-graph")?;
+    writeln!(writer, "p sp {} {}", graph.num_nodes(), graph.num_edges())?;
+    for e in graph.edges() {
+        writeln!(writer, "a {} {} {}", e.from + 1, e.to + 1, e.weight)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{uniform_random, power_law, PowerLawParams};
+    use std::io::BufReader;
+
+    const SAMPLE: &str = "c sample graph\n\
+                          p sp 3 3\n\
+                          a 1 2 10\n\
+                          a 2 3 20\n\
+                          a 3 1 30\n";
+
+    #[test]
+    fn reads_simple_gr() {
+        let g = read_gr(BufReader::new(SAMPLE.as_bytes())).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0).next(), Some((1, 10)));
+        assert_eq!(g.neighbors(2).next(), Some((0, 30)));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "c header\n\nc more\np sp 2 1\nc mid\na 1 2 5\n";
+        let g = read_gr(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn arc_before_problem_line_is_an_error() {
+        let text = "a 1 2 5\np sp 2 1\n";
+        let err = read_gr(BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("before problem line"), "{err}");
+    }
+
+    #[test]
+    fn zero_based_ids_are_rejected() {
+        let text = "p sp 2 1\na 0 1 5\n";
+        assert!(read_gr(BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn unknown_record_is_an_error() {
+        let text = "p sp 2 1\nx 1 2 3\n";
+        assert!(read_gr(BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn reads_coordinates() {
+        let text = "c coords\np aux sp co 3\nv 1 1000000 2000000\nv 2 -500000 0\nv 3 0 0\n";
+        let coords = read_co(BufReader::new(text.as_bytes()), 3, 1e-6).unwrap();
+        assert_eq!(coords[0], (1.0, 2.0));
+        assert_eq!(coords[1], (-0.5, 0.0));
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let g = uniform_random(20, 100, 50, 11);
+        let mut buf = Vec::new();
+        write_gr(&g, &mut buf).unwrap();
+        let g2 = read_gr(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(g2.num_nodes(), g.num_nodes());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.total_weight(), g.total_weight());
+    }
+
+    #[test]
+    fn round_trip_preserves_power_law_structure() {
+        let g = power_law(PowerLawParams {
+            nodes: 200,
+            avg_degree: 4,
+            exponent: 2.3,
+            max_weight: 100,
+            seed: 5,
+        });
+        let mut buf = Vec::new();
+        write_gr(&g, &mut buf).unwrap();
+        let g2 = read_gr(BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges());
+        assert_eq!(g2.max_degree(), g.max_degree());
+    }
+}

@@ -1,0 +1,538 @@
+//! The Multi-Queue scheduler (Listing 1) with configurable insert/delete
+//! policies and optional NUMA-aware sampling.
+
+use std::collections::VecDeque;
+
+use crossbeam_utils::CachePadded;
+use parking_lot::{Mutex, MutexGuard};
+use smq_core::rng::Pcg32;
+use smq_core::{OpStats, Scheduler, SchedulerHandle};
+use smq_dheap::DAryHeap;
+use smq_runtime::{Topology, WeightedQueueSampler};
+
+use crate::config::{DeletePolicy, InsertPolicy, MultiQueueConfig};
+
+/// The Multi-Queue: `C·T` lock-protected sequential heaps with randomized
+/// insert and two-choice delete, plus the paper's batching, temporal
+/// locality, and NUMA-aware sampling optimisations.
+pub struct MultiQueue<T> {
+    queues: Vec<CachePadded<Mutex<DAryHeap<T>>>>,
+    sampler: WeightedQueueSampler,
+    config: MultiQueueConfig,
+}
+
+impl<T: Ord> MultiQueue<T> {
+    /// Builds a Multi-Queue from a validated configuration.
+    pub fn new(config: MultiQueueConfig) -> Self {
+        config.validate();
+        let queues = (0..config.num_queues())
+            .map(|_| CachePadded::new(Mutex::new(DAryHeap::new(config.heap_arity))))
+            .collect();
+        let sampler = match &config.numa {
+            Some(numa) => {
+                WeightedQueueSampler::new(numa.topology.clone(), config.c_factor, numa.k)
+            }
+            None => WeightedQueueSampler::uniform(
+                Topology::single_node(config.threads),
+                config.c_factor,
+            ),
+        };
+        Self {
+            queues,
+            sampler,
+            config,
+        }
+    }
+
+    /// The configuration this scheduler was built from.
+    pub fn config(&self) -> &MultiQueueConfig {
+        &self.config
+    }
+
+    /// Total number of underlying queues (`C·T`).
+    pub fn num_queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Sum of the lengths of all queues.  Approximate under concurrency;
+    /// exact when quiescent.  Does not include tasks buffered in handles.
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(|q| q.lock().len()).sum()
+    }
+
+    /// `true` when every underlying queue is empty (tasks buffered inside
+    /// handles are not visible here).
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(|q| q.lock().is_empty())
+    }
+}
+
+impl<T: Ord + Send> Scheduler<T> for MultiQueue<T> {
+    type Handle<'a>
+        = MultiQueueHandle<'a, T>
+    where
+        T: 'a;
+
+    fn num_threads(&self) -> usize {
+        self.config.threads
+    }
+
+    fn handle(&self, thread_id: usize) -> MultiQueueHandle<'_, T> {
+        assert!(thread_id < self.config.threads, "thread id out of range");
+        MultiQueueHandle {
+            parent: self,
+            thread_id,
+            rng: Pcg32::for_thread(self.config.seed, thread_id),
+            stats: OpStats::default(),
+            insert_buffer: Vec::new(),
+            delete_buffer: VecDeque::new(),
+            tl_insert_queue: None,
+            tl_delete_queue: None,
+        }
+    }
+}
+
+/// A worker thread's handle onto a [`MultiQueue`].
+pub struct MultiQueueHandle<'a, T> {
+    parent: &'a MultiQueue<T>,
+    thread_id: usize,
+    rng: Pcg32,
+    stats: OpStats,
+    /// Pending inserts under [`InsertPolicy::Batching`].
+    insert_buffer: Vec<T>,
+    /// Prefetched tasks under [`DeletePolicy::Batching`], ascending order.
+    delete_buffer: VecDeque<T>,
+    /// "Current" queue under [`InsertPolicy::TemporalLocality`].
+    tl_insert_queue: Option<usize>,
+    /// "Current" queue under [`DeletePolicy::TemporalLocality`].
+    tl_delete_queue: Option<usize>,
+}
+
+impl<T: Ord> MultiQueueHandle<'_, T> {
+    /// Samples one queue index, recording NUMA locality statistics.
+    fn sample_queue(&mut self) -> usize {
+        let (q, local) = self.parent.sampler.sample(self.thread_id, &mut self.rng);
+        if local {
+            self.stats.local_node_accesses += 1;
+        } else {
+            self.stats.remote_node_accesses += 1;
+        }
+        q
+    }
+
+    /// Samples two distinct queue indices.
+    fn sample_two_distinct(&mut self) -> (usize, usize) {
+        let a = self.sample_queue();
+        loop {
+            let b = self.sample_queue();
+            if b != a {
+                return (a, b);
+            }
+        }
+    }
+
+    /// Pushes a single task into a freshly sampled queue, retrying on lock
+    /// failure exactly like Listing 1.
+    fn push_direct(&mut self, task: T) {
+        let mut task = Some(task);
+        loop {
+            let q = self.sample_queue();
+            match self.parent.queues[q].try_lock() {
+                Some(mut guard) => {
+                    guard.push(task.take().expect("task present until pushed"));
+                    return;
+                }
+                None => self.stats.contention_retries += 1,
+            }
+        }
+    }
+
+    /// Pushes into the temporally "current" queue, changing it first with
+    /// the configured probability.
+    fn push_temporal(&mut self, task: T, change: smq_core::Probability) {
+        let needs_new = self.tl_insert_queue.is_none() || change.sample(&mut self.rng);
+        if needs_new {
+            self.tl_insert_queue = Some(self.sample_queue());
+        }
+        let q = self.tl_insert_queue.expect("set above");
+        // Re-acquiring a recently used, usually uncontended lock is cheap;
+        // temporal locality deliberately trades contention for cache reuse.
+        let mut guard = self.parent.queues[q].lock();
+        guard.push(task);
+    }
+
+    /// Flushes the insert buffer into a single randomly chosen queue.
+    fn flush_insert_buffer(&mut self) {
+        if self.insert_buffer.is_empty() {
+            return;
+        }
+        loop {
+            let q = self.sample_queue();
+            match self.parent.queues[q].try_lock() {
+                Some(mut guard) => {
+                    for task in self.insert_buffer.drain(..) {
+                        guard.push(task);
+                    }
+                    return;
+                }
+                None => self.stats.contention_retries += 1,
+            }
+        }
+    }
+
+    /// Acquires both sampled queues (retrying on contention), compares their
+    /// tops, and extracts up to `batch` tasks from the better one.  The
+    /// first extracted task is returned; the rest go to the delete buffer.
+    fn pop_two_choice(&mut self, batch: usize) -> Option<T> {
+        let parent = self.parent;
+        loop {
+            let (q1, q2) = self.sample_two_distinct();
+            let guard1 = match parent.queues[q1].try_lock() {
+                Some(g) => g,
+                None => {
+                    self.stats.contention_retries += 1;
+                    continue;
+                }
+            };
+            let guard2 = match parent.queues[q2].try_lock() {
+                Some(g) => g,
+                None => {
+                    drop(guard1);
+                    self.stats.contention_retries += 1;
+                    continue;
+                }
+            };
+            return self.extract_from_better(guard1, guard2, batch);
+        }
+    }
+
+    /// Given both locked queues, picks the one whose top task has higher
+    /// priority and extracts a batch from it.
+    fn extract_from_better<'g>(
+        &mut self,
+        mut guard1: MutexGuard<'g, DAryHeap<T>>,
+        mut guard2: MutexGuard<'g, DAryHeap<T>>,
+        batch: usize,
+    ) -> Option<T> {
+        let use_first = match (guard1.peek(), guard2.peek()) {
+            (Some(a), Some(b)) => a <= b,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        let source = if use_first { &mut guard1 } else { &mut guard2 };
+        self.extract_batch(source, batch)
+    }
+
+    /// Extracts up to `batch` tasks from a locked queue, returning the first.
+    fn extract_batch(&mut self, queue: &mut DAryHeap<T>, batch: usize) -> Option<T> {
+        let first = queue.pop()?;
+        for _ in 1..batch {
+            match queue.pop() {
+                Some(task) => self.delete_buffer.push_back(task),
+                None => break,
+            }
+        }
+        Some(first)
+    }
+
+    /// Pops from the temporally "current" queue, re-selecting it via the
+    /// two-choice rule with the configured probability or when it runs dry.
+    fn pop_temporal(&mut self, change: smq_core::Probability) -> Option<T> {
+        let needs_new = self.tl_delete_queue.is_none() || change.sample(&mut self.rng);
+        if !needs_new {
+            let q = self.tl_delete_queue.expect("checked above");
+            let mut guard = self.parent.queues[q].lock();
+            if let Some(task) = guard.pop() {
+                return Some(task);
+            }
+            // Current queue ran dry: fall through to a fresh selection.
+        }
+        // Select a new current queue with the classic two-choice rule and
+        // remember which queue the task came from.
+        loop {
+            let (q1, q2) = self.sample_two_distinct();
+            let guard1 = match self.parent.queues[q1].try_lock() {
+                Some(g) => g,
+                None => {
+                    self.stats.contention_retries += 1;
+                    continue;
+                }
+            };
+            let guard2 = match self.parent.queues[q2].try_lock() {
+                Some(g) => g,
+                None => {
+                    drop(guard1);
+                    self.stats.contention_retries += 1;
+                    continue;
+                }
+            };
+            let use_first = match (guard1.peek(), guard2.peek()) {
+                (Some(a), Some(b)) => a <= b,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => return None,
+            };
+            let (mut chosen_guard, chosen_q) = if use_first {
+                drop(guard2);
+                (guard1, q1)
+            } else {
+                drop(guard1);
+                (guard2, q2)
+            };
+            self.tl_delete_queue = Some(chosen_q);
+            return chosen_guard.pop();
+        }
+    }
+}
+
+impl<T: Ord + Send> SchedulerHandle<T> for MultiQueueHandle<'_, T> {
+    fn push(&mut self, task: T) {
+        self.stats.pushes += 1;
+        match self.parent.config.insert {
+            InsertPolicy::Direct => self.push_direct(task),
+            InsertPolicy::TemporalLocality(p) => self.push_temporal(task, p),
+            InsertPolicy::Batching(batch) => {
+                self.insert_buffer.push(task);
+                if self.insert_buffer.len() >= batch {
+                    self.flush_insert_buffer();
+                }
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        if let Some(task) = self.delete_buffer.pop_front() {
+            self.stats.pops += 1;
+            return Some(task);
+        }
+        let got = match self.parent.config.delete {
+            DeletePolicy::TwoChoice => self.pop_two_choice(1),
+            DeletePolicy::TemporalLocality(p) => self.pop_temporal(p),
+            DeletePolicy::Batching(batch) => self.pop_two_choice(batch),
+        };
+        match got {
+            Some(task) => {
+                self.stats.pops += 1;
+                Some(task)
+            }
+            None => {
+                self.stats.empty_pops += 1;
+                None
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        self.flush_insert_buffer();
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smq_core::{Probability, Task};
+
+    fn drain_all<T: Ord + Send + Copy>(handle: &mut MultiQueueHandle<'_, T>) -> Vec<T> {
+        // Relaxed schedulers may need several attempts to find the last
+        // tasks; an empty result 64 times in a row means truly empty for a
+        // single-threaded test.
+        let mut out = Vec::new();
+        let mut misses = 0;
+        while misses < 64 {
+            match handle.pop() {
+                Some(t) => {
+                    out.push(t);
+                    misses = 0;
+                }
+                None => misses += 1,
+            }
+        }
+        out
+    }
+
+    fn conserves_elements(config: MultiQueueConfig) {
+        let mq: MultiQueue<u64> = MultiQueue::new(config);
+        let mut handle = mq.handle(0);
+        let n = 500u64;
+        for v in 0..n {
+            handle.push(v);
+        }
+        handle.flush();
+        let mut drained = drain_all(&mut handle);
+        drained.sort_unstable();
+        assert_eq!(drained, (0..n).collect::<Vec<_>>());
+        assert!(mq.is_empty());
+        let stats = handle.stats();
+        assert_eq!(stats.pushes, n);
+        assert_eq!(stats.pops, n);
+    }
+
+    #[test]
+    fn classic_conserves_elements() {
+        conserves_elements(MultiQueueConfig::classic(2));
+    }
+
+    #[test]
+    fn batching_insert_conserves_elements() {
+        conserves_elements(
+            MultiQueueConfig::classic(2).with_insert(InsertPolicy::Batching(16)),
+        );
+    }
+
+    #[test]
+    fn batching_delete_conserves_elements() {
+        conserves_elements(
+            MultiQueueConfig::classic(2).with_delete(DeletePolicy::Batching(8)),
+        );
+    }
+
+    #[test]
+    fn temporal_locality_conserves_elements() {
+        conserves_elements(
+            MultiQueueConfig::classic(2)
+                .with_insert(InsertPolicy::TemporalLocality(Probability::new(4)))
+                .with_delete(DeletePolicy::TemporalLocality(Probability::new(4))),
+        );
+    }
+
+    #[test]
+    fn numa_variant_conserves_elements_and_tracks_locality() {
+        let config = MultiQueueConfig::classic(4)
+            .with_numa(Topology::split(4, 2), 16)
+            .with_seed(11);
+        let mq: MultiQueue<u64> = MultiQueue::new(config);
+        let mut handle = mq.handle(1);
+        for v in 0..200u64 {
+            handle.push(v);
+        }
+        let drained = drain_all(&mut handle);
+        assert_eq!(drained.len(), 200);
+        let stats = handle.stats();
+        assert!(stats.local_node_accesses > 0);
+        // K = 16 strongly biases towards the local node.
+        assert!(stats.local_node_accesses > stats.remote_node_accesses);
+    }
+
+    #[test]
+    fn two_choice_prefers_higher_priority_top() {
+        // With exactly two queues and deterministic contents, the two-choice
+        // delete must return the global minimum.
+        let config = MultiQueueConfig::classic(1).with_c_factor(2).with_seed(3);
+        let mq: MultiQueue<Task> = MultiQueue::new(config);
+        // Manually place tasks into both queues.
+        mq.queues[0].lock().push(Task::new(50, 0));
+        mq.queues[1].lock().push(Task::new(10, 1));
+        let mut handle = mq.handle(0);
+        assert_eq!(handle.pop(), Some(Task::new(10, 1)));
+        assert_eq!(handle.pop(), Some(Task::new(50, 0)));
+        assert_eq!(handle.pop(), None);
+    }
+
+    #[test]
+    fn delete_batching_prefetches_in_priority_order() {
+        let config = MultiQueueConfig::classic(1)
+            .with_c_factor(2)
+            .with_delete(DeletePolicy::Batching(4))
+            .with_seed(5);
+        let mq: MultiQueue<u64> = MultiQueue::new(config);
+        // All tasks in one queue so a single batch grabs the four smallest.
+        {
+            let mut q = mq.queues[0].lock();
+            for v in [9u64, 3, 7, 1, 5] {
+                q.push(v);
+            }
+        }
+        let mut handle = mq.handle(0);
+        assert_eq!(handle.pop(), Some(1));
+        // The next three come from the prefetch buffer in ascending order,
+        // without touching the shared queues.
+        assert_eq!(handle.delete_buffer.len(), 3);
+        assert_eq!(handle.pop(), Some(3));
+        assert_eq!(handle.pop(), Some(5));
+        assert_eq!(handle.pop(), Some(7));
+        assert_eq!(handle.pop(), Some(9));
+    }
+
+    #[test]
+    fn insert_batching_defers_until_flush_or_full() {
+        let config = MultiQueueConfig::classic(2)
+            .with_insert(InsertPolicy::Batching(8))
+            .with_seed(6);
+        let mq: MultiQueue<u64> = MultiQueue::new(config);
+        let mut handle = mq.handle(0);
+        for v in 0..5u64 {
+            handle.push(v);
+        }
+        // Fewer than the batch size: nothing visible in the shared queues.
+        assert!(mq.is_empty());
+        handle.flush();
+        assert_eq!(mq.len(), 5);
+        for v in 5..13u64 {
+            handle.push(v);
+        }
+        // Crossing the batch size triggered an automatic flush.
+        assert!(mq.len() >= 13 - 5);
+    }
+
+    #[test]
+    fn concurrent_push_pop_conserves_elements() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let threads = 4;
+        let per_thread = 5_000u64;
+        let config = MultiQueueConfig::classic(threads).with_seed(8);
+        let mq: MultiQueue<u64> = MultiQueue::new(config);
+        let popped = AtomicU64::new(0);
+        let sum = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for tid in 0..threads {
+                let mq = &mq;
+                let popped = &popped;
+                let sum = &sum;
+                s.spawn(move || {
+                    let mut handle = mq.handle(tid);
+                    for i in 0..per_thread {
+                        handle.push(tid as u64 * per_thread + i);
+                    }
+                    handle.flush();
+                    loop {
+                        match handle.pop() {
+                            Some(v) => {
+                                popped.fetch_add(1, Ordering::Relaxed);
+                                sum.fetch_add(v, Ordering::Relaxed);
+                            }
+                            None => break,
+                        }
+                    }
+                });
+            }
+        });
+        let total = threads as u64 * per_thread;
+        // Every thread pops until it sees two empty samples; collectively
+        // they must have removed everything that is not still in a queue.
+        let remaining = mq.len() as u64;
+        assert_eq!(popped.load(Ordering::Relaxed) + remaining, total);
+        // Finish draining single-threaded and check the value sum.  A single
+        // None is not "empty" for a relaxed scheduler (both sampled queues
+        // may happen to be empty), so tolerate a run of misses.
+        let mut handle = mq.handle(0);
+        let mut misses = 0;
+        while misses < 64 {
+            match handle.pop() {
+                Some(v) => {
+                    sum.fetch_add(v, Ordering::Relaxed);
+                    popped.fetch_add(1, Ordering::Relaxed);
+                    misses = 0;
+                }
+                None => misses += 1,
+            }
+        }
+        assert_eq!(popped.load(Ordering::Relaxed), total);
+        assert!(mq.is_empty());
+        assert_eq!(sum.load(Ordering::Relaxed), total * (total - 1) / 2);
+    }
+}

@@ -1,0 +1,333 @@
+//! The parallel work loop: a Galois-style `for_each` over a relaxed priority
+//! scheduler.
+//!
+//! Worker threads repeatedly pop a task from the scheduler and hand it to
+//! the user-supplied processing function, which may push any number of new
+//! tasks.  Termination uses a global *pending-task counter*: it is
+//! incremented before a task becomes visible to the scheduler and
+//! decremented only after the task has been fully processed, so
+//! "`pop() == None` and `pending == 0`" is a safe exit condition even for
+//! schedulers that buffer tasks thread-locally (those are flushed whenever a
+//! thread observes an empty pop).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crossbeam_utils::Backoff;
+use smq_core::{OpStats, Scheduler, SchedulerHandle};
+
+use crate::metrics::RunMetrics;
+
+/// Executor tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Number of worker threads to spawn.  Must match the scheduler's
+    /// configured thread count.
+    pub threads: usize,
+    /// How many consecutive empty pops a thread tolerates before it starts
+    /// yielding to the OS scheduler (important on machines with fewer
+    /// hardware threads than workers).
+    pub spins_before_yield: u32,
+}
+
+impl ExecutorConfig {
+    /// A configuration with `threads` workers and default backoff.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads,
+            spins_before_yield: 64,
+        }
+    }
+}
+
+/// A handle through which task processors push newly created tasks.
+///
+/// Pushing through this wrapper (rather than the raw scheduler handle) keeps
+/// the pending-task counter consistent, which is what makes termination
+/// detection sound.
+pub struct TaskSink<'a, H, T>
+where
+    H: SchedulerHandle<T>,
+{
+    handle: &'a mut H,
+    pending: &'a AtomicU64,
+    pushed: u64,
+    _marker: std::marker::PhantomData<fn(T)>,
+}
+
+impl<H, T> TaskSink<'_, H, T>
+where
+    H: SchedulerHandle<T>,
+{
+    /// Pushes a new task into the scheduler.
+    #[inline]
+    pub fn push(&mut self, task: T) {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.handle.push(task);
+        self.pushed += 1;
+    }
+}
+
+/// Runs `process` over every task reachable from `initial` using the given
+/// scheduler and `config.threads` worker threads.
+///
+/// `process(task, sink)` executes one task and pushes follow-up tasks into
+/// the [`TaskSink`].  The function returns once every pushed task has been
+/// processed and all threads have observed a globally empty scheduler.
+///
+/// Initial tasks are distributed round-robin across the workers and pushed
+/// through each worker's own handle, which matters for schedulers with
+/// thread-local queues (SMQ) or insert buffers.
+pub fn run<S, T, F>(
+    scheduler: &S,
+    config: &ExecutorConfig,
+    initial: Vec<T>,
+    process: F,
+) -> RunMetrics
+where
+    S: Scheduler<T>,
+    T: Send,
+    F: for<'h> Fn(T, &mut TaskSink<'h, S::Handle<'_>, T>) + Sync,
+{
+    let threads = config.threads;
+    assert!(threads >= 1, "need at least one worker thread");
+    assert_eq!(
+        threads,
+        scheduler.num_threads(),
+        "executor thread count must match the scheduler's configuration"
+    );
+
+    let pending = AtomicU64::new(initial.len() as u64);
+
+    // Split the seed tasks round-robin so each worker seeds its own queues.
+    let mut seeds: Vec<Vec<T>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, task) in initial.into_iter().enumerate() {
+        seeds[i % threads].push(task);
+    }
+
+    let start = Instant::now();
+    let results: Vec<(u64, OpStats)> = std::thread::scope(|scope| {
+        let mut join_handles = Vec::with_capacity(threads);
+        for (tid, seed) in seeds.into_iter().enumerate() {
+            let pending = &pending;
+            let process = &process;
+            let config = &config;
+            join_handles.push(scope.spawn(move || {
+                let mut handle = scheduler.handle(tid);
+                for task in seed {
+                    handle.push(task);
+                }
+                // Make seed tasks visible before anyone starts spinning.
+                handle.flush();
+
+                let mut executed = 0u64;
+                let backoff = Backoff::new();
+                let mut empty_streak = 0u32;
+                loop {
+                    match handle.pop() {
+                        Some(task) => {
+                            empty_streak = 0;
+                            backoff.reset();
+                            let mut sink = TaskSink {
+                                handle: &mut handle,
+                                pending,
+                                pushed: 0,
+                                _marker: std::marker::PhantomData,
+                            };
+                            process(task, &mut sink);
+                            executed += 1;
+                            pending.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        None => {
+                            // Anything buffered locally must become visible
+                            // before we conclude the system might be done.
+                            handle.flush();
+                            if pending.load(Ordering::SeqCst) == 0 {
+                                break;
+                            }
+                            empty_streak += 1;
+                            if empty_streak > config.spins_before_yield {
+                                std::thread::yield_now();
+                            } else {
+                                backoff.snooze();
+                            }
+                        }
+                    }
+                }
+                (executed, handle.stats())
+            }));
+        }
+        join_handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    let elapsed = start.elapsed();
+
+    let per_thread: Vec<OpStats> = results.iter().map(|(_, s)| s.clone()).collect();
+    let total = OpStats::merged(per_thread.iter());
+    RunMetrics {
+        elapsed,
+        threads,
+        tasks_executed: results.iter().map(|(n, _)| *n).sum(),
+        per_thread,
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BinaryHeap;
+    use std::sync::atomic::AtomicU64 as Counter;
+    use std::sync::Mutex;
+
+    /// A minimal strict scheduler (single global locked heap) used to test
+    /// the executor independently of the real schedulers.
+    struct LockedHeap {
+        heap: Mutex<BinaryHeap<std::cmp::Reverse<u64>>>,
+        threads: usize,
+    }
+
+    impl LockedHeap {
+        fn new(threads: usize) -> Self {
+            Self {
+                heap: Mutex::new(BinaryHeap::new()),
+                threads,
+            }
+        }
+    }
+
+    struct LockedHeapHandle<'a> {
+        parent: &'a LockedHeap,
+        stats: OpStats,
+    }
+
+    impl Scheduler<u64> for LockedHeap {
+        type Handle<'a> = LockedHeapHandle<'a>;
+
+        fn num_threads(&self) -> usize {
+            self.threads
+        }
+
+        fn handle(&self, thread_id: usize) -> LockedHeapHandle<'_> {
+            assert!(thread_id < self.threads);
+            LockedHeapHandle {
+                parent: self,
+                stats: OpStats::default(),
+            }
+        }
+    }
+
+    impl SchedulerHandle<u64> for LockedHeapHandle<'_> {
+        fn push(&mut self, task: u64) {
+            self.parent.heap.lock().unwrap().push(std::cmp::Reverse(task));
+            self.stats.pushes += 1;
+        }
+
+        fn pop(&mut self) -> Option<u64> {
+            let got = self.parent.heap.lock().unwrap().pop().map(|r| r.0);
+            match got {
+                Some(_) => self.stats.pops += 1,
+                None => self.stats.empty_pops += 1,
+            }
+            got
+        }
+
+        fn stats(&self) -> OpStats {
+            self.stats.clone()
+        }
+    }
+
+    #[test]
+    fn processes_every_seed_task_once() {
+        let sched = LockedHeap::new(2);
+        let executed = Counter::new(0);
+        let metrics = run(
+            &sched,
+            &ExecutorConfig::new(2),
+            (0..1_000u64).collect(),
+            |_task, _sink| {
+                executed.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(executed.load(Ordering::Relaxed), 1_000);
+        assert_eq!(metrics.tasks_executed, 1_000);
+        assert_eq!(metrics.threads, 2);
+        assert_eq!(metrics.total.pops, 1_000);
+        assert_eq!(metrics.per_thread.len(), 2);
+    }
+
+    #[test]
+    fn follow_up_tasks_are_processed() {
+        // Each task < 1000 pushes task+1000 and task+2000; the run must
+        // process all 3000 tasks before terminating.
+        let sched = LockedHeap::new(3);
+        let executed = Counter::new(0);
+        let metrics = run(
+            &sched,
+            &ExecutorConfig::new(3),
+            (0..1_000u64).collect(),
+            |task, sink| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                if task < 1_000 {
+                    sink.push(task + 1_000);
+                    sink.push(task + 2_000);
+                }
+            },
+        );
+        assert_eq!(executed.load(Ordering::Relaxed), 3_000);
+        assert_eq!(metrics.tasks_executed, 3_000);
+    }
+
+    #[test]
+    fn empty_initial_set_terminates_immediately() {
+        let sched = LockedHeap::new(2);
+        let metrics = run(&sched, &ExecutorConfig::new(2), Vec::new(), |_t, _s| {});
+        assert_eq!(metrics.tasks_executed, 0);
+    }
+
+    #[test]
+    fn single_thread_run_works() {
+        let sched = LockedHeap::new(1);
+        let sum = Counter::new(0);
+        let metrics = run(
+            &sched,
+            &ExecutorConfig::new(1),
+            vec![5u64, 10, 15],
+            |task, _sink| {
+                sum.fetch_add(task, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(sum.load(Ordering::Relaxed), 30);
+        assert_eq!(metrics.tasks_executed, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count")]
+    fn mismatched_thread_count_is_rejected() {
+        let sched = LockedHeap::new(2);
+        let _ = run(&sched, &ExecutorConfig::new(3), vec![1u64], |_t, _s| {});
+    }
+
+    #[test]
+    fn deep_task_chain_terminates() {
+        // A single chain of 10_000 dependent tasks exercises the case where
+        // most threads spin on an empty scheduler while one works.
+        let sched = LockedHeap::new(4);
+        let executed = Counter::new(0);
+        let metrics = run(
+            &sched,
+            &ExecutorConfig::new(4),
+            vec![0u64],
+            |task, sink| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                if task < 10_000 {
+                    sink.push(task + 1);
+                }
+            },
+        );
+        assert_eq!(executed.load(Ordering::Relaxed), 10_001);
+        assert_eq!(metrics.tasks_executed, 10_001);
+    }
+}

@@ -1,0 +1,26 @@
+//! Parallel execution substrate for the SMQ reproduction.
+//!
+//! The paper evaluates schedulers by plugging them into the Galois
+//! `for_each` loop: worker threads repeatedly pop a task, execute it
+//! (possibly pushing new tasks), and terminate when the scheduler is
+//! globally empty.  This crate provides that loop ([`executor::run`]), the
+//! pending-task termination detection it relies on, per-run metrics, and a
+//! *simulated* NUMA topology ([`topology::Topology`]) used by the NUMA-aware
+//! queue samplers.
+//!
+//! The topology is simulated because the reproduction targets commodity
+//! machines without multiple sockets: NUMA-awareness in the paper is purely
+//! a change to the queue sampling distribution (same-node queues get weight
+//! 1, remote queues weight 1/K), so its algorithmic effect — how often a
+//! thread touches a queue owned by its own node — is measurable without
+//! real sockets.  See DESIGN.md for the substitution rationale.
+
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod metrics;
+pub mod topology;
+
+pub use executor::{run, ExecutorConfig};
+pub use metrics::RunMetrics;
+pub use topology::{Topology, WeightedQueueSampler};

@@ -1,0 +1,347 @@
+//! Simulated NUMA topology and the weighted queue sampler of Section 4.
+//!
+//! The paper's NUMA optimisation assigns every queue to the node of its
+//! owning thread and samples queues with weight 1 (same node) or `1/K`
+//! (remote node), with `K` growing linearly in the thread count so that the
+//! expected fraction of in-node accesses stays constant.  [`Topology`]
+//! provides the thread→node and queue→node mappings; [`WeightedQueueSampler`]
+//! implements the weighted choice and exposes the probability of an in-node
+//! access so experiments can report the paper's `E_int` metric.
+
+use smq_core::rng::Pcg32;
+
+/// A (simulated) machine topology: `num_nodes` NUMA nodes with an equal
+/// number of worker threads per node.
+///
+/// Threads are assigned to nodes in contiguous blocks
+/// (`node = thread_id / threads_per_node`), matching how the paper's
+/// machines enumerate hardware threads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    num_nodes: usize,
+    threads_per_node: usize,
+}
+
+impl Topology {
+    /// A single node containing all threads (NUMA-awareness disabled).
+    pub fn single_node(num_threads: usize) -> Self {
+        assert!(num_threads >= 1, "need at least one thread");
+        Self {
+            num_nodes: 1,
+            threads_per_node: num_threads,
+        }
+    }
+
+    /// `num_nodes` nodes with `threads_per_node` threads each.
+    pub fn uniform(num_nodes: usize, threads_per_node: usize) -> Self {
+        assert!(num_nodes >= 1, "need at least one node");
+        assert!(threads_per_node >= 1, "need at least one thread per node");
+        Self {
+            num_nodes,
+            threads_per_node,
+        }
+    }
+
+    /// Splits `num_threads` threads as evenly as possible over `num_nodes`
+    /// nodes (requires divisibility, mirroring the paper's setup where every
+    /// node hosts `T/N` threads).
+    pub fn split(num_threads: usize, num_nodes: usize) -> Self {
+        assert!(num_nodes >= 1 && num_threads >= num_nodes);
+        assert_eq!(
+            num_threads % num_nodes,
+            0,
+            "thread count must be divisible by node count"
+        );
+        Self::uniform(num_nodes, num_threads / num_nodes)
+    }
+
+    /// Total number of worker threads.
+    #[inline]
+    pub fn num_threads(&self) -> usize {
+        self.num_nodes * self.threads_per_node
+    }
+
+    /// Number of NUMA nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Threads hosted on each node.
+    #[inline]
+    pub fn threads_per_node(&self) -> usize {
+        self.threads_per_node
+    }
+
+    /// The node hosting `thread_id`.
+    #[inline]
+    pub fn node_of_thread(&self, thread_id: usize) -> usize {
+        debug_assert!(thread_id < self.num_threads());
+        thread_id / self.threads_per_node
+    }
+
+    /// The node owning queue `queue_id` when there are
+    /// `queues_per_thread * num_threads()` queues in total and queue `q` is
+    /// owned by thread `q % num_threads()` (the Multi-Queue layout used
+    /// throughout the workspace).
+    #[inline]
+    pub fn node_of_queue(&self, queue_id: usize, queues_per_thread: usize) -> usize {
+        debug_assert!(queues_per_thread >= 1);
+        debug_assert!(queue_id < queues_per_thread * self.num_threads());
+        self.node_of_thread(queue_id % self.num_threads())
+    }
+}
+
+/// Weighted queue sampling for NUMA-aware schedulers (Section 4).
+///
+/// For a calling thread on node `i`, queues on node `i` have weight 1 and
+/// every other queue has weight `1/K`.  Sampling therefore proceeds in two
+/// steps: first decide *local vs. remote* with probability
+/// `W_local / (W_local + W_remote)`, then pick uniformly inside the chosen
+/// group.
+#[derive(Debug, Clone)]
+pub struct WeightedQueueSampler {
+    topology: Topology,
+    queues_per_thread: usize,
+    /// The weight divisor `K >= 1`; `K == 1` degenerates to uniform sampling.
+    k: u32,
+    /// Precomputed probability of choosing a local queue, per node (all
+    /// nodes are symmetric under the uniform topology, but keeping the field
+    /// per-call-site-free makes the hot path a single comparison).
+    p_local: f64,
+}
+
+impl WeightedQueueSampler {
+    /// Creates a sampler for the given topology, queue multiplicity `C`
+    /// (queues per thread) and NUMA weight `K`.
+    pub fn new(topology: Topology, queues_per_thread: usize, k: u32) -> Self {
+        assert!(queues_per_thread >= 1, "need at least one queue per thread");
+        assert!(k >= 1, "NUMA weight K must be >= 1");
+        let local_queues = (topology.threads_per_node() * queues_per_thread) as f64;
+        let remote_queues =
+            ((topology.num_nodes() - 1) * topology.threads_per_node() * queues_per_thread) as f64;
+        let w_local = local_queues;
+        let w_remote = remote_queues / f64::from(k);
+        let p_local = if w_local + w_remote == 0.0 {
+            1.0
+        } else {
+            w_local / (w_local + w_remote)
+        };
+        Self {
+            topology,
+            queues_per_thread,
+            k,
+            p_local,
+        }
+    }
+
+    /// A sampler with `K = 1`: every queue has equal weight (the non-NUMA
+    /// baseline).
+    pub fn uniform(topology: Topology, queues_per_thread: usize) -> Self {
+        Self::new(topology, queues_per_thread, 1)
+    }
+
+    /// The paper's recommendation: keep the expected fraction of in-node
+    /// accesses constant by letting `K` grow linearly with the thread count
+    /// (`K = threads` by default, clamped to at least 2 nodes' worth).
+    pub fn scaled_k(topology: Topology, queues_per_thread: usize) -> Self {
+        let k = topology.num_threads().max(2) as u32;
+        Self::new(topology, queues_per_thread, k)
+    }
+
+    /// Total number of queues.
+    #[inline]
+    pub fn num_queues(&self) -> usize {
+        self.queues_per_thread * self.topology.num_threads()
+    }
+
+    /// The configured NUMA weight `K`.
+    #[inline]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Probability that a sample stays on the caller's node (the paper's
+    /// per-thread "internal choice" probability `T_i·C / W_i`).
+    #[inline]
+    pub fn local_probability(&self) -> f64 {
+        if self.topology.num_nodes() == 1 {
+            1.0
+        } else {
+            self.p_local
+        }
+    }
+
+    /// Expected number of in-node queue choices per step summed over all
+    /// threads (the paper's `E` metric; with symmetric nodes this is just
+    /// `T * local_probability`).
+    pub fn expected_internal_ratio(&self) -> f64 {
+        self.local_probability()
+    }
+
+    /// Samples a queue index for a thread running on `thread_id`.
+    /// Returns `(queue_index, was_local_node)`.
+    pub fn sample(&self, thread_id: usize, rng: &mut Pcg32) -> (usize, bool) {
+        let nodes = self.topology.num_nodes();
+        if nodes == 1 || self.k == 1 {
+            // Uniform over all queues; classify locality anyway so the
+            // statistics stay meaningful for K = 1.
+            let q = rng.next_bounded(self.num_queues());
+            let local = self.topology.node_of_queue(q, self.queues_per_thread)
+                == self.topology.node_of_thread(thread_id);
+            return (q, local);
+        }
+        let my_node = self.topology.node_of_thread(thread_id);
+        let local_per_node = self.topology.threads_per_node() * self.queues_per_thread;
+        if rng.next_f64() < self.p_local {
+            // Uniform among this node's queues.  Queue q is on node
+            // node_of_thread(q % T); enumerate them via the thread block.
+            let t = self.topology.threads_per_node();
+            let thread_in_node = rng.next_bounded(t);
+            let owner = my_node * t + thread_in_node;
+            let replica = rng.next_bounded(self.queues_per_thread);
+            (replica * self.topology.num_threads() + owner, true)
+        } else {
+            // Uniform among remote queues.
+            let remote_total = (nodes - 1) * local_per_node;
+            let pick = rng.next_bounded(remote_total);
+            let remote_node_rank = pick / local_per_node;
+            let node = if remote_node_rank >= my_node {
+                remote_node_rank + 1
+            } else {
+                remote_node_rank
+            };
+            let within = pick % local_per_node;
+            let t = self.topology.threads_per_node();
+            let owner = node * t + (within % t);
+            let replica = within / t;
+            (replica * self.topology.num_threads() + owner, false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_maps_everything_to_node_zero() {
+        let topo = Topology::single_node(8);
+        assert_eq!(topo.num_nodes(), 1);
+        assert_eq!(topo.num_threads(), 8);
+        for t in 0..8 {
+            assert_eq!(topo.node_of_thread(t), 0);
+        }
+        for q in 0..32 {
+            assert_eq!(topo.node_of_queue(q, 4), 0);
+        }
+    }
+
+    #[test]
+    fn uniform_topology_blocks_threads() {
+        let topo = Topology::uniform(4, 2);
+        assert_eq!(topo.num_threads(), 8);
+        assert_eq!(topo.node_of_thread(0), 0);
+        assert_eq!(topo.node_of_thread(1), 0);
+        assert_eq!(topo.node_of_thread(2), 1);
+        assert_eq!(topo.node_of_thread(7), 3);
+    }
+
+    #[test]
+    fn split_requires_divisibility() {
+        let topo = Topology::split(12, 3);
+        assert_eq!(topo.threads_per_node(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn split_rejects_uneven() {
+        let _ = Topology::split(10, 3);
+    }
+
+    #[test]
+    fn queue_node_follows_owner_thread() {
+        let topo = Topology::uniform(2, 2); // threads 0,1 on node 0; 2,3 on node 1
+        let c = 3;
+        for q in 0..(c * 4) {
+            let owner = q % 4;
+            assert_eq!(topo.node_of_queue(q, c), topo.node_of_thread(owner));
+        }
+    }
+
+    #[test]
+    fn sampler_uniform_when_single_node() {
+        let topo = Topology::single_node(4);
+        let sampler = WeightedQueueSampler::new(topo, 2, 64);
+        assert_eq!(sampler.local_probability(), 1.0);
+        let mut rng = Pcg32::new(1);
+        let mut seen = vec![false; sampler.num_queues()];
+        for _ in 0..10_000 {
+            let (q, local) = sampler.sample(0, &mut rng);
+            assert!(local);
+            seen[q] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "all queues should be sampled");
+    }
+
+    #[test]
+    fn sampler_k1_is_uniform_across_nodes() {
+        let topo = Topology::uniform(2, 2);
+        let sampler = WeightedQueueSampler::uniform(topo, 2);
+        let mut rng = Pcg32::new(2);
+        let trials = 40_000;
+        let local = (0..trials)
+            .filter(|_| sampler.sample(0, &mut rng).1)
+            .count();
+        let rate = local as f64 / trials as f64;
+        // With 2 symmetric nodes, half of all queues are local.
+        assert!((rate - 0.5).abs() < 0.02, "local rate {rate}");
+    }
+
+    #[test]
+    fn sampler_large_k_prefers_local_node() {
+        let topo = Topology::uniform(4, 4);
+        let sampler = WeightedQueueSampler::new(topo.clone(), 4, 64);
+        // Analytical local probability: W_local = 16, W_remote = 48/64.
+        let expected = 16.0 / (16.0 + 48.0 / 64.0);
+        assert!((sampler.local_probability() - expected).abs() < 1e-12);
+
+        let mut rng = Pcg32::new(3);
+        let trials = 60_000;
+        let mut local_hits = 0usize;
+        for _ in 0..trials {
+            let (q, local) = sampler.sample(5, &mut rng);
+            assert!(q < sampler.num_queues());
+            // Cross-check the sampler's locality flag against the topology.
+            let is_local = topo.node_of_queue(q, 4) == topo.node_of_thread(5);
+            assert_eq!(local, is_local);
+            if local {
+                local_hits += 1;
+            }
+        }
+        let rate = local_hits as f64 / trials as f64;
+        assert!(
+            (rate - expected).abs() < 0.02,
+            "empirical {rate} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn sampler_reaches_remote_queues_of_every_node() {
+        let topo = Topology::uniform(4, 2);
+        let sampler = WeightedQueueSampler::new(topo.clone(), 2, 4);
+        let mut rng = Pcg32::new(9);
+        let mut nodes_seen = [false; 4];
+        for _ in 0..50_000 {
+            let (q, _) = sampler.sample(0, &mut rng);
+            nodes_seen[topo.node_of_queue(q, 2)] = true;
+        }
+        assert!(nodes_seen.iter().all(|&b| b), "every node should be reachable");
+    }
+
+    #[test]
+    fn scaled_k_tracks_thread_count() {
+        let sampler = WeightedQueueSampler::scaled_k(Topology::uniform(2, 8), 4);
+        assert_eq!(sampler.k(), 16);
+    }
+}

@@ -1,0 +1,352 @@
+//! A sequential (single-owner) skip list ordered ascending by `T: Ord`.
+//!
+//! Nodes live in an index-based arena (`Vec<Node<T>>` plus a free list), so
+//! the structure is a single allocation pool with `u32` links — compact,
+//! cache-friendlier than pointer-chasing boxed nodes, and trivially
+//! droppable.  Duplicate elements are allowed and are returned in FIFO order
+//! among equals (insertion finds the position *after* existing equal keys).
+
+use smq_core::rng::Pcg32;
+
+/// Sentinel meaning "no node".
+const NIL: u32 = u32::MAX;
+
+/// Maximum tower height.  2^24 elements is far beyond any per-thread queue
+/// in the experiments.
+const MAX_HEIGHT: usize = 24;
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    /// `None` only while the slot sits on the free list.
+    value: Option<T>,
+    /// Forward links; `forward.len()` is the node height.
+    forward: Vec<u32>,
+}
+
+/// A sequential skip list priority queue (min first).
+#[derive(Debug, Clone)]
+pub struct SequentialSkipList<T> {
+    /// Arena of nodes; index 0 is the head sentinel (holds no value).
+    arena: Vec<Node<T>>,
+    /// Recycled arena slots.
+    free: Vec<u32>,
+    /// Number of stored elements.
+    len: usize,
+    /// Current maximum tower height in use (head is always MAX_HEIGHT tall).
+    level: usize,
+    rng: Pcg32,
+}
+
+impl<T: Ord> Default for SequentialSkipList<T> {
+    fn default() -> Self {
+        Self::new(0x5EED_1157)
+    }
+}
+
+impl<T: Ord> SequentialSkipList<T> {
+    /// Creates an empty list whose tower heights are drawn from the PRNG
+    /// seeded with `seed` (deterministic for a fixed seed and operation
+    /// sequence).
+    pub fn new(seed: u64) -> Self {
+        let head = Node {
+            value: None,
+            forward: vec![NIL; MAX_HEIGHT],
+        };
+        Self {
+            arena: vec![head],
+            free: Vec::new(),
+            len: 0,
+            level: 1,
+            rng: Pcg32::new(seed),
+        }
+    }
+
+    /// Number of stored elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no elements are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes every element, keeping the arena allocation.
+    pub fn clear(&mut self) {
+        self.arena.truncate(1);
+        for link in &mut self.arena[0].forward {
+            *link = NIL;
+        }
+        self.free.clear();
+        self.len = 0;
+        self.level = 1;
+    }
+
+    /// Returns a reference to the minimum element, if any.
+    #[inline]
+    pub fn peek_min(&self) -> Option<&T> {
+        let first = self.arena[0].forward[0];
+        if first == NIL {
+            None
+        } else {
+            self.arena[first as usize].value.as_ref()
+        }
+    }
+
+    fn random_height(&mut self) -> usize {
+        // Geometric with p = 1/2, capped at MAX_HEIGHT.
+        let bits = self.rng.next_u32();
+        let h = (bits.trailing_ones() as usize) + 1;
+        h.min(MAX_HEIGHT)
+    }
+
+    fn alloc_node(&mut self, value: T, height: usize) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            let node = &mut self.arena[idx as usize];
+            node.value = Some(value);
+            node.forward.clear();
+            node.forward.resize(height, NIL);
+            idx
+        } else {
+            let idx = self.arena.len() as u32;
+            self.arena.push(Node {
+                value: Some(value),
+                forward: vec![NIL; height],
+            });
+            idx
+        }
+    }
+
+    /// Inserts an element.
+    pub fn insert(&mut self, value: T) {
+        let mut update = [0u32; MAX_HEIGHT];
+        let mut current = 0u32; // head
+        // Search from the highest level in use down to level 0, remembering
+        // the rightmost node < value at each level.  Using `<=` on equal
+        // keys keeps FIFO order among duplicates.
+        for lvl in (0..self.level).rev() {
+            loop {
+                let next = self.arena[current as usize].forward[lvl];
+                if next == NIL {
+                    break;
+                }
+                let next_val = self.arena[next as usize]
+                    .value
+                    .as_ref()
+                    .expect("linked node has a value");
+                if *next_val <= value {
+                    current = next;
+                } else {
+                    break;
+                }
+            }
+            update[lvl] = current;
+        }
+
+        let height = self.random_height();
+        if height > self.level {
+            for item in update.iter_mut().take(height).skip(self.level) {
+                *item = 0; // head
+            }
+            self.level = height;
+        }
+
+        let node = self.alloc_node(value, height);
+        for lvl in 0..height {
+            let pred = update[lvl] as usize;
+            let succ = self.arena[pred].forward[lvl];
+            self.arena[node as usize].forward[lvl] = succ;
+            self.arena[pred].forward[lvl] = node;
+        }
+        self.len += 1;
+    }
+
+    /// Removes and returns the minimum element, if any.
+    pub fn pop_min(&mut self) -> Option<T> {
+        let first = self.arena[0].forward[0];
+        if first == NIL {
+            return None;
+        }
+        let height = self.arena[first as usize].forward.len();
+        for lvl in 0..height {
+            // The first node is by definition the head's successor at every
+            // level it occupies.
+            debug_assert_eq!(self.arena[0].forward[lvl], first);
+            self.arena[0].forward[lvl] = self.arena[first as usize].forward[lvl];
+        }
+        let value = self.arena[first as usize].value.take();
+        self.free.push(first);
+        self.len -= 1;
+        // Shrink the active level if the top levels are now empty.
+        while self.level > 1 && self.arena[0].forward[self.level - 1] == NIL {
+            self.level -= 1;
+        }
+        value
+    }
+
+    /// Pops up to `k` smallest elements in ascending order into `out`,
+    /// returning how many were moved (the `extractTopB` primitive).
+    pub fn pop_batch_into(&mut self, k: usize, out: &mut Vec<T>) -> usize {
+        let mut moved = 0;
+        while moved < k {
+            match self.pop_min() {
+                Some(v) => {
+                    out.push(v);
+                    moved += 1;
+                }
+                None => break,
+            }
+        }
+        moved
+    }
+
+    /// Consumes the list and returns the elements in ascending order.
+    pub fn into_sorted_vec(mut self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len);
+        while let Some(v) = self.pop_min() {
+            out.push(v);
+        }
+        out
+    }
+
+    /// Checks structural invariants (sortedness at level 0, tower
+    /// consistency).  O(n·height); for tests only.
+    pub fn assert_invariants(&self) {
+        // Level 0 must be sorted and contain exactly `len` nodes.
+        let mut count = 0;
+        let mut current = self.arena[0].forward[0];
+        let mut prev: Option<&T> = None;
+        while current != NIL {
+            let val = self.arena[current as usize]
+                .value
+                .as_ref()
+                .expect("linked node must hold a value");
+            if let Some(p) = prev {
+                assert!(p <= val, "level-0 ordering violated");
+            }
+            prev = Some(val);
+            count += 1;
+            current = self.arena[current as usize].forward[0];
+        }
+        assert_eq!(count, self.len, "len mismatch");
+        // Every higher level must be a subsequence of level 0 (checked via
+        // sortedness, which is sufficient for the tests' purposes).
+        for lvl in 1..self.level {
+            let mut cur = self.arena[0].forward[lvl];
+            let mut prev: Option<&T> = None;
+            while cur != NIL {
+                let val = self.arena[cur as usize].value.as_ref().unwrap();
+                if let Some(p) = prev {
+                    assert!(p <= val, "level-{lvl} ordering violated");
+                }
+                prev = Some(val);
+                cur = self.arena[cur as usize].forward[lvl];
+            }
+        }
+    }
+}
+
+impl<T: Ord> FromIterator<T> for SequentialSkipList<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut list = Self::default();
+        for v in iter {
+            list.insert(v);
+        }
+        list
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_list() {
+        let mut l: SequentialSkipList<u64> = SequentialSkipList::default();
+        assert!(l.is_empty());
+        assert_eq!(l.peek_min(), None);
+        assert_eq!(l.pop_min(), None);
+    }
+
+    #[test]
+    fn pops_ascending() {
+        let mut l: SequentialSkipList<u64> = [5u64, 3, 9, 1, 7, 2, 8, 0, 6, 4].into_iter().collect();
+        l.assert_invariants();
+        let got: Vec<u64> = std::iter::from_fn(|| l.pop_min()).collect();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicates_allowed() {
+        let mut l: SequentialSkipList<u32> = [2u32, 2, 1, 2, 1].into_iter().collect();
+        assert_eq!(l.len(), 5);
+        l.assert_invariants();
+        assert_eq!(l.into_sorted_vec(), vec![1, 1, 2, 2, 2]);
+    }
+
+    #[test]
+    fn batch_pop_is_sorted_prefix() {
+        let mut l: SequentialSkipList<u32> = (0..100u32).rev().collect();
+        let mut out = Vec::new();
+        assert_eq!(l.pop_batch_into(7, &mut out), 7);
+        assert_eq!(out, (0..7).collect::<Vec<_>>());
+        assert_eq!(l.len(), 93);
+    }
+
+    #[test]
+    fn clear_then_reuse() {
+        let mut l: SequentialSkipList<u32> = (0..50u32).collect();
+        l.clear();
+        assert!(l.is_empty());
+        l.insert(9);
+        l.insert(4);
+        assert_eq!(l.pop_min(), Some(4));
+        l.assert_invariants();
+    }
+
+    #[test]
+    fn slot_reuse_via_free_list() {
+        let mut l: SequentialSkipList<u32> = SequentialSkipList::new(1);
+        for round in 0..10 {
+            for v in 0..64u32 {
+                l.insert(v + round);
+            }
+            for _ in 0..64 {
+                l.pop_min();
+            }
+        }
+        assert!(l.is_empty());
+        // The arena should not have grown without bound: 64 live nodes at a
+        // time plus the head sentinel.
+        assert!(l.arena.len() <= 65, "arena grew to {}", l.arena.len());
+    }
+
+    proptest! {
+        #[test]
+        fn matches_sorted_vec(mut values in proptest::collection::vec(any::<u32>(), 0..400)) {
+            let mut l: SequentialSkipList<u32> = values.iter().copied().collect();
+            l.assert_invariants();
+            values.sort_unstable();
+            prop_assert_eq!(l.into_sorted_vec(), values);
+        }
+
+        #[test]
+        fn interleaved_ops_match_reference(ops in proptest::collection::vec((any::<bool>(), any::<u16>()), 1..300)) {
+            let mut l = SequentialSkipList::new(7);
+            let mut reference = std::collections::BinaryHeap::new();
+            for (is_pop, v) in ops {
+                if is_pop {
+                    prop_assert_eq!(l.pop_min(), reference.pop().map(|std::cmp::Reverse(x)| x));
+                } else {
+                    l.insert(v);
+                    reference.push(std::cmp::Reverse(v));
+                }
+            }
+            l.assert_invariants();
+            prop_assert_eq!(l.len(), reference.len());
+        }
+    }
+}

@@ -1,0 +1,510 @@
+//! The Stealing Multi-Queue scheduler (Listings 2 and 4).
+
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crossbeam_utils::CachePadded;
+use smq_core::rng::Pcg32;
+use smq_core::{OpStats, Scheduler, SchedulerHandle};
+use smq_runtime::{Topology, WeightedQueueSampler};
+
+use crate::config::SmqConfig;
+use crate::local_queue::LocalQueue;
+use crate::stealing_buffer::StealingBuffer;
+
+/// One thread's local state: the sequential priority queue (owner-only) and
+/// the stealing buffer (shared).
+struct PerThread<T: Copy, Q> {
+    /// Owner-only sequential queue.  Guarded by the handle-uniqueness check:
+    /// only the thread holding the handle for this slot may touch it.
+    queue: UnsafeCell<Q>,
+    /// The shared stealing buffer other threads steal from.
+    buffer: StealingBuffer<T>,
+    /// Set while a handle for this slot is alive; prevents accidentally
+    /// creating two handles for the same thread id.
+    handle_taken: AtomicBool,
+}
+
+/// The Stealing Multi-Queue, generic over the local queue implementation
+/// (`DAryHeap` for [`crate::HeapSmq`], `SequentialSkipList` for
+/// [`crate::SkipListSmq`]).
+pub struct Smq<T: Copy, Q> {
+    slots: Vec<CachePadded<PerThread<T, Q>>>,
+    sampler: WeightedQueueSampler,
+    config: SmqConfig,
+}
+
+// SAFETY: the `UnsafeCell<Q>` is only accessed by the unique handle for its
+// slot (enforced by `handle_taken`), the stealing buffer is internally
+// synchronized, and `T: Copy + Send` / `Q: Send` make moving tasks across
+// threads sound.
+unsafe impl<T: Copy + Send, Q: Send> Send for Smq<T, Q> {}
+unsafe impl<T: Copy + Send, Q: Send> Sync for Smq<T, Q> {}
+
+impl<T, Q> Smq<T, Q>
+where
+    T: Copy + Ord + Send,
+    Q: LocalQueue<T>,
+{
+    /// Builds an SMQ from a validated configuration.
+    pub fn new(config: SmqConfig) -> Self {
+        config.validate();
+        let slots = (0..config.threads)
+            .map(|_| {
+                CachePadded::new(PerThread {
+                    queue: UnsafeCell::new(Q::create(config.heap_arity)),
+                    buffer: StealingBuffer::new(config.steal_size),
+                    handle_taken: AtomicBool::new(false),
+                })
+            })
+            .collect();
+        let sampler = match &config.numa {
+            Some(numa) => WeightedQueueSampler::new(numa.topology.clone(), 1, numa.k),
+            None => WeightedQueueSampler::uniform(Topology::single_node(config.threads), 1),
+        };
+        Self {
+            slots,
+            sampler,
+            config,
+        }
+    }
+
+    /// The configuration this scheduler was built from.
+    pub fn config(&self) -> &SmqConfig {
+        &self.config
+    }
+
+    /// The best (smallest) task currently published by thread `t`'s stealing
+    /// buffer, if any.  This is the `queues[t].top()` of Listing 2: tasks
+    /// still inside the thread-local queue are not visible here.
+    pub fn published_top(&self, thread_id: usize) -> Option<T> {
+        self.slots[thread_id].buffer.top()
+    }
+}
+
+impl<T, Q> Scheduler<T> for Smq<T, Q>
+where
+    T: Copy + Ord + Send,
+    Q: LocalQueue<T>,
+{
+    type Handle<'a>
+        = SmqHandle<'a, T, Q>
+    where
+        Self: 'a;
+
+    fn num_threads(&self) -> usize {
+        self.config.threads
+    }
+
+    fn handle(&self, thread_id: usize) -> SmqHandle<'_, T, Q> {
+        assert!(thread_id < self.config.threads, "thread id out of range");
+        let already = self.slots[thread_id]
+            .handle_taken
+            .swap(true, Ordering::AcqRel);
+        assert!(
+            !already,
+            "a handle for thread {thread_id} is already alive; SMQ local queues are single-owner"
+        );
+        SmqHandle {
+            parent: self,
+            thread_id,
+            rng: Pcg32::for_thread(self.config.seed, thread_id),
+            stats: OpStats::default(),
+            stolen_tasks: VecDeque::with_capacity(self.config.steal_size),
+            scratch: Vec::with_capacity(self.config.steal_size),
+        }
+    }
+}
+
+/// A worker thread's handle onto an [`Smq`].
+///
+/// Owns the thread's `stolenTasks` buffer (Listing 2) and is the only object
+/// allowed to touch the thread's local queue.
+pub struct SmqHandle<'a, T: Copy, Q> {
+    parent: &'a Smq<T, Q>,
+    thread_id: usize,
+    rng: Pcg32,
+    stats: OpStats,
+    /// Tasks claimed from a stealing buffer but not yet returned to the
+    /// caller, in ascending priority order.
+    stolen_tasks: VecDeque<T>,
+    /// Reusable scratch space for buffer refills and steals.
+    scratch: Vec<T>,
+}
+
+impl<'a, T, Q> SmqHandle<'a, T, Q>
+where
+    T: Copy + Ord + Send,
+    Q: LocalQueue<T>,
+{
+    #[inline]
+    fn my_slot(&self) -> &'a PerThread<T, Q> {
+        &self.parent.slots[self.thread_id]
+    }
+
+    /// Owner-only access to the local queue.
+    ///
+    /// The returned borrow is tied to the scheduler's lifetime rather than
+    /// to `&self`, so callers can touch other handle fields (scratch
+    /// buffers, statistics) while holding it.  The aliasing obligation —
+    /// never hold two of these at once — is local to this module: every use
+    /// below is a single straight-line access.
+    #[allow(clippy::mut_from_ref)]
+    #[inline]
+    fn local_queue(&self) -> &'a mut Q {
+        // SAFETY: handle uniqueness (checked in `Smq::handle`) guarantees
+        // this thread is the only one dereferencing this cell, and no caller
+        // in this module holds two of these borrows simultaneously.
+        unsafe { &mut *self.my_slot().queue.get() }
+    }
+
+    /// Moves the best `STEAL_SIZE` tasks from the local queue into the
+    /// stealing buffer, if the buffer has been stolen and the queue has
+    /// tasks to publish (`fillBuffer()` of Listing 4).
+    fn refill_buffer_if_stolen(&mut self) {
+        let slot = self.my_slot();
+        if !slot.buffer.is_stolen() {
+            return;
+        }
+        let steal_size = self.parent.config.steal_size;
+        self.scratch.clear();
+        let queue = self.local_queue();
+        if queue.pop_batch_into(steal_size, &mut self.scratch) > 0 {
+            slot.buffer.fill(&self.scratch);
+            self.scratch.clear();
+        }
+    }
+
+    /// The best task this thread could return without stealing: the minimum
+    /// over its published buffer and its private queue.
+    fn local_top(&self) -> Option<T> {
+        let buffer_top = self.my_slot().buffer.top();
+        let queue_top = self.local_queue().peek().copied();
+        match (buffer_top, queue_top) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Claims the whole batch published by `victim`'s stealing buffer.  The
+    /// best task is returned; the rest are kept in `stolen_tasks`.
+    fn claim_buffer(&mut self, victim: usize) -> Option<T> {
+        self.scratch.clear();
+        let n = self.parent.slots[victim].buffer.steal_into(&mut self.scratch);
+        if n == 0 {
+            return None;
+        }
+        let first = self.scratch[0];
+        for &task in &self.scratch[1..] {
+            self.stolen_tasks.push_back(task);
+        }
+        self.scratch.clear();
+        Some(first)
+    }
+
+    /// `trySteal()` of Listing 2: pick a random victim, compare its
+    /// published top against our local top, and claim its batch if it wins.
+    fn try_steal(&mut self) -> Option<T> {
+        if self.parent.config.threads == 1 {
+            return None;
+        }
+        self.stats.steal_attempts += 1;
+        // Sample a victim; with NUMA-aware sampling this is weighted towards
+        // the caller's node.
+        let victim = loop {
+            let (v, local) = self.parent.sampler.sample(self.thread_id, &mut self.rng);
+            if local {
+                self.stats.local_node_accesses += 1;
+            } else {
+                self.stats.remote_node_accesses += 1;
+            }
+            if v != self.thread_id {
+                break v;
+            }
+        };
+        let victim_top = self.parent.slots[victim].buffer.top();
+        let steal_worthwhile = match (victim_top, self.local_top()) {
+            (Some(theirs), Some(ours)) => theirs < ours,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if !steal_worthwhile {
+            return None;
+        }
+        match self.claim_buffer(victim) {
+            Some(task) => {
+                self.stats.steal_successes += 1;
+                self.stats.stolen_tasks += 1 + self.stolen_tasks.len() as u64;
+                Some(task)
+            }
+            None => None,
+        }
+    }
+
+    /// Removes the best locally available task: either the head of our own
+    /// published buffer (reclaimed wholesale, exactly like a steal) or the
+    /// top of the private queue, whichever is better.
+    ///
+    /// Listing 4's `extractTopLocal()` only consults the private heap; the
+    /// full implementation must also reclaim the thread's own buffer,
+    /// otherwise tasks published there would be stranded once other threads
+    /// stop stealing (e.g. at the end of a run).
+    fn pop_local(&mut self) -> Option<T> {
+        self.refill_buffer_if_stolen();
+        let slot = self.my_slot();
+        let buffer_top = slot.buffer.top();
+        let queue_top = self.local_queue().peek().copied();
+        match (buffer_top, queue_top) {
+            (Some(b), Some(q)) if q <= b => self.local_queue().pop(),
+            (Some(_), _) => self.claim_buffer(self.thread_id),
+            (None, Some(_)) => self.local_queue().pop(),
+            (None, None) => None,
+        }
+    }
+}
+
+impl<T, Q> SchedulerHandle<T> for SmqHandle<'_, T, Q>
+where
+    T: Copy + Ord + Send,
+    Q: LocalQueue<T>,
+{
+    fn push(&mut self, task: T) {
+        self.stats.pushes += 1;
+        self.local_queue().push(task);
+        // `addLocal()` of Listing 4: keep the stealing buffer populated.
+        self.refill_buffer_if_stolen();
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        // 1. Previously stolen tasks are processed first (Listing 2).
+        if let Some(task) = self.stolen_tasks.pop_front() {
+            self.stats.pops += 1;
+            return Some(task);
+        }
+        // 2. With probability p_steal, try to steal a better batch.
+        let p_steal = self.parent.config.p_steal;
+        if p_steal.sample(&mut self.rng) {
+            if let Some(task) = self.try_steal() {
+                self.stats.pops += 1;
+                return Some(task);
+            }
+        }
+        // 3. Take the best local task.
+        if let Some(task) = self.pop_local() {
+            self.stats.pops += 1;
+            return Some(task);
+        }
+        // 4. The local queue is empty: stealing is the only option left.
+        match self.try_steal() {
+            Some(task) => {
+                self.stats.pops += 1;
+                Some(task)
+            }
+            None => {
+                self.stats.empty_pops += 1;
+                None
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        // All pushes are immediately visible to the owner; publishing to the
+        // stealing buffer (so *other* threads can see work) only needs a
+        // refill when the buffer was previously claimed.
+        self.refill_buffer_if_stolen();
+    }
+
+    fn stats(&self) -> OpStats {
+        self.stats.clone()
+    }
+}
+
+impl<T: Copy, Q> Drop for SmqHandle<'_, T, Q> {
+    fn drop(&mut self) {
+        self.parent.slots[self.thread_id]
+            .handle_taken
+            .store(false, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HeapSmq, SkipListSmq};
+    use smq_core::{Probability, Task};
+
+    fn drain<T: Copy + Ord + Send, Q: LocalQueue<T>>(handle: &mut SmqHandle<'_, T, Q>) -> Vec<T> {
+        let mut out = Vec::new();
+        let mut misses = 0;
+        while misses < 16 {
+            match handle.pop() {
+                Some(t) => {
+                    out.push(t);
+                    misses = 0;
+                }
+                None => misses += 1,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn heap_smq_single_thread_is_exact_priority_queue() {
+        // With one thread and no one to steal from, the SMQ must behave like
+        // a strict priority queue.
+        let smq: HeapSmq<u64> = HeapSmq::new(SmqConfig::default_for_threads(1));
+        let mut h = smq.handle(0);
+        for v in [5u64, 2, 9, 0, 7, 3] {
+            h.push(v);
+        }
+        let drained = drain(&mut h);
+        assert_eq!(drained, vec![0, 2, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn skiplist_smq_single_thread_is_exact_priority_queue() {
+        let smq: SkipListSmq<u64> = SkipListSmq::new(SmqConfig::default_for_threads(1));
+        let mut h = smq.handle(0);
+        for v in [8u64, 1, 6, 4] {
+            h.push(v);
+        }
+        assert_eq!(drain(&mut h), vec![1, 4, 6, 8]);
+    }
+
+    #[test]
+    fn tasks_published_in_buffer_are_not_stranded() {
+        // Push enough tasks that some end up in the stealing buffer, then
+        // drain single-threaded: everything must come back.
+        let smq: HeapSmq<Task> =
+            HeapSmq::new(SmqConfig::default_for_threads(2).with_steal_size(4));
+        let mut h = smq.handle(0);
+        for v in 0..100u64 {
+            h.push(Task::new(v, v));
+        }
+        // The buffer holds the four best tasks now.
+        assert_eq!(smq.published_top(0), Some(Task::new(0, 0)));
+        let drained = drain(&mut h);
+        assert_eq!(drained.len(), 100);
+        // And they came out in exact priority order (single owner, no other
+        // threads interfering).
+        assert!(drained.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn duplicate_handles_for_same_thread_are_rejected() {
+        let smq: HeapSmq<u64> = HeapSmq::new(SmqConfig::default_for_threads(2));
+        let _h0 = smq.handle(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| smq.handle(0)));
+        assert!(result.is_err(), "second handle for thread 0 must panic");
+        // Thread 1 is still available.
+        let _h1 = smq.handle(1);
+    }
+
+    #[test]
+    fn handle_slot_is_released_on_drop() {
+        let smq: HeapSmq<u64> = HeapSmq::new(SmqConfig::default_for_threads(1));
+        {
+            let mut h = smq.handle(0);
+            h.push(1);
+            assert_eq!(h.pop(), Some(1));
+        }
+        // Dropping the handle releases the slot for reuse.
+        let mut h = smq.handle(0);
+        assert_eq!(h.pop(), None);
+    }
+
+    #[test]
+    fn steal_transfers_whole_batches() {
+        let config = SmqConfig::default_for_threads(2)
+            .with_steal_size(8)
+            .with_p_steal(Probability::ALWAYS)
+            .with_seed(3);
+        let smq: HeapSmq<u64> = HeapSmq::new(config);
+        // Thread 0 owns all the work.
+        {
+            let mut h0 = smq.handle(0);
+            for v in 0..64u64 {
+                h0.push(v);
+            }
+        }
+        // Thread 1 should obtain tasks purely by stealing.
+        let mut h1 = smq.handle(1);
+        let got = drain(&mut h1);
+        assert!(!got.is_empty(), "thread 1 never managed to steal");
+        let stats = h1.stats();
+        assert!(stats.steal_successes >= 1);
+        assert!(stats.stolen_tasks as usize >= got.len());
+        // Stolen batches arrive in priority order within each batch.
+        assert!(got.windows(2).all(|w| w[0] <= w[1] || w[1] % 8 == 0));
+    }
+
+    #[test]
+    fn two_threads_conserve_all_tasks() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let threads = 2;
+        let per_thread = 20_000u64;
+        let config = SmqConfig::default_for_threads(threads)
+            .with_steal_size(16)
+            .with_p_steal(Probability::new(4))
+            .with_seed(9);
+        let smq: HeapSmq<u64> = HeapSmq::new(config);
+        let popped = AtomicU64::new(0);
+        let sum = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for tid in 0..threads {
+                let smq = &smq;
+                let popped = &popped;
+                let sum = &sum;
+                s.spawn(move || {
+                    let mut h = smq.handle(tid);
+                    for i in 0..per_thread {
+                        h.push(tid as u64 * per_thread + i);
+                    }
+                    let mut misses = 0;
+                    while misses < 256 {
+                        match h.pop() {
+                            Some(v) => {
+                                popped.fetch_add(1, Ordering::Relaxed);
+                                sum.fetch_add(v, Ordering::Relaxed);
+                                misses = 0;
+                            }
+                            None => misses += 1,
+                        }
+                    }
+                });
+            }
+        });
+        let total = threads as u64 * per_thread;
+        assert_eq!(popped.load(Ordering::Relaxed), total);
+        assert_eq!(sum.load(Ordering::Relaxed), total * (total - 1) / 2);
+    }
+
+    #[test]
+    fn numa_sampling_is_recorded() {
+        let config = SmqConfig::default_for_threads(4)
+            .with_p_steal(Probability::ALWAYS)
+            .with_numa(Topology::split(4, 2), 16)
+            .with_seed(5);
+        let smq: HeapSmq<u64> = HeapSmq::new(config);
+        let mut h = smq.handle(0);
+        for v in 0..50u64 {
+            h.push(v);
+        }
+        let _ = drain(&mut h);
+        let stats = h.stats();
+        assert!(stats.steal_attempts > 0);
+        assert!(stats.local_node_accesses + stats.remote_node_accesses > 0);
+    }
+
+    #[test]
+    fn single_thread_config_never_steals() {
+        let smq: HeapSmq<u64> =
+            HeapSmq::new(SmqConfig::default_for_threads(1).with_p_steal(Probability::ALWAYS));
+        let mut h = smq.handle(0);
+        h.push(3);
+        assert_eq!(h.pop(), Some(3));
+        assert_eq!(h.pop(), None);
+        assert_eq!(h.stats().steal_attempts, 0);
+    }
+}

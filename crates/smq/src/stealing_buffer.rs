@@ -1,0 +1,376 @@
+//! The lock-free stealing buffer of Listing 4.
+//!
+//! Each thread-local queue carries one of these fixed-capacity buffers.  The
+//! queue's owner periodically moves its best `STEAL_SIZE` tasks into the
+//! buffer ([`StealingBuffer::fill`]); any thread — including the owner — can
+//! atomically claim the *entire* batch ([`StealingBuffer::steal_into`]) or
+//! read its best task ([`StealingBuffer::top`]).
+//!
+//! All metadata lives in a single 64-bit word packing the buffer **epoch**,
+//! the current **length**, and the **"tasks are stolen" flag**, exactly as
+//! the paper describes.  Reads of the task slots are optimistic (seqlock
+//! style): a reader first observes an un-stolen state word, copies the
+//! slots, and then validates that the state word has not changed — the
+//! owner only ever rewrites the slots while the `stolen` flag is set, and
+//! every refill bumps the epoch, so an unchanged word proves the copy is
+//! consistent.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// Packed state word layout: bit 0 = stolen flag, bits 1..=16 = length,
+/// bits 17..   = epoch.
+const STOLEN_BIT: u64 = 1;
+const LEN_SHIFT: u32 = 1;
+const LEN_MASK: u64 = 0xFFFF << LEN_SHIFT;
+const EPOCH_SHIFT: u32 = 17;
+
+/// Maximum number of tasks a single buffer can hold (bounded by the packed
+/// length field; far above any `STEAL_SIZE` the paper sweeps).
+pub const MAX_CAPACITY: usize = 0xFFFF;
+
+#[inline]
+fn pack(epoch: u64, len: usize, stolen: bool) -> u64 {
+    debug_assert!(len <= MAX_CAPACITY);
+    (epoch << EPOCH_SHIFT) | ((len as u64) << LEN_SHIFT) | u64::from(stolen)
+}
+
+#[inline]
+fn unpack(state: u64) -> (u64, usize, bool) {
+    (
+        state >> EPOCH_SHIFT,
+        ((state & LEN_MASK) >> LEN_SHIFT) as usize,
+        state & STOLEN_BIT != 0,
+    )
+}
+
+/// A fixed-capacity buffer of `Copy` tasks that can be stolen wholesale by
+/// any thread.  See the module documentation for the protocol.
+pub struct StealingBuffer<T: Copy> {
+    state: AtomicU64,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+// SAFETY: slots are only written by the owner while the `stolen` flag is
+// set (so no concurrent reader will trust what it reads — the epoch check
+// fails), and all cross-thread hand-off happens through `state` with
+// acquire/release ordering.  `T: Copy` means slots never need dropping.
+unsafe impl<T: Copy + Send> Send for StealingBuffer<T> {}
+unsafe impl<T: Copy + Send> Sync for StealingBuffer<T> {}
+
+impl<T: Copy> StealingBuffer<T> {
+    /// Creates an empty buffer with room for `capacity` tasks.  The buffer
+    /// starts in the *stolen* state (epoch 0), matching Listing 4, so the
+    /// owner's first `fill` publishes epoch 1.
+    pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity >= 1 && capacity <= MAX_CAPACITY,
+            "capacity must be in 1..={MAX_CAPACITY}"
+        );
+        Self {
+            state: AtomicU64::new(pack(0, 0, true)),
+            slots: (0..capacity)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+        }
+    }
+
+    /// The buffer's capacity (`STEAL_SIZE`).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` if the buffer's contents have been claimed (or it has never
+    /// been filled): the owner should refill it on its next operation.
+    pub fn is_stolen(&self) -> bool {
+        unpack(self.state.load(Ordering::Acquire)).2
+    }
+
+    /// The current epoch (diagnostics/tests).
+    pub fn epoch(&self) -> u64 {
+        unpack(self.state.load(Ordering::Acquire)).0
+    }
+
+    /// Number of tasks currently published (0 if stolen).
+    pub fn len(&self) -> usize {
+        let (_, len, stolen) = unpack(self.state.load(Ordering::Acquire));
+        if stolen {
+            0
+        } else {
+            len
+        }
+    }
+
+    /// `true` if no unstolen tasks are published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Publishes a new batch of tasks.  **Owner only**, and only while the
+    /// buffer is in the stolen state (the flag is what gives the owner
+    /// exclusive write access to the slots).
+    ///
+    /// # Panics
+    /// Panics if the buffer is not currently stolen, if `tasks` is empty, or
+    /// if it exceeds the capacity.
+    pub fn fill(&self, tasks: &[T]) {
+        let state = self.state.load(Ordering::Acquire);
+        let (epoch, _, stolen) = unpack(state);
+        assert!(stolen, "fill() requires the buffer to be in the stolen state");
+        assert!(!tasks.is_empty(), "fill() requires at least one task");
+        assert!(tasks.len() <= self.capacity(), "fill() exceeds capacity");
+        for (slot, task) in self.slots.iter().zip(tasks) {
+            // SAFETY: the stolen flag is set, so no other thread will read
+            // (and trust) these slots until the release store below, and only
+            // the owner calls fill().
+            unsafe {
+                (*slot.get()).write(*task);
+            }
+        }
+        self.state
+            .store(pack(epoch + 1, tasks.len(), false), Ordering::Release);
+    }
+
+    /// Reads the highest-priority task in the buffer (`tasks[0]`; the owner
+    /// fills the buffer in ascending priority order), or `None` if the
+    /// buffer is stolen or empty.
+    pub fn top(&self) -> Option<T> {
+        loop {
+            let before = self.state.load(Ordering::Acquire);
+            let (_, len, stolen) = unpack(before);
+            if stolen || len == 0 {
+                return None;
+            }
+            // SAFETY: optimistic read validated by the epoch check below;
+            // `T: Copy` so a torn value is never *used* when validation
+            // fails.  Volatile keeps the compiler from caching the read
+            // across the fence.
+            let value = unsafe { std::ptr::read_volatile(self.slots[0].get()).assume_init() };
+            fence(Ordering::Acquire);
+            if self.state.load(Ordering::Acquire) == before {
+                return Some(value);
+            }
+        }
+    }
+
+    /// Attempts to claim the whole published batch, appending the tasks (in
+    /// ascending priority order) to `out`.  Returns the number of tasks
+    /// transferred; 0 means the buffer was stolen or empty.
+    pub fn steal_into(&self, out: &mut Vec<T>) -> usize {
+        loop {
+            let before = self.state.load(Ordering::Acquire);
+            let (_, len, stolen) = unpack(before);
+            if stolen || len == 0 {
+                return 0;
+            }
+            let start = out.len();
+            for slot in &self.slots[..len] {
+                // SAFETY: optimistic read; validated by the CAS below before
+                // the values are exposed to the caller.
+                out.push(unsafe { std::ptr::read_volatile(slot.get()).assume_init() });
+            }
+            fence(Ordering::Acquire);
+            match self.state.compare_exchange(
+                before,
+                before | STOLEN_BIT,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return len,
+                Err(_) => {
+                    // Someone else claimed the batch (or the owner refilled);
+                    // discard the optimistic copy and retry.
+                    out.truncate(start);
+                }
+            }
+        }
+    }
+}
+
+impl<T: Copy + std::fmt::Debug> std::fmt::Debug for StealingBuffer<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (epoch, len, stolen) = unpack(self.state.load(Ordering::Acquire));
+        f.debug_struct("StealingBuffer")
+            .field("capacity", &self.capacity())
+            .field("epoch", &epoch)
+            .field("len", &len)
+            .field("stolen", &stolen)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        for &(epoch, len, stolen) in &[(0u64, 0usize, true), (1, 4, false), (12345, 65535, true)] {
+            assert_eq!(unpack(pack(epoch, len, stolen)), (epoch, len, stolen));
+        }
+    }
+
+    #[test]
+    fn starts_stolen_and_empty() {
+        let buf: StealingBuffer<u64> = StealingBuffer::new(4);
+        assert!(buf.is_stolen());
+        assert_eq!(buf.len(), 0);
+        assert_eq!(buf.top(), None);
+        let mut out = Vec::new();
+        assert_eq!(buf.steal_into(&mut out), 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fill_publishes_and_bumps_epoch() {
+        let buf: StealingBuffer<u64> = StealingBuffer::new(4);
+        assert_eq!(buf.epoch(), 0);
+        buf.fill(&[1, 2, 3]);
+        assert_eq!(buf.epoch(), 1);
+        assert!(!buf.is_stolen());
+        assert_eq!(buf.len(), 3);
+        assert_eq!(buf.top(), Some(1));
+    }
+
+    #[test]
+    fn steal_claims_exactly_once() {
+        let buf: StealingBuffer<u64> = StealingBuffer::new(4);
+        buf.fill(&[10, 20, 30]);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        assert_eq!(buf.steal_into(&mut a), 3);
+        assert_eq!(buf.steal_into(&mut b), 0);
+        assert_eq!(a, vec![10, 20, 30]);
+        assert!(b.is_empty());
+        assert!(buf.is_stolen());
+        assert_eq!(buf.top(), None);
+    }
+
+    #[test]
+    fn refill_after_steal_uses_new_epoch() {
+        let buf: StealingBuffer<u64> = StealingBuffer::new(2);
+        buf.fill(&[1]);
+        let mut out = Vec::new();
+        buf.steal_into(&mut out);
+        buf.fill(&[2, 3]);
+        assert_eq!(buf.epoch(), 2);
+        assert_eq!(buf.top(), Some(2));
+        out.clear();
+        assert_eq!(buf.steal_into(&mut out), 2);
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stolen state")]
+    fn fill_while_published_panics() {
+        let buf: StealingBuffer<u64> = StealingBuffer::new(2);
+        buf.fill(&[1]);
+        buf.fill(&[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn overfull_fill_panics() {
+        let buf: StealingBuffer<u64> = StealingBuffer::new(2);
+        buf.fill(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn concurrent_thieves_claim_each_batch_once() {
+        // One owner repeatedly publishes batches; several thieves race to
+        // claim them.  Every published task must be claimed exactly once.
+        const BATCHES: usize = 2_000;
+        const BATCH: usize = 4;
+        let buf: StealingBuffer<u64> = StealingBuffer::new(BATCH);
+        let claimed = AtomicUsize::new(0);
+        let done = std::sync::atomic::AtomicBool::new(false);
+        let total_sum = AtomicUsize::new(0);
+
+        std::thread::scope(|s| {
+            // Thieves.
+            for _ in 0..3 {
+                let buf = &buf;
+                let claimed = &claimed;
+                let done = &done;
+                let total_sum = &total_sum;
+                s.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        out.clear();
+                        let n = buf.steal_into(&mut out);
+                        if n > 0 {
+                            claimed.fetch_add(n, Ordering::Relaxed);
+                            total_sum
+                                .fetch_add(out.iter().map(|&v| v as usize).sum(), Ordering::Relaxed);
+                        } else if done.load(Ordering::Acquire) && buf.is_stolen() {
+                            break;
+                        }
+                        std::hint::spin_loop();
+                    }
+                });
+            }
+            // Owner.
+            let buf = &buf;
+            let done = &done;
+            s.spawn(move || {
+                let mut next = 0u64;
+                for _ in 0..BATCHES {
+                    // Wait until the previous batch has been claimed.
+                    while !buf.is_stolen() {
+                        std::hint::spin_loop();
+                    }
+                    let batch: Vec<u64> = (next..next + BATCH as u64).collect();
+                    next += BATCH as u64;
+                    buf.fill(&batch);
+                }
+                // Wait for the last batch to be taken before signalling done.
+                while !buf.is_stolen() {
+                    std::hint::spin_loop();
+                }
+                done.store(true, Ordering::Release);
+            });
+        });
+
+        let expected_tasks = BATCHES * BATCH;
+        assert_eq!(claimed.load(Ordering::Relaxed), expected_tasks);
+        let expected_sum: usize = (0..expected_tasks).sum();
+        assert_eq!(total_sum.load(Ordering::Relaxed), expected_sum);
+    }
+
+    #[test]
+    fn top_is_stable_across_concurrent_steals() {
+        // `top` must only ever return a value that was genuinely the first
+        // element of some published batch.
+        let buf: StealingBuffer<(u64, u64)> = StealingBuffer::new(2);
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let buf_ref = &buf;
+            let stop_ref = &stop;
+            s.spawn(move || {
+                let mut out = Vec::new();
+                let mut epoch = 0u64;
+                for i in 0..20_000u64 {
+                    // Batches always have matching components so a torn read
+                    // would be detectable.
+                    while !buf_ref.is_stolen() {
+                        out.clear();
+                        buf_ref.steal_into(&mut out);
+                    }
+                    buf_ref.fill(&[(i, i), (i, i)]);
+                    epoch += 1;
+                    let _ = epoch;
+                }
+                stop_ref.store(true, Ordering::Release);
+            });
+            s.spawn(move || {
+                while !stop_ref.load(Ordering::Acquire) {
+                    if let Some((a, b)) = buf_ref.top() {
+                        assert_eq!(a, b, "torn read observed");
+                    }
+                }
+            });
+        });
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: use the Stealing Multi-Queue as a concurrent priority
+//! scheduler directly, then through the parallel executor.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use smq_repro::core::{Scheduler, SchedulerHandle, Task};
+use smq_repro::runtime::{run, ExecutorConfig};
+use smq_repro::smq::{HeapSmq, SmqConfig};
+
+fn main() {
+    // --- 1. Direct use: one thread, exact priority order. ------------------
+    let smq: HeapSmq<Task> = HeapSmq::new(SmqConfig::default_for_threads(1));
+    let mut handle = smq.handle(0);
+    for (key, payload) in [(30u64, 0u64), (10, 1), (20, 2)] {
+        handle.push(Task::new(key, payload));
+    }
+    print!("single-threaded pops:");
+    while let Some(task) = handle.pop() {
+        print!(" {}", task.key);
+    }
+    println!();
+    drop(handle);
+
+    // --- 2. Through the executor: 4 workers, a diamond of follow-up tasks. -
+    // Every task below 1000 spawns two children; the run terminates when the
+    // scheduler is globally empty.
+    let threads = 4;
+    let smq: HeapSmq<Task> = HeapSmq::new(SmqConfig::default_for_threads(threads));
+    let processed = std::sync::atomic::AtomicU64::new(0);
+    let metrics = run(
+        &smq,
+        &ExecutorConfig::new(threads),
+        (0..1_000u64).map(|i| Task::new(i, i)).collect(),
+        |task, sink| {
+            processed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if task.key < 1_000 {
+                sink.push(Task::new(task.key + 1_000, task.value));
+                sink.push(Task::new(task.key + 2_000, task.value));
+            }
+        },
+    );
+    println!(
+        "executor processed {} tasks on {} threads in {:.2?} ({} steals across threads)",
+        metrics.tasks_executed,
+        metrics.threads,
+        metrics.elapsed,
+        metrics.total.steal_successes,
+    );
+    assert_eq!(metrics.tasks_executed, 3_000);
+}

@@ -1,0 +1,102 @@
+//! Integration stress tests for the executor + scheduler combination:
+//! termination detection and task conservation under irregular task graphs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use smq_repro::core::{Probability, Task};
+use smq_repro::multiqueue::{MultiQueue, MultiQueueConfig};
+use smq_repro::obim::{Obim, ObimConfig};
+use smq_repro::runtime::{run, ExecutorConfig};
+use smq_repro::smq::{HeapSmq, SmqConfig};
+
+/// A synthetic irregular workload: every task of "depth" d < MAX_DEPTH
+/// spawns a pseudo-random number of children (0..=2), so the task graph's
+/// shape is unpredictable and the pending-task counter is genuinely
+/// exercised.  Returns the number of tasks the workload should execute,
+/// computed independently by a sequential simulation.
+fn expected_task_count(seed_tasks: u64, max_depth: u64) -> u64 {
+    let mut count = 0u64;
+    let mut stack: Vec<(u64, u64)> = (0..seed_tasks).map(|i| (i, 0u64)).collect();
+    while let Some((id, depth)) = stack.pop() {
+        count += 1;
+        if depth < max_depth {
+            for c in 0..children_of(id, depth) {
+                stack.push((id.wrapping_mul(31).wrapping_add(c), depth + 1));
+            }
+        }
+    }
+    count
+}
+
+fn children_of(id: u64, depth: u64) -> u64 {
+    // Deterministic pseudo-random fan-out in 0..=2.
+    (id.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(depth as u32) >> 61) % 3
+}
+
+fn run_irregular<S: smq_repro::core::Scheduler<Task>>(scheduler: &S, threads: usize) -> u64 {
+    const SEEDS: u64 = 500;
+    const MAX_DEPTH: u64 = 12;
+    let executed = AtomicU64::new(0);
+    let metrics = run(
+        scheduler,
+        &ExecutorConfig::new(threads),
+        (0..SEEDS).map(|i| Task::new(0, i)).collect(),
+        |task, sink| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            let depth = task.key;
+            let id = task.value;
+            if depth < MAX_DEPTH {
+                for c in 0..children_of(id, depth) {
+                    let child_id = id.wrapping_mul(31).wrapping_add(c);
+                    sink.push(Task::new(depth + 1, child_id));
+                }
+            }
+        },
+    );
+    assert_eq!(metrics.tasks_executed, executed.load(Ordering::Relaxed));
+    metrics.tasks_executed
+}
+
+#[test]
+fn irregular_workload_on_smq_executes_every_task() {
+    let expected = expected_task_count(500, 12);
+    let smq: HeapSmq<Task> = HeapSmq::new(SmqConfig::default_for_threads(4).with_seed(1));
+    assert_eq!(run_irregular(&smq, 4), expected);
+}
+
+#[test]
+fn irregular_workload_on_multiqueue_executes_every_task() {
+    let expected = expected_task_count(500, 12);
+    let mq: MultiQueue<Task> = MultiQueue::new(MultiQueueConfig::classic(3).with_seed(2));
+    assert_eq!(run_irregular(&mq, 3), expected);
+}
+
+#[test]
+fn irregular_workload_on_obim_executes_every_task() {
+    let expected = expected_task_count(500, 12);
+    let obim: Obim<Task> = Obim::new(ObimConfig::obim(2, 3, 8));
+    assert_eq!(run_irregular(&obim, 2), expected);
+}
+
+#[test]
+fn smq_with_always_steal_terminates_under_contention() {
+    // p_steal = 1 maximizes cross-thread interaction on the stealing
+    // buffers; the run must still terminate and conserve tasks.
+    let expected = expected_task_count(500, 12);
+    let smq: HeapSmq<Task> = HeapSmq::new(
+        SmqConfig::default_for_threads(4)
+            .with_p_steal(Probability::ALWAYS)
+            .with_steal_size(1)
+            .with_seed(3),
+    );
+    assert_eq!(run_irregular(&smq, 4), expected);
+}
+
+#[test]
+fn single_worker_runs_are_supported_by_every_scheduler() {
+    let expected = expected_task_count(500, 12);
+    let smq: HeapSmq<Task> = HeapSmq::new(SmqConfig::default_for_threads(1));
+    assert_eq!(run_irregular(&smq, 1), expected);
+    let obim: Obim<Task> = Obim::new(ObimConfig::pmod(1, 4, 16));
+    assert_eq!(run_irregular(&obim, 1), expected);
+}

@@ -1,0 +1,185 @@
+//! Cross-crate integration tests: every scheduler, run through the real
+//! executor on real workloads, must produce exactly the same algorithm
+//! outputs as the sequential references — relaxation may change *how much*
+//! work is done, never *what* is computed.
+
+use smq_repro::algos::{astar, bfs, mst, sssp};
+use smq_repro::core::{Probability, Task};
+use smq_repro::graph::generators::{power_law, road_network, PowerLawParams, RoadNetworkParams};
+use smq_repro::graph::CsrGraph;
+use smq_repro::multiqueue::{
+    DeletePolicy, InsertPolicy, MultiQueue, MultiQueueConfig, Reld,
+};
+use smq_repro::obim::{Obim, ObimConfig};
+use smq_repro::runtime::Topology;
+use smq_repro::smq::{HeapSmq, SkipListSmq, SmqConfig};
+use smq_repro::spraylist::{SprayList, SprayListConfig};
+
+fn road() -> CsrGraph {
+    road_network(RoadNetworkParams {
+        width: 28,
+        height: 28,
+        removal_percent: 10,
+        seed: 91,
+    })
+}
+
+fn social() -> CsrGraph {
+    power_law(PowerLawParams {
+        nodes: 4_000,
+        avg_degree: 8,
+        exponent: 2.2,
+        max_weight: 255,
+        seed: 17,
+    })
+}
+
+/// Runs SSSP + BFS on the social graph and A* + MST on the road graph with
+/// the given scheduler-builder, checking everything against the sequential
+/// references.
+fn verify_all_workloads<S, F>(make: F, threads: usize)
+where
+    S: smq_repro::core::Scheduler<Task>,
+    F: Fn() -> S,
+{
+    let social = social();
+    let road = road();
+
+    let (sssp_ref, _) = sssp::sequential(&social, 0);
+    let run = sssp::parallel(&social, 0, &make(), threads);
+    assert_eq!(run.distances, sssp_ref, "SSSP distances diverged");
+
+    let (bfs_ref, _) = bfs::sequential(&social, 0);
+    let run = bfs::parallel(&social, 0, &make(), threads);
+    assert_eq!(run.levels, bfs_ref, "BFS levels diverged");
+
+    let target = (road.num_nodes() - 1) as u32;
+    let (astar_ref, _) = astar::sequential(&road, 0, target);
+    let run = astar::parallel(&road, 0, target, &make(), threads);
+    assert_eq!(run.distance, astar_ref, "A* distance diverged");
+
+    let (kruskal, kedges) = mst::kruskal_weight(&road);
+    let run = mst::parallel(&road, &make(), threads);
+    assert_eq!(run.total_weight, kruskal, "MST weight diverged");
+    assert_eq!(run.edges_in_forest, kedges, "MST edge count diverged");
+}
+
+#[test]
+fn smq_heap_matches_references() {
+    verify_all_workloads(
+        || HeapSmq::<Task>::new(SmqConfig::default_for_threads(3).with_seed(1)),
+        3,
+    );
+}
+
+#[test]
+fn smq_heap_with_aggressive_stealing_matches_references() {
+    verify_all_workloads(
+        || {
+            HeapSmq::<Task>::new(
+                SmqConfig::default_for_threads(2)
+                    .with_p_steal(Probability::ALWAYS)
+                    .with_steal_size(64)
+                    .with_seed(2),
+            )
+        },
+        2,
+    );
+}
+
+#[test]
+fn smq_skiplist_matches_references() {
+    verify_all_workloads(
+        || SkipListSmq::<Task>::new(SmqConfig::default_for_threads(2).with_seed(3)),
+        2,
+    );
+}
+
+#[test]
+fn smq_numa_variant_matches_references() {
+    verify_all_workloads(
+        || {
+            HeapSmq::<Task>::new(
+                SmqConfig::default_for_threads(4)
+                    .with_numa(Topology::split(4, 2), 16)
+                    .with_seed(4),
+            )
+        },
+        4,
+    );
+}
+
+#[test]
+fn classic_multiqueue_matches_references() {
+    verify_all_workloads(
+        || MultiQueue::<Task>::new(MultiQueueConfig::classic(2).with_seed(5)),
+        2,
+    );
+}
+
+#[test]
+fn optimized_multiqueue_matches_references() {
+    verify_all_workloads(
+        || {
+            MultiQueue::<Task>::new(
+                MultiQueueConfig::classic(2)
+                    .with_insert(InsertPolicy::Batching(16))
+                    .with_delete(DeletePolicy::Batching(16))
+                    .with_seed(6),
+            )
+        },
+        2,
+    );
+}
+
+#[test]
+fn temporal_locality_multiqueue_matches_references() {
+    verify_all_workloads(
+        || {
+            MultiQueue::<Task>::new(
+                MultiQueueConfig::classic(2)
+                    .with_insert(InsertPolicy::TemporalLocality(Probability::new(64)))
+                    .with_delete(DeletePolicy::TemporalLocality(Probability::new(64)))
+                    .with_seed(7),
+            )
+        },
+        2,
+    );
+}
+
+#[test]
+fn numa_multiqueue_matches_references() {
+    verify_all_workloads(
+        || {
+            MultiQueue::<Task>::new(
+                MultiQueueConfig::classic(4)
+                    .with_numa(Topology::split(4, 2), 64)
+                    .with_seed(8),
+            )
+        },
+        4,
+    );
+}
+
+#[test]
+fn reld_matches_references() {
+    verify_all_workloads(|| Reld::<Task>::new(2, 4, 9), 2);
+}
+
+#[test]
+fn obim_matches_references() {
+    verify_all_workloads(|| Obim::<Task>::new(ObimConfig::obim(2, 6, 16)), 2);
+}
+
+#[test]
+fn pmod_matches_references() {
+    verify_all_workloads(|| Obim::<Task>::new(ObimConfig::pmod(2, 6, 16)), 2);
+}
+
+#[test]
+fn spraylist_matches_references() {
+    verify_all_workloads(
+        || SprayList::<Task>::new(SprayListConfig::default_for_threads(2)),
+        2,
+    );
+}
