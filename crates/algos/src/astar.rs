@@ -86,7 +86,10 @@ where
     S: Scheduler<Task>,
 {
     let n = graph.num_nodes();
-    assert!((source as usize) < n && (target as usize) < n, "vertex out of range");
+    assert!(
+        (source as usize) < n && (target as usize) < n,
+        "vertex out of range"
+    );
     let g_score: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
     g_score[source as usize].store(0, Ordering::Relaxed);
     let best_target = AtomicU64::new(u64::MAX);
@@ -96,7 +99,10 @@ where
     let metrics = smq_runtime::run(
         scheduler,
         &ExecutorConfig::new(threads),
-        vec![Task::new(heuristic(graph, source, target), u64::from(source))],
+        vec![Task::new(
+            heuristic(graph, source, target),
+            u64::from(source),
+        )],
         |task, sink| {
             let v = task.value as u32;
             let g = g_score[v as usize].load(Ordering::Relaxed);
@@ -133,10 +139,7 @@ where
                             if u == target {
                                 best_target.fetch_min(ng, Ordering::Relaxed);
                             }
-                            sink.push(Task::new(
-                                ng + heuristic(graph, u, target),
-                                u64::from(u),
-                            ));
+                            sink.push(Task::new(ng + heuristic(graph, u, target), u64::from(u)));
                             break;
                         }
                         Err(observed) => current = observed,

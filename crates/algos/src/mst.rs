@@ -60,8 +60,12 @@ impl UnionFind {
             if gp == p {
                 return p;
             }
-            let _ =
-                self.parent[v as usize].compare_exchange(p, gp, Ordering::AcqRel, Ordering::Relaxed);
+            let _ = self.parent[v as usize].compare_exchange(
+                p,
+                gp,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            );
             v = gp;
         }
     }
@@ -113,7 +117,7 @@ impl<'g> BoruvkaState<'g> {
                     continue;
                 }
                 let candidate = (w, v, u);
-                if best.map_or(true, |b| candidate < b) {
+                if best.is_none_or(|b| candidate < b) {
                     best = Some(candidate);
                 }
             }
@@ -211,38 +215,43 @@ where
     // One initial task per vertex; priority = component size (1).
     let initial: Vec<Task> = (0..n).map(|v| Task::new(1, u64::from(v))).collect();
 
-    let metrics = smq_runtime::run(scheduler, &ExecutorConfig::new(threads), initial, |task, sink| {
-        let root = state.uf.find(task.value as u32);
-        if u64::from(root) != task.value {
-            // The component this task was created for has been merged away;
-            // the surviving component has (or will get) its own task.
-            wasted.fetch_add(1, Ordering::Relaxed);
-            return;
-        }
-        let scan = state.scan_component(root);
-        if scan.best.is_none() {
-            // Isolated component or already spanning its connected part.
-            useful.fetch_add(1, Ordering::Relaxed);
-            return;
-        }
-        match state.try_commit(root, &scan) {
-            Ok(winner) => {
+    let metrics = smq_runtime::run(
+        scheduler,
+        &ExecutorConfig::new(threads),
+        initial,
+        |task, sink| {
+            let root = state.uf.find(task.value as u32);
+            if u64::from(root) != task.value {
+                // The component this task was created for has been merged away;
+                // the surviving component has (or will get) its own task.
+                wasted.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            let scan = state.scan_component(root);
+            if scan.best.is_none() {
+                // Isolated component or already spanning its connected part.
                 useful.fetch_add(1, Ordering::Relaxed);
-                let size = state.component_size(winner) as u64;
-                if (size as usize) < graph.num_nodes() {
-                    sink.push(Task::new(size, u64::from(winner)));
+                return;
+            }
+            match state.try_commit(root, &scan) {
+                Ok(winner) => {
+                    useful.fetch_add(1, Ordering::Relaxed);
+                    let size = state.component_size(winner) as u64;
+                    if (size as usize) < graph.num_nodes() {
+                        sink.push(Task::new(size, u64::from(winner)));
+                    }
+                }
+                Err(()) => {
+                    // A concurrent merge invalidated the scan: re-enqueue the
+                    // (possibly renamed) component and count the wasted attempt.
+                    wasted.fetch_add(1, Ordering::Relaxed);
+                    let current = state.uf.find(root);
+                    let size = state.component_size(current) as u64;
+                    sink.push(Task::new(size, u64::from(current)));
                 }
             }
-            Err(()) => {
-                // A concurrent merge invalidated the scan: re-enqueue the
-                // (possibly renamed) component and count the wasted attempt.
-                wasted.fetch_add(1, Ordering::Relaxed);
-                let current = state.uf.find(root);
-                let size = state.component_size(current) as u64;
-                sink.push(Task::new(size, u64::from(current)));
-            }
-        }
-    });
+        },
+    );
 
     MstRun {
         total_weight: state.total_weight.load(Ordering::Relaxed),

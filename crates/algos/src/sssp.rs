@@ -28,7 +28,7 @@ pub struct SsspRun {
 /// Exact sequential Dijkstra.  Returns the distance array and the number of
 /// settled vertices (the baseline task count for work-increase reporting).
 pub fn sequential(graph: &CsrGraph, source: u32) -> (Vec<u64>, u64) {
-    sequential_weighted(graph, source, |w| u64::from(w))
+    sequential_weighted(graph, source, u64::from)
 }
 
 /// Sequential Dijkstra with a caller-supplied weight mapping (used by the
@@ -68,7 +68,7 @@ pub fn parallel<S>(graph: &CsrGraph, source: u32, scheduler: &S, threads: usize)
 where
     S: Scheduler<Task>,
 {
-    parallel_weighted(graph, source, scheduler, threads, |w| u64::from(w))
+    parallel_weighted(graph, source, scheduler, threads, u64::from)
 }
 
 /// Parallel SSSP with a caller-supplied weight mapping.

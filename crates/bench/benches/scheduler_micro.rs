@@ -105,5 +105,46 @@ fn bench_substrates(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schedulers, bench_substrates);
+/// Not a timing benchmark: quantifies the snapshot optimisation by
+/// reporting delete-path lock acquisitions per successful pop on the
+/// Multi-Queue.  The classic two-choice delete locks both sampled queues
+/// (2 per pop); the snapshot-guided delete should stay at ~1.
+fn report_locks_per_pop(_c: &mut Criterion) {
+    let mq: MultiQueue<Task> = MultiQueue::new(MultiQueueConfig::classic(2));
+    let mut handle = mq.handle(0);
+    for i in 0..OPS {
+        handle.push(Task::new((i * 2_654_435_761) % OPS, i));
+    }
+    let mut popped = 0;
+    let mut misses = 0;
+    while popped < OPS && misses < 1_000 {
+        match handle.pop() {
+            Some(_) => {
+                popped += 1;
+                misses = 0;
+            }
+            None => misses += 1,
+        }
+    }
+    assert_eq!(popped, OPS, "scheduler lost tasks during the measurement");
+    let stats = handle.stats();
+    let ratio = stats
+        .locks_per_pop()
+        .expect("multi-queue pops must acquire locks");
+    println!(
+        "classic_mq/locks_per_pop  {:.4} ({} locks / {} pops; classic two-choice = 2.0)",
+        ratio, stats.locks_acquired, stats.pops
+    );
+    assert!(
+        ratio <= 1.25,
+        "snapshot delete regressed to {ratio:.3} locks per pop"
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_schedulers,
+    bench_substrates,
+    report_locks_per_pop
+);
 criterion_main!(benches);

@@ -93,7 +93,16 @@ mod tests {
 
     #[test]
     fn parses_known_flags_and_passes_through_unknown() {
-        let (args, rest) = parse(&["--threads", "8", "--scale", "full", "--queue", "heap", "--reps", "5"]);
+        let (args, rest) = parse(&[
+            "--threads",
+            "8",
+            "--scale",
+            "full",
+            "--queue",
+            "heap",
+            "--reps",
+            "5",
+        ]);
         assert_eq!(args.threads, 8);
         assert!(args.full_scale);
         assert_eq!(args.repetitions, 5);

@@ -71,7 +71,8 @@ fn main() {
                 let mut secs = 0.0;
                 let mut tasks = 0u64;
                 for rep in 0..args.repetitions {
-                    let r = run_workload(kind, workload, spec, args.threads, args.seed + rep as u64);
+                    let r =
+                        run_workload(kind, workload, spec, args.threads, args.seed + rep as u64);
                     secs += r.seconds;
                     tasks += r.total_tasks();
                 }
@@ -79,7 +80,13 @@ fn main() {
                 let speedup = base_secs / secs.max(1e-9);
                 let increase = (tasks / args.repetitions as u64) as f64 / base_tasks.max(1) as f64;
                 table.add_row(vec![label.to_string(), f2(speedup), f2(increase)]);
-                results.push((workload.name(), spec.name, label.to_string(), speedup, increase));
+                results.push((
+                    workload.name(),
+                    spec.name,
+                    label.to_string(),
+                    speedup,
+                    increase,
+                ));
             }
             table.print();
         }

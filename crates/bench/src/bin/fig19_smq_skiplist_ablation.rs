@@ -46,7 +46,8 @@ fn main() {
                 let mut secs = 0.0;
                 let mut tasks = 0u64;
                 for rep in 0..args.repetitions {
-                    let r = run_workload(&kind, workload, spec, args.threads, args.seed + rep as u64);
+                    let r =
+                        run_workload(&kind, workload, spec, args.threads, args.seed + rep as u64);
                     secs += r.seconds;
                     tasks += r.total_tasks();
                 }

@@ -14,7 +14,11 @@ use smq_core::Probability;
 use smq_multiqueue::{DeletePolicy, InsertPolicy};
 
 fn competitors(threads: usize) -> Vec<(&'static str, SchedulerSpec)> {
-    let numa_k = if threads >= 2 { Some(threads as u32 * 2) } else { None };
+    let numa_k = if threads >= 2 {
+        Some(threads as u32 * 2)
+    } else {
+        None
+    };
     vec![
         (
             "SMQ (Tuned)",
@@ -83,7 +87,13 @@ fn main() {
                     spec.name,
                     args.threads
                 ),
-                &["Scheduler", "Speedup", "Work increase", "Wasted %", "NUMA locality"],
+                &[
+                    "Scheduler",
+                    "Speedup",
+                    "Work increase",
+                    "Wasted %",
+                    "NUMA locality",
+                ],
             );
             for (label, kind) in &schedulers {
                 let mut secs = 0.0;
@@ -91,7 +101,8 @@ fn main() {
                 let mut wasted = 0u64;
                 let mut locality = None;
                 for rep in 0..args.repetitions {
-                    let r = run_workload(kind, workload, spec, args.threads, args.seed + rep as u64);
+                    let r =
+                        run_workload(kind, workload, spec, args.threads, args.seed + rep as u64);
                     secs += r.seconds;
                     tasks += r.total_tasks();
                     wasted += r.wasted_tasks;

@@ -66,8 +66,14 @@ fn main() {
                     };
                     let mut secs = 0.0;
                     for rep in 0..args.repetitions {
-                        secs += run_workload(&kind, workload, spec, args.threads, args.seed + rep as u64)
-                            .seconds;
+                        secs += run_workload(
+                            &kind,
+                            workload,
+                            spec,
+                            args.threads,
+                            args.seed + rep as u64,
+                        )
+                        .seconds;
                     }
                     let speedup = base_secs / (secs / args.repetitions as f64).max(1e-9);
                     row.push(f2(speedup));

@@ -66,7 +66,10 @@ fn main() {
     for spec in &specs {
         let (base_secs, base_tasks) = baseline(workload, spec, args.seed);
         let mut header = vec!["insert \\ delete".to_string()];
-        header.extend(grid.iter().map(|v| format!("{}={v}", side_name(delete_side))));
+        header.extend(
+            grid.iter()
+                .map(|v| format!("{}={v}", side_name(delete_side))),
+        );
         let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
         let mut table = Table::new(
             format!(
@@ -90,7 +93,8 @@ fn main() {
                 let mut secs = 0.0;
                 let mut tasks = 0u64;
                 for rep in 0..args.repetitions {
-                    let r = run_workload(&kind, workload, spec, args.threads, args.seed + rep as u64);
+                    let r =
+                        run_workload(&kind, workload, spec, args.threads, args.seed + rep as u64);
                     secs += r.seconds;
                     tasks += r.total_tasks();
                 }

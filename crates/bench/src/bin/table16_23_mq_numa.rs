@@ -54,7 +54,11 @@ fn main() {
         for spec in &specs {
             let workload = Workload::Sssp;
             let (base_secs, _) = baseline(workload, spec, args.seed);
-            let mut header = vec!["K".to_string(), "Speedup".to_string(), "In-node ratio".to_string()];
+            let mut header = vec![
+                "K".to_string(),
+                "Speedup".to_string(),
+                "In-node ratio".to_string(),
+            ];
             let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
             let mut table = Table::new(
                 format!(
@@ -74,7 +78,8 @@ fn main() {
                 let mut secs = 0.0;
                 let mut locality = 0.0;
                 for rep in 0..args.repetitions {
-                    let r = run_workload(&kind, workload, spec, args.threads, args.seed + rep as u64);
+                    let r =
+                        run_workload(&kind, workload, spec, args.threads, args.seed + rep as u64);
                     secs += r.seconds;
                     locality += r.node_locality.unwrap_or(0.0);
                 }

@@ -11,7 +11,15 @@ fn main() {
 
     let mut table = Table::new(
         "Table 1 — input graphs (synthetic stand-ins for the paper's datasets)",
-        &["Graph", "|V|", "|E|", "avg deg", "max deg", "coords", "Description"],
+        &[
+            "Graph",
+            "|V|",
+            "|E|",
+            "avg deg",
+            "max deg",
+            "coords",
+            "Description",
+        ],
     );
     for spec in &specs {
         table.add_row(vec![

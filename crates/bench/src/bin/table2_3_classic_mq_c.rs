@@ -30,7 +30,12 @@ fn main() {
     );
 
     let mut results = Vec::new();
-    for workload in [Workload::Sssp, Workload::Bfs, Workload::Astar, Workload::Mst] {
+    for workload in [
+        Workload::Sssp,
+        Workload::Bfs,
+        Workload::Astar,
+        Workload::Mst,
+    ] {
         for spec in &specs {
             if workload == Workload::Astar && !spec.graph.has_coordinates() {
                 continue; // the paper evaluates A* on road graphs only

@@ -29,7 +29,13 @@ fn main() {
     let mut table = Table::new(
         "Theorem 1 — empirical rank of queue tops for the SMQ process",
         &[
-            "n", "p_steal", "B", "gamma", "avg top rank", "max top rank", "avg / (nB/p)",
+            "n",
+            "p_steal",
+            "B",
+            "gamma",
+            "avg top rank",
+            "max top rank",
+            "avg / (nB/p)",
         ],
     );
     let mut results = Vec::new();

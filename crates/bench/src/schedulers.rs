@@ -26,7 +26,12 @@ pub enum Workload {
 
 impl Workload {
     /// All four workloads, in the paper's order.
-    pub const ALL: [Workload; 4] = [Workload::Sssp, Workload::Bfs, Workload::Astar, Workload::Mst];
+    pub const ALL: [Workload; 4] = [
+        Workload::Sssp,
+        Workload::Bfs,
+        Workload::Astar,
+        Workload::Mst,
+    ];
 
     /// Short display name.
     pub fn name(&self) -> &'static str {
@@ -168,7 +173,9 @@ impl SchedulerSpec {
                 None => format!("SMQ-heap(S={steal_size},p={p_steal})"),
             },
             SchedulerSpec::SmqSkipList {
-                steal_size, p_steal, ..
+                steal_size,
+                p_steal,
+                ..
             } => format!("SMQ-sl(S={steal_size},p={p_steal})"),
             SchedulerSpec::Obim {
                 delta_shift,
@@ -186,7 +193,7 @@ impl SchedulerSpec {
 /// Topology used when a spec enables NUMA-aware sampling: two simulated
 /// sockets when the thread count allows it.
 fn numa_topology(threads: usize) -> Topology {
-    if threads >= 2 && threads % 2 == 0 {
+    if threads >= 2 && threads.is_multiple_of(2) {
         Topology::split(threads, 2)
     } else {
         Topology::single_node(threads)
@@ -236,8 +243,11 @@ pub fn run_workload(
 ) -> WorkloadResult {
     match spec_kind {
         SchedulerSpec::ClassicMq { c } => {
-            let mq: MultiQueue<Task> =
-                MultiQueue::new(MultiQueueConfig::classic(threads).with_c_factor(*c).with_seed(seed));
+            let mq: MultiQueue<Task> = MultiQueue::new(
+                MultiQueueConfig::classic(threads)
+                    .with_c_factor(*c)
+                    .with_seed(seed),
+            );
             run_on(&mq, workload, graph_spec, threads)
         }
         SchedulerSpec::OptimizedMq {

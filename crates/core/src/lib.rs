@@ -28,4 +28,4 @@ pub mod task;
 pub use probability::Probability;
 pub use scheduler::{Scheduler, SchedulerHandle};
 pub use stats::OpStats;
-pub use task::{Prioritized, Task};
+pub use task::{HasKey, Prioritized, Task};

@@ -61,7 +61,7 @@ impl Probability {
         if self.denominator.is_power_of_two() {
             rng.next_u32() & (self.denominator - 1) == 0
         } else {
-            rng.next_u32() % self.denominator == 0
+            rng.next_u32().is_multiple_of(self.denominator)
         }
     }
 

@@ -158,6 +158,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn two_distinct_are_distinct_and_uniformish() {
         let mut rng = Pcg32::new(5);
         let bound = 5usize;

@@ -28,6 +28,12 @@ pub struct OpStats {
     /// Failed lock acquisitions (lock-based schedulers) or CAS failures
     /// (lock-free schedulers) that forced a retry.
     pub contention_retries: u64,
+    /// Locks successfully acquired on the **delete path** of a lock-based
+    /// scheduler.  The classic two-choice delete locks both sampled queues
+    /// (2 per pop); the snapshot-based delete try-locks only the apparent
+    /// winner, so `locks_acquired / pops` ≈ 1 in the common case and only
+    /// the stale-snapshot fallback pays for a second lock.
+    pub locks_acquired: u64,
     /// Queue choices that landed on a queue owned by the same (simulated)
     /// NUMA node as the calling thread.
     pub local_node_accesses: u64,
@@ -45,6 +51,7 @@ impl OpStats {
         self.steal_successes += other.steal_successes;
         self.stolen_tasks += other.stolen_tasks;
         self.contention_retries += other.contention_retries;
+        self.locks_acquired += other.locks_acquired;
         self.local_node_accesses += other.local_node_accesses;
         self.remote_node_accesses += other.remote_node_accesses;
     }
@@ -79,6 +86,16 @@ impl OpStats {
             Some(self.steal_successes as f64 / self.steal_attempts as f64)
         }
     }
+
+    /// Delete-path locks acquired per successful pop, or `None` when the
+    /// scheduler popped nothing (or is lock-free and never counts locks).
+    pub fn locks_per_pop(&self) -> Option<f64> {
+        if self.pops == 0 || self.locks_acquired == 0 {
+            None
+        } else {
+            Some(self.locks_acquired as f64 / self.pops as f64)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -94,6 +111,7 @@ mod tests {
             steal_successes: a + 4,
             stolen_tasks: a + 5,
             contention_retries: a + 6,
+            locks_acquired: a + 9,
             local_node_accesses: a + 7,
             remote_node_accesses: a + 8,
         }
@@ -111,6 +129,7 @@ mod tests {
         assert_eq!(a.steal_successes, 118);
         assert_eq!(a.stolen_tasks, 120);
         assert_eq!(a.contention_retries, 122);
+        assert_eq!(a.locks_acquired, 128);
         assert_eq!(a.local_node_accesses, 124);
         assert_eq!(a.remote_node_accesses, 126);
     }
@@ -134,5 +153,15 @@ mod tests {
         s.steal_successes = 4;
         assert_eq!(s.node_locality(), Some(0.75));
         assert_eq!(s.steal_success_rate(), Some(0.4));
+    }
+
+    #[test]
+    fn locks_per_pop_ratio() {
+        let mut s = OpStats::default();
+        assert_eq!(s.locks_per_pop(), None);
+        s.pops = 8;
+        assert_eq!(s.locks_per_pop(), None);
+        s.locks_acquired = 10;
+        assert_eq!(s.locks_per_pop(), Some(1.25));
     }
 }

@@ -45,6 +45,65 @@ impl Prioritized for (u32, u32) {
     }
 }
 
+/// A task whose priority key can be read as a raw `u64` snapshot.
+///
+/// This is the contract behind the *cached top-key* optimisation: schedulers
+/// publish the key of a queue's current minimum in a plain `AtomicU64`
+/// (`u64::MAX` when the queue is empty) so that the two-choice delete can
+/// compare candidate queues **without acquiring their locks**.  The key must
+/// therefore order exactly like the task itself on its priority component:
+/// `a.key() <= b.key()` whenever `a <= b` up to tie-breaking.
+///
+/// Implemented by [`Task`] and the keyed primitives the schedulers are
+/// instantiated with in tests and benchmarks.  `u64::MAX` doubles as the
+/// "empty" sentinel, matching [`Task::EMPTY`].
+pub trait HasKey {
+    /// The raw priority key.  **Lower keys are higher priority.**
+    fn key(&self) -> u64;
+}
+
+impl HasKey for Task {
+    #[inline]
+    fn key(&self) -> u64 {
+        self.key
+    }
+}
+
+impl HasKey for u64 {
+    #[inline]
+    fn key(&self) -> u64 {
+        *self
+    }
+}
+
+impl HasKey for u32 {
+    #[inline]
+    fn key(&self) -> u64 {
+        u64::from(*self)
+    }
+}
+
+impl HasKey for u16 {
+    #[inline]
+    fn key(&self) -> u64 {
+        u64::from(*self)
+    }
+}
+
+impl HasKey for (u64, u64) {
+    #[inline]
+    fn key(&self) -> u64 {
+        self.0
+    }
+}
+
+impl HasKey for (u32, u32) {
+    #[inline]
+    fn key(&self) -> u64 {
+        u64::from(self.0)
+    }
+}
+
 /// The concrete task type used by the graph algorithms and benchmarks:
 /// a `(priority key, payload)` pair that fits in 16 bytes and is `Copy`,
 /// which lets the lock-free stealing buffers publish tasks with plain loads

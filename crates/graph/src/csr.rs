@@ -43,7 +43,10 @@ impl GraphBuilder {
     /// # Panics
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, from: u32, to: u32, weight: u32) -> &mut Self {
-        assert!(from < self.num_nodes && to < self.num_nodes, "vertex out of range");
+        assert!(
+            from < self.num_nodes && to < self.num_nodes,
+            "vertex out of range"
+        );
         self.edges.push(Edge { from, to, weight });
         self
     }
@@ -59,7 +62,11 @@ impl GraphBuilder {
     /// # Panics
     /// Panics if the coordinate count does not match the vertex count.
     pub fn with_coordinates(&mut self, coords: Vec<(f64, f64)>) -> &mut Self {
-        assert_eq!(coords.len(), self.num_nodes as usize, "one coordinate per vertex");
+        assert_eq!(
+            coords.len(),
+            self.num_nodes as usize,
+            "one coordinate per vertex"
+        );
         self.coordinates = Some(coords);
         self
     }
@@ -162,8 +169,11 @@ impl CsrGraph {
     /// Returns every edge as an [`Edge`] (used by MST and by tests).
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
         (0..self.num_nodes() as u32).flat_map(move |v| {
-            self.neighbors(v)
-                .map(move |(to, weight)| Edge { from: v, to, weight })
+            self.neighbors(v).map(move |(to, weight)| Edge {
+                from: v,
+                to,
+                weight,
+            })
         })
     }
 
@@ -259,7 +269,11 @@ mod tests {
         let g = diamond();
         let edges: Vec<Edge> = g.edges().collect();
         assert_eq!(edges.len(), 4);
-        assert!(edges.contains(&Edge { from: 2, to: 3, weight: 1 }));
+        assert!(edges.contains(&Edge {
+            from: 2,
+            to: 3,
+            weight: 1
+        }));
     }
 
     proptest! {

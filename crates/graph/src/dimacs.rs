@@ -106,7 +106,11 @@ pub fn read_gr<R: BufRead>(reader: R) -> Result<CsrGraph, DimacsError> {
 /// Reads a DIMACS `.co` coordinate file and returns `(id - 1) -> (x, y)`
 /// coordinates scaled by `scale` (DIMACS stores integer micro-degrees; a
 /// scale of `1e-6` recovers degrees).
-pub fn read_co<R: BufRead>(reader: R, num_nodes: usize, scale: f64) -> Result<Vec<(f64, f64)>, DimacsError> {
+pub fn read_co<R: BufRead>(
+    reader: R,
+    num_nodes: usize,
+    scale: f64,
+) -> Result<Vec<(f64, f64)>, DimacsError> {
     let mut coords = vec![(0.0, 0.0); num_nodes];
     for (idx, line) in reader.lines().enumerate() {
         let line_no = idx + 1;
@@ -152,7 +156,7 @@ pub fn write_gr<W: Write>(graph: &CsrGraph, mut writer: W) -> io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::generators::{uniform_random, power_law, PowerLawParams};
+    use crate::generators::{power_law, uniform_random, PowerLawParams};
     use std::io::BufReader;
 
     const SAMPLE: &str = "c sample graph\n\

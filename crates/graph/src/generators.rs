@@ -52,7 +52,10 @@ pub fn road_network(params: RoadNetworkParams) -> CsrGraph {
         seed,
     } = params;
     assert!(width >= 2 && height >= 2, "grid must be at least 2x2");
-    assert!(removal_percent < 50, "removing half the edges disconnects the grid");
+    assert!(
+        removal_percent < 50,
+        "removing half the edges disconnects the grid"
+    );
     let n = width * height;
     let mut rng = Pcg32::new(seed);
     let mut builder = GraphBuilder::new(n);
@@ -182,7 +185,7 @@ pub fn power_law(params: PowerLawParams) -> CsrGraph {
         let x = rng.next_f64() * total;
         // Binary search the cumulative table.
         match cumulative.binary_search_by(|probe| probe.partial_cmp(&x).expect("finite")) {
-            Ok(i) | Err(i) => (i as u32).min(nodes - 1)
+            Ok(i) | Err(i) => (i as u32).min(nodes - 1),
         }
     };
 
@@ -240,7 +243,10 @@ mod tests {
         // Road networks are sparse and low degree.
         assert!(g.avg_degree() < 8.0, "avg degree {}", g.avg_degree());
         assert!(g.max_degree() <= 10);
-        assert!(g.num_edges() > 256, "grid should have more edges than nodes");
+        assert!(
+            g.num_edges() > 256,
+            "grid should have more edges than nodes"
+        );
     }
 
     #[test]

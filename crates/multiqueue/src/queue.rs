@@ -1,37 +1,139 @@
 //! The Multi-Queue scheduler (Listing 1) with configurable insert/delete
-//! policies and optional NUMA-aware sampling.
+//! policies, optional NUMA-aware sampling, and cached top-key snapshots.
+//!
+//! # Cached top-key snapshots
+//!
+//! The classic two-choice delete locks **both** sampled queues before
+//! comparing their tops, paying two lock acquisitions per pop.  Here every
+//! sub-queue additionally publishes the key of its current minimum in a
+//! cache-padded `AtomicU64` (`u64::MAX` when empty), maintained while the
+//! queue's lock is held.  The delete compares the two snapshots *without
+//! locking*, try-locks only the apparent winner, and re-checks the decision
+//! under that single lock; only when the snapshot turns out stale (the
+//! winner emptied or its top degraded past the loser's snapshot) does it
+//! fall back to locking the second queue.  The common case therefore costs
+//! one lock per pop — tracked by [`smq_core::OpStats::locks_acquired`].
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crossbeam_utils::CachePadded;
 use parking_lot::{Mutex, MutexGuard};
 use smq_core::rng::Pcg32;
-use smq_core::{OpStats, Scheduler, SchedulerHandle};
+use smq_core::{HasKey, OpStats, Scheduler, SchedulerHandle};
 use smq_dheap::DAryHeap;
 use smq_runtime::{Topology, WeightedQueueSampler};
 
 use crate::config::{DeletePolicy, InsertPolicy, MultiQueueConfig};
 
+/// How many `try_lock` failures an insert tolerates before degrading to a
+/// blocking `lock()`.  Bounded so a fully contended configuration (more
+/// threads than queues, every queue held) cannot livelock the push path.
+const TRY_LOCK_RETRY_CAP: u32 = 16;
+
+/// One lock-protected sequential heap plus the lock-free snapshot of its
+/// current minimum key.
+pub(crate) struct SubQueue<T> {
+    heap: CachePadded<Mutex<DAryHeap<T>>>,
+    /// Key of the heap's current minimum (`u64::MAX` when empty).  Written
+    /// only while `heap`'s lock is held; read without the lock by the
+    /// two-choice delete.  Kept on its own cache line so snapshot readers
+    /// do not contend with the lock word.
+    top_key: CachePadded<AtomicU64>,
+}
+
+impl<T: Ord + HasKey> SubQueue<T> {
+    fn new(arity: usize) -> Self {
+        Self {
+            heap: CachePadded::new(Mutex::new(DAryHeap::new(arity))),
+            top_key: CachePadded::new(AtomicU64::new(u64::MAX)),
+        }
+    }
+
+    /// The published key of this queue's minimum; `u64::MAX` means "empty
+    /// at last publication".  May be stale by the time the caller acts on
+    /// it — every locking path re-validates under the lock.
+    #[inline]
+    pub(crate) fn top_key(&self) -> u64 {
+        self.top_key.load(Ordering::Acquire)
+    }
+
+    /// Locks the heap, blocking.  The returned guard republishes the top
+    /// key on drop.
+    pub(crate) fn lock(&self) -> SubQueueGuard<'_, T> {
+        SubQueueGuard {
+            heap: self.heap.lock(),
+            top_key: &self.top_key,
+        }
+    }
+
+    /// Attempts to lock the heap without blocking.
+    pub(crate) fn try_lock(&self) -> Option<SubQueueGuard<'_, T>> {
+        self.heap.try_lock().map(|heap| SubQueueGuard {
+            heap,
+            top_key: &self.top_key,
+        })
+    }
+}
+
+/// A locked view of a [`SubQueue`].  Dereferences to the underlying
+/// [`DAryHeap`]; publishes the (possibly changed) top key when dropped, so
+/// the snapshot can never stay stale across an unlock.
+pub(crate) struct SubQueueGuard<'a, T: Ord + HasKey> {
+    heap: MutexGuard<'a, DAryHeap<T>>,
+    top_key: &'a AtomicU64,
+}
+
+impl<T: Ord + HasKey> std::ops::Deref for SubQueueGuard<'_, T> {
+    type Target = DAryHeap<T>;
+
+    fn deref(&self) -> &DAryHeap<T> {
+        &self.heap
+    }
+}
+
+impl<T: Ord + HasKey> std::ops::DerefMut for SubQueueGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut DAryHeap<T> {
+        &mut self.heap
+    }
+}
+
+impl<T: Ord + HasKey> Drop for SubQueueGuard<'_, T> {
+    fn drop(&mut self) {
+        // `u64::MAX` is reserved as the pure "empty" sentinel, so published
+        // keys are clamped to `u64::MAX - 1`: a legitimate MAX-keyed task
+        // advertises itself one notch too optimistically instead of making
+        // the queue look empty (which would strand it forever).  The
+        // under-lock re-check in the delete recovers the exact ordering.
+        let key = self
+            .heap
+            .peek()
+            .map_or(u64::MAX, |top| top.key().min(u64::MAX - 1));
+        // Release pairs with the Acquire in `SubQueue::top_key`; the store
+        // happens while the lock is still held, so snapshots move through
+        // the exact sequence of values the heap's minimum went through.
+        self.top_key.store(key, Ordering::Release);
+    }
+}
+
 /// The Multi-Queue: `C·T` lock-protected sequential heaps with randomized
-/// insert and two-choice delete, plus the paper's batching, temporal
-/// locality, and NUMA-aware sampling optimisations.
+/// insert and snapshot-guided two-choice delete, plus the paper's batching,
+/// temporal locality, and NUMA-aware sampling optimisations.
 pub struct MultiQueue<T> {
-    queues: Vec<CachePadded<Mutex<DAryHeap<T>>>>,
+    pub(crate) queues: Vec<SubQueue<T>>,
     sampler: WeightedQueueSampler,
     config: MultiQueueConfig,
 }
 
-impl<T: Ord> MultiQueue<T> {
+impl<T: Ord + HasKey> MultiQueue<T> {
     /// Builds a Multi-Queue from a validated configuration.
     pub fn new(config: MultiQueueConfig) -> Self {
         config.validate();
         let queues = (0..config.num_queues())
-            .map(|_| CachePadded::new(Mutex::new(DAryHeap::new(config.heap_arity))))
+            .map(|_| SubQueue::new(config.heap_arity))
             .collect();
         let sampler = match &config.numa {
-            Some(numa) => {
-                WeightedQueueSampler::new(numa.topology.clone(), config.c_factor, numa.k)
-            }
+            Some(numa) => WeightedQueueSampler::new(numa.topology.clone(), config.c_factor, numa.k),
             None => WeightedQueueSampler::uniform(
                 Topology::single_node(config.threads),
                 config.c_factor,
@@ -65,9 +167,14 @@ impl<T: Ord> MultiQueue<T> {
     pub fn is_empty(&self) -> bool {
         self.queues.iter().all(|q| q.lock().is_empty())
     }
+
+    /// The published top-key snapshot of queue `q` (diagnostics/tests).
+    pub fn snapshot_key(&self, q: usize) -> u64 {
+        self.queues[q].top_key()
+    }
 }
 
-impl<T: Ord + Send> Scheduler<T> for MultiQueue<T> {
+impl<T: Ord + HasKey + Send> Scheduler<T> for MultiQueue<T> {
     type Handle<'a>
         = MultiQueueHandle<'a, T>
     where
@@ -108,7 +215,7 @@ pub struct MultiQueueHandle<'a, T> {
     tl_delete_queue: Option<usize>,
 }
 
-impl<T: Ord> MultiQueueHandle<'_, T> {
+impl<T: Ord + HasKey> MultiQueueHandle<'_, T> {
     /// Samples one queue index, recording NUMA locality statistics.
     fn sample_queue(&mut self) -> usize {
         let (q, local) = self.parent.sampler.sample(self.thread_id, &mut self.rng);
@@ -120,8 +227,14 @@ impl<T: Ord> MultiQueueHandle<'_, T> {
         q
     }
 
-    /// Samples two distinct queue indices.
+    /// Samples two distinct queue indices.  Callers must only invoke this
+    /// when at least two queues exist (single-queue configurations degrade
+    /// to [`Self::pop_single`] instead, which cannot spin forever).
     fn sample_two_distinct(&mut self) -> (usize, usize) {
+        debug_assert!(
+            self.parent.num_queues() >= 2,
+            "two-choice sampling requires at least two queues"
+        );
         let a = self.sample_queue();
         loop {
             let b = self.sample_queue();
@@ -132,17 +245,30 @@ impl<T: Ord> MultiQueueHandle<'_, T> {
     }
 
     /// Pushes a single task into a freshly sampled queue, retrying on lock
-    /// failure exactly like Listing 1.
+    /// failure like Listing 1 — but with a bounded number of `try_lock`
+    /// attempts: past [`TRY_LOCK_RETRY_CAP`] failures the insert blocks on
+    /// the next sampled queue so a fully contended configuration cannot
+    /// livelock.
     fn push_direct(&mut self, task: T) {
         let mut task = Some(task);
+        let mut attempts = 0u32;
         loop {
             let q = self.sample_queue();
+            if attempts >= TRY_LOCK_RETRY_CAP {
+                self.parent.queues[q]
+                    .lock()
+                    .push(task.take().expect("task present until pushed"));
+                return;
+            }
             match self.parent.queues[q].try_lock() {
                 Some(mut guard) => {
                     guard.push(task.take().expect("task present until pushed"));
                     return;
                 }
-                None => self.stats.contention_retries += 1,
+                None => {
+                    self.stats.contention_retries += 1;
+                    attempts += 1;
+                }
             }
         }
     }
@@ -161,57 +287,116 @@ impl<T: Ord> MultiQueueHandle<'_, T> {
         guard.push(task);
     }
 
-    /// Flushes the insert buffer into a single randomly chosen queue.
+    /// Flushes the insert buffer into a single randomly chosen queue, with
+    /// the same bounded-retry degradation as [`Self::push_direct`].
     fn flush_insert_buffer(&mut self) {
         if self.insert_buffer.is_empty() {
             return;
         }
+        let mut attempts = 0u32;
         loop {
             let q = self.sample_queue();
-            match self.parent.queues[q].try_lock() {
+            let guard = if attempts >= TRY_LOCK_RETRY_CAP {
+                Some(self.parent.queues[q].lock())
+            } else {
+                self.parent.queues[q].try_lock()
+            };
+            match guard {
                 Some(mut guard) => {
                     for task in self.insert_buffer.drain(..) {
                         guard.push(task);
                     }
                     return;
                 }
-                None => self.stats.contention_retries += 1,
+                None => {
+                    self.stats.contention_retries += 1;
+                    attempts += 1;
+                }
             }
         }
     }
 
-    /// Acquires both sampled queues (retrying on contention), compares their
-    /// tops, and extracts up to `batch` tasks from the better one.  The
-    /// first extracted task is returned; the rest go to the delete buffer.
+    /// Snapshot-guided two-choice delete: compare the two sampled queues'
+    /// published top keys without locking, lock only the winner, re-check
+    /// under the lock, and fall back to the second lock on staleness.
     fn pop_two_choice(&mut self, batch: usize) -> Option<T> {
         let parent = self.parent;
+        if parent.num_queues() < 2 {
+            return self.pop_single(batch);
+        }
         loop {
             let (q1, q2) = self.sample_two_distinct();
-            let guard1 = match parent.queues[q1].try_lock() {
+            let k1 = parent.queues[q1].top_key();
+            let k2 = parent.queues[q2].top_key();
+            if k1 == u64::MAX && k2 == u64::MAX {
+                // Both appeared empty.  Snapshots are republished on every
+                // unlock, so when the scheduler is quiescent this is exact;
+                // under concurrency a spurious `None` is fine (the executor
+                // re-checks via termination detection).
+                return None;
+            }
+            let (winner, loser) = if k1 <= k2 { (q1, q2) } else { (q2, q1) };
+            let guard = match parent.queues[winner].try_lock() {
                 Some(g) => g,
                 None => {
                     self.stats.contention_retries += 1;
                     continue;
                 }
             };
-            let guard2 = match parent.queues[q2].try_lock() {
-                Some(g) => g,
-                None => {
-                    drop(guard1);
-                    self.stats.contention_retries += 1;
-                    continue;
-                }
+            self.stats.locks_acquired += 1;
+            // Re-check under the lock: is the winner still at least as good
+            // as the loser's current snapshot?
+            let still_winner = match guard.peek() {
+                Some(top) => top.key() <= parent.queues[loser].top_key(),
+                None => false,
             };
-            return self.extract_from_better(guard1, guard2, batch);
+            if still_winner {
+                return self.extract_batch_from(guard, batch);
+            }
+            // Stale snapshot: the winner emptied or degraded.  Fall back to
+            // the classic both-locked comparison so the delete still returns
+            // the better of the two sampled queues.
+            match parent.queues[loser].try_lock() {
+                Some(loser_guard) => {
+                    self.stats.locks_acquired += 1;
+                    match self.extract_from_better(guard, loser_guard, batch) {
+                        Some(task) => return Some(task),
+                        // Both genuinely empty under their locks: resample
+                        // unless the whole structure looks drained.
+                        None => {
+                            if parent.queues.iter().all(|q| q.top_key() == u64::MAX) {
+                                return None;
+                            }
+                        }
+                    }
+                }
+                None => {
+                    drop(guard);
+                    self.stats.contention_retries += 1;
+                }
+            }
         }
+    }
+
+    /// Degraded delete for configurations with a single queue: lock it and
+    /// extract directly (there is nothing to compare against).
+    fn pop_single(&mut self, batch: usize) -> Option<T> {
+        let mut guard = self.parent.queues[0].lock();
+        self.stats.locks_acquired += 1;
+        self.extract_batch(&mut guard, batch)
+    }
+
+    /// Extracts a batch from an already locked queue, consuming the guard.
+    fn extract_batch_from(&mut self, mut guard: SubQueueGuard<'_, T>, batch: usize) -> Option<T> {
+        self.extract_batch(&mut guard, batch)
     }
 
     /// Given both locked queues, picks the one whose top task has higher
     /// priority and extracts a batch from it.
     fn extract_from_better<'g>(
         &mut self,
-        mut guard1: MutexGuard<'g, DAryHeap<T>>,
-        mut guard2: MutexGuard<'g, DAryHeap<T>>,
+        mut guard1: SubQueueGuard<'g, T>,
+        mut guard2: SubQueueGuard<'g, T>,
         batch: usize,
     ) -> Option<T> {
         let use_first = match (guard1.peek(), guard2.peek()) {
@@ -225,7 +410,7 @@ impl<T: Ord> MultiQueueHandle<'_, T> {
     }
 
     /// Extracts up to `batch` tasks from a locked queue, returning the first.
-    fn extract_batch(&mut self, queue: &mut DAryHeap<T>, batch: usize) -> Option<T> {
+    fn extract_batch(&mut self, queue: &mut SubQueueGuard<'_, T>, batch: usize) -> Option<T> {
         let first = queue.pop()?;
         for _ in 1..batch {
             match queue.pop() {
@@ -237,56 +422,70 @@ impl<T: Ord> MultiQueueHandle<'_, T> {
     }
 
     /// Pops from the temporally "current" queue, re-selecting it via the
-    /// two-choice rule with the configured probability or when it runs dry.
+    /// snapshot-guided two-choice rule with the configured probability or
+    /// when it runs dry.
     fn pop_temporal(&mut self, change: smq_core::Probability) -> Option<T> {
         let needs_new = self.tl_delete_queue.is_none() || change.sample(&mut self.rng);
         if !needs_new {
             let q = self.tl_delete_queue.expect("checked above");
             let mut guard = self.parent.queues[q].lock();
+            self.stats.locks_acquired += 1;
             if let Some(task) = guard.pop() {
                 return Some(task);
             }
             // Current queue ran dry: fall through to a fresh selection.
         }
-        // Select a new current queue with the classic two-choice rule and
-        // remember which queue the task came from.
+        // Select a new current queue with the snapshot-guided two-choice
+        // rule and remember which queue the task came from.
+        if self.parent.num_queues() < 2 {
+            self.tl_delete_queue = Some(0);
+            return self.pop_single(1);
+        }
         loop {
             let (q1, q2) = self.sample_two_distinct();
-            let guard1 = match self.parent.queues[q1].try_lock() {
+            let k1 = self.parent.queues[q1].top_key();
+            let k2 = self.parent.queues[q2].top_key();
+            if k1 == u64::MAX && k2 == u64::MAX {
+                return None;
+            }
+            let (winner, loser) = if k1 <= k2 { (q1, q2) } else { (q2, q1) };
+            let mut guard = match self.parent.queues[winner].try_lock() {
                 Some(g) => g,
                 None => {
                     self.stats.contention_retries += 1;
                     continue;
                 }
             };
-            let guard2 = match self.parent.queues[q2].try_lock() {
-                Some(g) => g,
-                None => {
-                    drop(guard1);
-                    self.stats.contention_retries += 1;
-                    continue;
+            self.stats.locks_acquired += 1;
+            let still_winner = match guard.peek() {
+                Some(top) => top.key() <= self.parent.queues[loser].top_key(),
+                None => false,
+            };
+            if still_winner {
+                self.tl_delete_queue = Some(winner);
+                return guard.pop();
+            }
+            drop(guard);
+            // Stale: prefer the loser, which now looks better.
+            match self.parent.queues[loser].try_lock() {
+                Some(mut loser_guard) => {
+                    self.stats.locks_acquired += 1;
+                    if let Some(task) = loser_guard.pop() {
+                        self.tl_delete_queue = Some(loser);
+                        return Some(task);
+                    }
+                    drop(loser_guard);
+                    if self.parent.queues.iter().all(|q| q.top_key() == u64::MAX) {
+                        return None;
+                    }
                 }
-            };
-            let use_first = match (guard1.peek(), guard2.peek()) {
-                (Some(a), Some(b)) => a <= b,
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (None, None) => return None,
-            };
-            let (mut chosen_guard, chosen_q) = if use_first {
-                drop(guard2);
-                (guard1, q1)
-            } else {
-                drop(guard1);
-                (guard2, q2)
-            };
-            self.tl_delete_queue = Some(chosen_q);
-            return chosen_guard.pop();
+                None => self.stats.contention_retries += 1,
+            }
         }
     }
 }
 
-impl<T: Ord + Send> SchedulerHandle<T> for MultiQueueHandle<'_, T> {
+impl<T: Ord + HasKey + Send> SchedulerHandle<T> for MultiQueueHandle<'_, T> {
     fn push(&mut self, task: T) {
         self.stats.pushes += 1;
         match self.parent.config.insert {
@@ -337,7 +536,7 @@ mod tests {
     use super::*;
     use smq_core::{Probability, Task};
 
-    fn drain_all<T: Ord + Send + Copy>(handle: &mut MultiQueueHandle<'_, T>) -> Vec<T> {
+    fn drain_all<T: Ord + HasKey + Send + Copy>(handle: &mut MultiQueueHandle<'_, T>) -> Vec<T> {
         // Relaxed schedulers may need several attempts to find the last
         // tasks; an empty result 64 times in a row means truly empty for a
         // single-threaded test.
@@ -379,16 +578,12 @@ mod tests {
 
     #[test]
     fn batching_insert_conserves_elements() {
-        conserves_elements(
-            MultiQueueConfig::classic(2).with_insert(InsertPolicy::Batching(16)),
-        );
+        conserves_elements(MultiQueueConfig::classic(2).with_insert(InsertPolicy::Batching(16)));
     }
 
     #[test]
     fn batching_delete_conserves_elements() {
-        conserves_elements(
-            MultiQueueConfig::classic(2).with_delete(DeletePolicy::Batching(8)),
-        );
+        conserves_elements(MultiQueueConfig::classic(2).with_delete(DeletePolicy::Batching(8)));
     }
 
     #[test]
@@ -430,6 +625,96 @@ mod tests {
         let mut handle = mq.handle(0);
         assert_eq!(handle.pop(), Some(Task::new(10, 1)));
         assert_eq!(handle.pop(), Some(Task::new(50, 0)));
+        assert_eq!(handle.pop(), None);
+    }
+
+    #[test]
+    fn snapshots_track_heap_minimum() {
+        let config = MultiQueueConfig::classic(1).with_c_factor(2).with_seed(3);
+        let mq: MultiQueue<Task> = MultiQueue::new(config);
+        assert_eq!(mq.snapshot_key(0), u64::MAX);
+        mq.queues[0].lock().push(Task::new(50, 0));
+        assert_eq!(mq.snapshot_key(0), 50);
+        mq.queues[0].lock().push(Task::new(7, 1));
+        assert_eq!(mq.snapshot_key(0), 7);
+        assert_eq!(mq.queues[0].lock().pop(), Some(Task::new(7, 1)));
+        assert_eq!(mq.snapshot_key(0), 50);
+        assert_eq!(mq.queues[0].lock().pop(), Some(Task::new(50, 0)));
+        assert_eq!(mq.snapshot_key(0), u64::MAX);
+    }
+
+    #[test]
+    fn single_lock_delete_uses_one_lock_per_pop_when_uncontended() {
+        // Single-threaded: snapshots are always exact, so every successful
+        // pop must acquire exactly one lock (the acceptance criterion of the
+        // snapshot optimisation; the classic implementation acquired two).
+        let config = MultiQueueConfig::classic(2).with_seed(17);
+        let mq: MultiQueue<u64> = MultiQueue::new(config);
+        let mut handle = mq.handle(0);
+        for v in 0..1_000u64 {
+            handle.push(v);
+        }
+        let drained = drain_all(&mut handle);
+        assert_eq!(drained.len(), 1_000);
+        let stats = handle.stats();
+        assert_eq!(stats.pops, 1_000);
+        assert_eq!(
+            stats.locks_acquired, 1_000,
+            "uncontended snapshot delete must lock exactly once per pop"
+        );
+    }
+
+    #[test]
+    fn stale_snapshot_falls_back_to_second_lock() {
+        // Forge a stale snapshot: make queue 0 advertise a better key than
+        // it actually holds, so the delete locks it as the "winner", finds
+        // the re-check failing, and must recover the true minimum from
+        // queue 1 via the fallback path.
+        let config = MultiQueueConfig::classic(1).with_c_factor(2).with_seed(3);
+        let mq: MultiQueue<Task> = MultiQueue::new(config);
+        mq.queues[0].lock().push(Task::new(80, 0));
+        mq.queues[1].lock().push(Task::new(20, 1));
+        // Overwrite queue 0's snapshot with a lie (better than queue 1's).
+        mq.queues[0].top_key.store(5, Ordering::Release);
+        let mut handle = mq.handle(0);
+        assert_eq!(handle.pop(), Some(Task::new(20, 1)));
+        let stats = handle.stats();
+        assert!(
+            stats.locks_acquired >= 2,
+            "stale snapshot must trigger the two-lock fallback"
+        );
+        // The fallback republished queue 0's honest snapshot.
+        assert_eq!(mq.snapshot_key(0), 80);
+        assert_eq!(handle.pop(), Some(Task::new(80, 0)));
+        assert_eq!(handle.pop(), None);
+    }
+
+    #[test]
+    fn max_keyed_tasks_are_not_stranded_by_the_empty_sentinel() {
+        // `u64::MAX` doubles as the snapshot's "empty" marker; a legitimate
+        // MAX-keyed task must still be findable (published keys clamp to
+        // MAX - 1, so the queue never advertises itself as empty).
+        let config = MultiQueueConfig::classic(1).with_c_factor(2).with_seed(3);
+        let mq: MultiQueue<Task> = MultiQueue::new(config);
+        mq.queues[0].lock().push(Task::new(u64::MAX, 7));
+        assert_eq!(mq.snapshot_key(0), u64::MAX - 1);
+        let mut handle = mq.handle(0);
+        assert_eq!(handle.pop(), Some(Task::new(u64::MAX, 7)));
+        assert_eq!(handle.pop(), None);
+        assert_eq!(mq.snapshot_key(0), u64::MAX);
+    }
+
+    #[test]
+    fn stale_empty_snapshot_recovers_remaining_task() {
+        // The reverse staleness: the winner advertises a task but is empty.
+        let config = MultiQueueConfig::classic(1).with_c_factor(2).with_seed(3);
+        let mq: MultiQueue<Task> = MultiQueue::new(config);
+        mq.queues[1].lock().push(Task::new(30, 2));
+        // Queue 0 is empty but claims to hold the global minimum.
+        mq.queues[0].top_key.store(1, Ordering::Release);
+        let mut handle = mq.handle(0);
+        assert_eq!(handle.pop(), Some(Task::new(30, 2)));
+        assert_eq!(mq.snapshot_key(0), u64::MAX, "lie must be corrected");
         assert_eq!(handle.pop(), None);
     }
 
@@ -481,13 +766,13 @@ mod tests {
 
     #[test]
     fn concurrent_push_pop_conserves_elements() {
-        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::atomic::AtomicU64 as SharedCounter;
         let threads = 4;
         let per_thread = 5_000u64;
         let config = MultiQueueConfig::classic(threads).with_seed(8);
         let mq: MultiQueue<u64> = MultiQueue::new(config);
-        let popped = AtomicU64::new(0);
-        let sum = AtomicU64::new(0);
+        let popped = SharedCounter::new(0);
+        let sum = SharedCounter::new(0);
         std::thread::scope(|s| {
             for tid in 0..threads {
                 let mq = &mq;
@@ -499,14 +784,9 @@ mod tests {
                         handle.push(tid as u64 * per_thread + i);
                     }
                     handle.flush();
-                    loop {
-                        match handle.pop() {
-                            Some(v) => {
-                                popped.fetch_add(1, Ordering::Relaxed);
-                                sum.fetch_add(v, Ordering::Relaxed);
-                            }
-                            None => break,
-                        }
+                    while let Some(v) = handle.pop() {
+                        popped.fetch_add(1, Ordering::Relaxed);
+                        sum.fetch_add(v, Ordering::Relaxed);
                     }
                 });
             }

@@ -438,7 +438,11 @@ mod tests {
             h.push(Task::new(v, v));
         }
         let keys: Vec<u64> = drain(&mut h).into_iter().map(|t| t.key).collect();
-        assert_eq!(keys, vec![3, 1, 2], "within a bucket OBIM is FIFO, not sorted");
+        assert_eq!(
+            keys,
+            vec![3, 1, 2],
+            "within a bucket OBIM is FIFO, not sorted"
+        );
     }
 
     #[test]
@@ -503,7 +507,10 @@ mod tests {
         let before = obim.current_delta_shift();
         let _ = drain(&mut h);
         let after = obim.current_delta_shift();
-        assert!(after > before, "PMOD should have merged buckets ({before} -> {after})");
+        assert!(
+            after > before,
+            "PMOD should have merged buckets ({before} -> {after})"
+        );
     }
 
     #[test]

@@ -106,7 +106,13 @@ pub fn simulate(config: &RankSimConfig) -> RankSimResult {
 
     // Scheduling distribution π with imbalance γ: alternate π_i ∝ (1 ± γ).
     let weights: Vec<f64> = (0..n)
-        .map(|i| if i % 2 == 0 { 1.0 + config.gamma } else { 1.0 - config.gamma })
+        .map(|i| {
+            if i % 2 == 0 {
+                1.0 + config.gamma
+            } else {
+                1.0 - config.gamma
+            }
+        })
         .collect();
     let total_weight: f64 = weights.iter().sum();
     let cumulative: Vec<f64> = weights
@@ -118,10 +124,7 @@ pub fn simulate(config: &RankSimConfig) -> RankSimResult {
         .collect();
     let pick_thread = |rng: &mut Pcg32| -> usize {
         let x = rng.next_f64() * total_weight;
-        cumulative
-            .iter()
-            .position(|&c| x < c)
-            .unwrap_or(n - 1)
+        cumulative.iter().position(|&c| x < c).unwrap_or(n - 1)
     };
 
     // Insertion phase: ranks in increasing order, queue chosen ~ π.
@@ -266,11 +269,15 @@ mod tests {
 
     #[test]
     fn config_validation_rejects_nonsense() {
-        let mut c = RankSimConfig::default();
-        c.queues = 1;
+        let c = RankSimConfig {
+            queues: 1,
+            ..RankSimConfig::default()
+        };
         assert!(std::panic::catch_unwind(|| c.validate()).is_err());
-        let mut c = RankSimConfig::default();
-        c.gamma = 1.5;
+        let c = RankSimConfig {
+            gamma: 1.5,
+            ..RankSimConfig::default()
+        };
         assert!(std::panic::catch_unwind(|| c.validate()).is_err());
     }
 
@@ -351,7 +358,10 @@ mod tests {
         // rank cost noticeably (at least 2x) but not quadratically (not 64x).
         let ratio = big.mean_top_rank / small.mean_top_rank.max(1e-9);
         assert!(ratio > 2.0, "expected growth with n, ratio {ratio}");
-        assert!(ratio < 64.0, "growth should be roughly linear, ratio {ratio}");
+        assert!(
+            ratio < 64.0,
+            "growth should be roughly linear, ratio {ratio}"
+        );
     }
 
     #[test]

@@ -3,20 +3,22 @@
 //!
 //! Worker threads repeatedly pop a task from the scheduler and hand it to
 //! the user-supplied processing function, which may push any number of new
-//! tasks.  Termination uses a global *pending-task counter*: it is
-//! incremented before a task becomes visible to the scheduler and
-//! decremented only after the task has been fully processed, so
-//! "`pop() == None` and `pending == 0`" is a safe exit condition even for
-//! schedulers that buffer tasks thread-locally (those are flushed whenever a
-//! thread observes an empty pop).
+//! tasks.  Termination uses *distributed* pending-task accounting (see
+//! [`crate::termination`]): every worker owns a cache-padded counter pair,
+//! counts a task as published before making it visible, and publishes one
+//! completion update after fully processing it.  "`pop() == None` and the
+//! two-phase quiescence scan balances" is then a safe exit condition even
+//! for schedulers that buffer tasks thread-locally (those are flushed
+//! whenever a thread observes an empty pop) — without any shared `SeqCst`
+//! counter on the per-task hot path.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use crossbeam_utils::Backoff;
 use smq_core::{OpStats, Scheduler, SchedulerHandle};
 
 use crate::metrics::RunMetrics;
+use crate::termination::{TerminationDetector, WorkerTally};
 
 /// Executor tuning knobs.
 #[derive(Debug, Clone)]
@@ -45,26 +47,28 @@ impl ExecutorConfig {
 /// Pushing through this wrapper (rather than the raw scheduler handle) keeps
 /// the pending-task counter consistent, which is what makes termination
 /// detection sound.
-pub struct TaskSink<'a, H, T>
+pub struct TaskSink<'a, 'd, H, T>
 where
     H: SchedulerHandle<T>,
 {
     handle: &'a mut H,
-    pending: &'a AtomicU64,
-    pushed: u64,
+    tally: &'a mut WorkerTally<'d>,
     _marker: std::marker::PhantomData<fn(T)>,
 }
 
-impl<H, T> TaskSink<'_, H, T>
+impl<H, T> TaskSink<'_, '_, H, T>
 where
     H: SchedulerHandle<T>,
 {
     /// Pushes a new task into the scheduler.
+    ///
+    /// The publish is counted in the worker's own cache-padded counter
+    /// *before* the task becomes visible — a single uncontended store,
+    /// replacing the old `SeqCst` fetch-add on a shared counter.
     #[inline]
     pub fn push(&mut self, task: T) {
-        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.tally.record_push();
         self.handle.push(task);
-        self.pushed += 1;
     }
 }
 
@@ -87,7 +91,7 @@ pub fn run<S, T, F>(
 where
     S: Scheduler<T>,
     T: Send,
-    F: for<'h> Fn(T, &mut TaskSink<'h, S::Handle<'_>, T>) + Sync,
+    F: for<'h, 'd> Fn(T, &mut TaskSink<'h, 'd, S::Handle<'_>, T>) + Sync,
 {
     let threads = config.threads;
     assert!(threads >= 1, "need at least one worker thread");
@@ -97,23 +101,30 @@ where
         "executor thread count must match the scheduler's configuration"
     );
 
-    let pending = AtomicU64::new(initial.len() as u64);
-
     // Split the seed tasks round-robin so each worker seeds its own queues.
     let mut seeds: Vec<Vec<T>> = (0..threads).map(|_| Vec::new()).collect();
     for (i, task) in initial.into_iter().enumerate() {
         seeds[i % threads].push(task);
     }
 
+    // Credit every worker's seed slice before any thread starts, so no scan
+    // can observe an all-zero (quiescent-looking) state during seeding.
+    let detector = TerminationDetector::new(threads);
+    for (tid, seed) in seeds.iter().enumerate() {
+        detector.preload(tid, seed.len() as u64);
+    }
+
     let start = Instant::now();
     let results: Vec<(u64, OpStats)> = std::thread::scope(|scope| {
         let mut join_handles = Vec::with_capacity(threads);
         for (tid, seed) in seeds.into_iter().enumerate() {
-            let pending = &pending;
+            let detector = &detector;
             let process = &process;
             let config = &config;
             join_handles.push(scope.spawn(move || {
                 let mut handle = scheduler.handle(tid);
+                let mut tally = detector.tally(tid);
+                // Seeds were pre-credited; pushing them needs no recording.
                 for task in seed {
                     handle.push(task);
                 }
@@ -130,19 +141,20 @@ where
                             backoff.reset();
                             let mut sink = TaskSink {
                                 handle: &mut handle,
-                                pending,
-                                pushed: 0,
+                                tally: &mut tally,
                                 _marker: std::marker::PhantomData,
                             };
                             process(task, &mut sink);
                             executed += 1;
-                            pending.fetch_sub(1, Ordering::SeqCst);
+                            // One completion update per processed task, on
+                            // this worker's own counter line.
+                            tally.record_completion();
                         }
                         None => {
                             // Anything buffered locally must become visible
                             // before we conclude the system might be done.
                             handle.flush();
-                            if pending.load(Ordering::SeqCst) == 0 {
+                            if detector.quiescent() {
                                 break;
                             }
                             empty_streak += 1;
@@ -179,7 +191,7 @@ where
 mod tests {
     use super::*;
     use std::collections::BinaryHeap;
-    use std::sync::atomic::AtomicU64 as Counter;
+    use std::sync::atomic::{AtomicU64 as Counter, Ordering};
     use std::sync::Mutex;
 
     /// A minimal strict scheduler (single global locked heap) used to test
@@ -221,7 +233,11 @@ mod tests {
 
     impl SchedulerHandle<u64> for LockedHeapHandle<'_> {
         fn push(&mut self, task: u64) {
-            self.parent.heap.lock().unwrap().push(std::cmp::Reverse(task));
+            self.parent
+                .heap
+                .lock()
+                .unwrap()
+                .push(std::cmp::Reverse(task));
             self.stats.pushes += 1;
         }
 
@@ -316,17 +332,12 @@ mod tests {
         // most threads spin on an empty scheduler while one works.
         let sched = LockedHeap::new(4);
         let executed = Counter::new(0);
-        let metrics = run(
-            &sched,
-            &ExecutorConfig::new(4),
-            vec![0u64],
-            |task, sink| {
-                executed.fetch_add(1, Ordering::Relaxed);
-                if task < 10_000 {
-                    sink.push(task + 1);
-                }
-            },
-        );
+        let metrics = run(&sched, &ExecutorConfig::new(4), vec![0u64], |task, sink| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            if task < 10_000 {
+                sink.push(task + 1);
+            }
+        });
         assert_eq!(executed.load(Ordering::Relaxed), 10_001);
         assert_eq!(metrics.tasks_executed, 10_001);
     }

@@ -19,8 +19,10 @@
 
 pub mod executor;
 pub mod metrics;
+pub mod termination;
 pub mod topology;
 
 pub use executor::{run, ExecutorConfig};
 pub use metrics::RunMetrics;
+pub use termination::{TerminationDetector, WorkerTally};
 pub use topology::{Topology, WeightedQueueSampler};

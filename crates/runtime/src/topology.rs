@@ -336,7 +336,10 @@ mod tests {
             let (q, _) = sampler.sample(0, &mut rng);
             nodes_seen[topo.node_of_queue(q, 2)] = true;
         }
-        assert!(nodes_seen.iter().all(|&b| b), "every node should be reachable");
+        assert!(
+            nodes_seen.iter().all(|&b| b),
+            "every node should be reachable"
+        );
     }
 
     #[test]

@@ -1,0 +1,135 @@
+//! Offline stand-in for the `crossbeam-utils` crate.
+//!
+//! The build environment has no registry access, so this shim reimplements
+//! the two primitives the workspace uses — [`CachePadded`] and [`Backoff`] —
+//! with the same API and semantics as the real crate.  Swap the workspace
+//! `[patch]` back to crates.io to use the upstream implementation.
+
+#![warn(missing_docs)]
+
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to the length of a cache line, preventing false
+/// sharing between adjacent values in a `Vec` or struct.
+///
+/// 128 bytes covers the common cases: x86_64 prefetches cache lines in
+/// pairs, and Apple/ARM big cores use 128-byte lines outright.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Pads and aligns `value`.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+const SPIN_LIMIT: u32 = 6;
+const YIELD_LIMIT: u32 = 10;
+
+/// Exponential backoff for spin loops: spin with increasing intensity, then
+/// start yielding the thread's timeslice to the OS scheduler.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: std::cell::Cell<u32>,
+}
+
+impl Backoff {
+    /// Creates a backoff in its initial (tightest-spin) state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets to the initial state (call after useful work was found).
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Backs off in a spin loop (never yields; for lock-free retries).
+    pub fn spin(&self) {
+        for _ in 0..1u32 << self.step.get().min(SPIN_LIMIT) {
+            std::hint::spin_loop();
+        }
+        if self.step.get() <= SPIN_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// Backs off while waiting for another thread to make progress: spins
+    /// first, then yields the timeslice once the wait drags on.
+    pub fn snooze(&self) {
+        if self.step.get() <= SPIN_LIMIT {
+            for _ in 0..1u32 << self.step.get() {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if self.step.get() <= YIELD_LIMIT {
+            self.step.set(self.step.get() + 1);
+        }
+    }
+
+    /// `true` once the backoff has escalated past spinning, suggesting the
+    /// caller park or block instead.
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > YIELD_LIMIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_padded_is_aligned_and_transparent() {
+        assert!(std::mem::align_of::<CachePadded<u8>>() >= 128);
+        let mut p = CachePadded::new(41u64);
+        *p += 1;
+        assert_eq!(*p, 42);
+        assert_eq!(p.into_inner(), 42);
+    }
+
+    #[test]
+    fn backoff_escalates_and_resets() {
+        let b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..32 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+        b.spin();
+    }
+}

@@ -1,0 +1,153 @@
+//! Derive macros for the offline `serde` shim.
+//!
+//! Supports exactly what this workspace derives on: non-generic structs
+//! with named fields.  `Serialize` emits a JSON-object writer over the
+//! fields; `Deserialize` emits the marker impl.  Implemented directly on
+//! `proc_macro` token streams (no `syn`/`quote` — those live on crates.io,
+//! which the build environment cannot reach).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extracts the struct name and named-field list from a derive input.
+fn parse_struct(input: TokenStream) -> Result<StructShape, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]` / doc comments) and visibility.
+    let name = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => match tokens.next() {
+                Some(TokenTree::Ident(name)) => break name.to_string(),
+                other => return Err(format!("expected struct name, got {other:?}")),
+            },
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" || id.to_string() == "union" => {
+                return Err("the serde shim derive only supports structs".into());
+            }
+            Some(_) => {}
+            None => return Err("unexpected end of derive input".into()),
+        }
+    };
+    // Generics would need bound propagation; nothing in the workspace
+    // derives on a generic type, so reject rather than mis-serialize.
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err("the serde shim derive does not support generic structs".into());
+        }
+    }
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err("the serde shim derive does not support tuple structs".into());
+            }
+            Some(_) => {}
+            None => return Err("struct body not found".into()),
+        }
+    };
+    Ok(StructShape {
+        name,
+        fields: parse_named_fields(body.stream())?,
+    })
+}
+
+/// Collects field identifiers from a `{ name: Type, ... }` body, skipping
+/// attributes and tracking `<...>` depth so commas inside generic types do
+/// not split fields.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Per-field: attributes, visibility, identifier, `:`, type, `,`.
+        let ident = loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => return Err(format!("unexpected token in fields: {other}")),
+                None => return Ok(fields),
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{ident}`, got {other:?}")),
+        }
+        fields.push(ident);
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle_depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+                None => return Ok(fields),
+            }
+        }
+    }
+}
+
+/// Derives `serde::Serialize` (JSON-object writer) for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(shape) => shape,
+        Err(msg) => return compile_error(&msg),
+    };
+    let mut writes = String::new();
+    for (i, field) in shape.fields.iter().enumerate() {
+        let comma = if i == 0 { "" } else { "out.push(',');" };
+        writes.push_str(&format!(
+            "{comma} out.push_str(\"\\\"{field}\\\":\"); \
+             ::serde::Serialize::serialize_json(&self.{field}, out);"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, out: &mut String) {{\n\
+                 out.push('{{'); {writes} out.push('}}');\n\
+             }}\n\
+         }}",
+        name = shape.name
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// Derives the `serde::Deserialize` marker impl for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_struct(input) {
+        Ok(shape) => shape,
+        Err(msg) => return compile_error(&msg),
+    };
+    format!("impl ::serde::Deserialize for {} {{}}", shape.name)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error invocation must parse")
+}

@@ -1,0 +1,43 @@
+//! Offline stand-in for `serde_json`: the `to_string` front-end over the
+//! JSON-only `serde` shim.  Encoding is infallible for every type the shim
+//! can express, but the `Result` signature is kept so call sites stay
+//! source-compatible with the real crate.
+
+#![warn(missing_docs)]
+
+use serde::Serialize;
+
+/// An encoding error.  Never produced by the shim; exists for signature
+/// compatibility with the real `serde_json`.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JSON encoding error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes `value` to JSON.  The shim does not implement pretty-printing;
+/// output is compact (still valid JSON for downstream tooling).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string(value)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn encodes_nested_values() {
+        let v = vec![(1u32, "a".to_string()), (2, "b".to_string())];
+        assert_eq!(super::to_string(&v).unwrap(), "[[1,\"a\"],[2,\"b\"]]");
+    }
+}

@@ -54,7 +54,9 @@ impl<T: Ord + Copy> Node<T> {
             lock: Mutex::new(()),
             marked: AtomicBool::new(false),
             fully_linked: AtomicBool::new(false),
-            next: (0..height).map(|_| AtomicPtr::new(ptr::null_mut())).collect(),
+            next: (0..height)
+                .map(|_| AtomicPtr::new(ptr::null_mut()))
+                .collect(),
         });
         Box::into_raw(node)
     }
@@ -211,6 +213,9 @@ impl<T: Ord + Copy> ConcurrentSkipList<T> {
 
     /// Inserts `value`.  Ties with existing values are broken by insertion
     /// order (earlier inserts are removed first among equal values).
+    // `preds`/`succs`/`next` are parallel arrays walked in lock-step by
+    // level; indexed loops keep that symmetry readable.
+    #[allow(clippy::needless_range_loop)]
     pub fn insert(&self, value: T, rng: &mut Pcg32) {
         let key = Key {
             value,
@@ -261,7 +266,8 @@ impl<T: Ord + Copy> ConcurrentSkipList<T> {
                     (&*node).next[level].store(succs[level], Ordering::Relaxed);
                 }
                 for level in 0..height {
-                    self.link_of(preds[level], level).store(node, Ordering::Release);
+                    self.link_of(preds[level], level)
+                        .store(node, Ordering::Release);
                 }
                 (*node).fully_linked.store(true, Ordering::Release);
             }
@@ -276,6 +282,7 @@ impl<T: Ord + Copy> ConcurrentSkipList<T> {
     /// # Safety
     /// `victim` must point to a live, fully linked node whose lock is held by
     /// the caller via `_victim_guard`.
+    #[allow(clippy::needless_range_loop)]
     unsafe fn unlink_marked(
         &self,
         victim: *mut Node<T>,
@@ -313,7 +320,8 @@ impl<T: Ord + Copy> ConcurrentSkipList<T> {
             }
             for level in (0..height).rev() {
                 let succ = (&*victim).next[level].load(Ordering::Acquire);
-                self.link_of(preds[level], level).store(succ, Ordering::Release);
+                self.link_of(preds[level], level)
+                    .store(succ, Ordering::Release);
             }
             self.len.fetch_sub(1, Ordering::Relaxed);
             return key.value;
@@ -583,7 +591,10 @@ mod tests {
                 });
             }
         });
-        assert_eq!(drained.load(Ordering::Relaxed), (threads * per_thread) as usize);
+        assert_eq!(
+            drained.load(Ordering::Relaxed),
+            (threads * per_thread) as usize
+        );
         assert!(list.is_empty());
     }
 

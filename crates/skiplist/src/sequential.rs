@@ -120,12 +120,15 @@ impl<T: Ord> SequentialSkipList<T> {
     }
 
     /// Inserts an element.
+    // Parallel arrays (`update`, `arena`, `forward`) are indexed by the same
+    // level counter; iterator rewrites obscure the lock-step relationship.
+    #[allow(clippy::needless_range_loop)]
     pub fn insert(&mut self, value: T) {
         let mut update = [0u32; MAX_HEIGHT];
         let mut current = 0u32; // head
-        // Search from the highest level in use down to level 0, remembering
-        // the rightmost node < value at each level.  Using `<=` on equal
-        // keys keeps FIFO order among duplicates.
+                                // Search from the highest level in use down to level 0, remembering
+                                // the rightmost node < value at each level.  Using `<=` on equal
+                                // keys keeps FIFO order among duplicates.
         for lvl in (0..self.level).rev() {
             loop {
                 let next = self.arena[current as usize].forward[lvl];
@@ -273,7 +276,8 @@ mod tests {
 
     #[test]
     fn pops_ascending() {
-        let mut l: SequentialSkipList<u64> = [5u64, 3, 9, 1, 7, 2, 8, 0, 6, 4].into_iter().collect();
+        let mut l: SequentialSkipList<u64> =
+            [5u64, 3, 9, 1, 7, 2, 8, 0, 6, 4].into_iter().collect();
         l.assert_invariants();
         let got: Vec<u64> = std::iter::from_fn(|| l.pop_min()).collect();
         assert_eq!(got, (0..10).collect::<Vec<_>>());
@@ -281,7 +285,7 @@ mod tests {
 
     #[test]
     fn duplicates_allowed() {
-        let mut l: SequentialSkipList<u32> = [2u32, 2, 1, 2, 1].into_iter().collect();
+        let l: SequentialSkipList<u32> = [2u32, 2, 1, 2, 1].into_iter().collect();
         assert_eq!(l.len(), 5);
         l.assert_invariants();
         assert_eq!(l.into_sorted_vec(), vec![1, 1, 2, 2, 2]);
@@ -327,7 +331,7 @@ mod tests {
     proptest! {
         #[test]
         fn matches_sorted_vec(mut values in proptest::collection::vec(any::<u32>(), 0..400)) {
-            let mut l: SequentialSkipList<u32> = values.iter().copied().collect();
+            let l: SequentialSkipList<u32> = values.iter().copied().collect();
             l.assert_invariants();
             values.sort_unstable();
             prop_assert_eq!(l.into_sorted_vec(), values);

@@ -43,7 +43,7 @@ impl SmqConfig {
             p_steal: Probability::new(8),
             heap_arity: 4,
             numa: None,
-            seed: 0x5311_Af00,
+            seed: 0x5311_AF00,
         }
     }
 
@@ -123,7 +123,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "steal size")]
     fn zero_steal_size_rejected() {
-        SmqConfig::default_for_threads(2).with_steal_size(0).validate();
+        SmqConfig::default_for_threads(2)
+            .with_steal_size(0)
+            .validate();
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 use crossbeam_utils::CachePadded;
 use smq_core::rng::Pcg32;
-use smq_core::{OpStats, Scheduler, SchedulerHandle};
+use smq_core::{HasKey, OpStats, Scheduler, SchedulerHandle};
 use smq_runtime::{Topology, WeightedQueueSampler};
 
 use crate::config::SmqConfig;
@@ -44,7 +44,7 @@ unsafe impl<T: Copy + Send, Q: Send> Sync for Smq<T, Q> {}
 
 impl<T, Q> Smq<T, Q>
 where
-    T: Copy + Ord + Send,
+    T: Copy + Ord + HasKey + Send,
     Q: LocalQueue<T>,
 {
     /// Builds an SMQ from a validated configuration.
@@ -85,7 +85,7 @@ where
 
 impl<T, Q> Scheduler<T> for Smq<T, Q>
 where
-    T: Copy + Ord + Send,
+    T: Copy + Ord + HasKey + Send,
     Q: LocalQueue<T>,
 {
     type Handle<'a>
@@ -135,7 +135,7 @@ pub struct SmqHandle<'a, T: Copy, Q> {
 
 impl<'a, T, Q> SmqHandle<'a, T, Q>
 where
-    T: Copy + Ord + Send,
+    T: Copy + Ord + HasKey + Send,
     Q: LocalQueue<T>,
 {
     #[inline]
@@ -173,25 +173,30 @@ where
         if queue.pop_batch_into(steal_size, &mut self.scratch) > 0 {
             slot.buffer.fill(&self.scratch);
             self.scratch.clear();
+        } else {
+            // Nothing to republish: retract the advisory snapshot left over
+            // from the stolen batch so thieves stop probing this buffer.
+            // Owner-only write — see `StealingBuffer::retract_top_key`.
+            slot.buffer.retract_top_key();
         }
     }
 
-    /// The best task this thread could return without stealing: the minimum
-    /// over its published buffer and its private queue.
-    fn local_top(&self) -> Option<T> {
-        let buffer_top = self.my_slot().buffer.top();
-        let queue_top = self.local_queue().peek().copied();
-        match (buffer_top, queue_top) {
-            (Some(a), Some(b)) => Some(a.min(b)),
-            (a, b) => a.or(b),
-        }
+    /// The key of the best task this thread could return without stealing:
+    /// the minimum over its published buffer's top-key snapshot and its
+    /// private queue's top.  `u64::MAX` when there is nothing local.
+    fn local_top_key(&self) -> u64 {
+        let buffer_key = self.my_slot().buffer.top_key();
+        let queue_key = self.local_queue().peek().map_or(u64::MAX, HasKey::key);
+        buffer_key.min(queue_key)
     }
 
     /// Claims the whole batch published by `victim`'s stealing buffer.  The
     /// best task is returned; the rest are kept in `stolen_tasks`.
     fn claim_buffer(&mut self, victim: usize) -> Option<T> {
         self.scratch.clear();
-        let n = self.parent.slots[victim].buffer.steal_into(&mut self.scratch);
+        let n = self.parent.slots[victim]
+            .buffer
+            .steal_into(&mut self.scratch);
         if n == 0 {
             return None;
         }
@@ -223,13 +228,13 @@ where
                 break v;
             }
         };
-        let victim_top = self.parent.slots[victim].buffer.top();
-        let steal_worthwhile = match (victim_top, self.local_top()) {
-            (Some(theirs), Some(ours)) => theirs < ours,
-            (Some(_), None) => true,
-            (None, _) => false,
-        };
-        if !steal_worthwhile {
+        // Compare advisory top-key snapshots — the same idiom as the
+        // Multi-Queue's snapshot-guided delete: no seqlock read loop, no
+        // slot access, just two relaxed word reads.  `claim_buffer`
+        // re-validates through the epoch-checked state word, so a stale
+        // snapshot costs at most a wasted claim attempt.
+        let victim_key = self.parent.slots[victim].buffer.top_key();
+        if victim_key >= self.local_top_key() {
             return None;
         }
         match self.claim_buffer(victim) {
@@ -266,7 +271,7 @@ where
 
 impl<T, Q> SchedulerHandle<T> for SmqHandle<'_, T, Q>
 where
-    T: Copy + Ord + Send,
+    T: Copy + Ord + HasKey + Send,
     Q: LocalQueue<T>,
 {
     fn push(&mut self, task: T) {
@@ -334,7 +339,9 @@ mod tests {
     use crate::{HeapSmq, SkipListSmq};
     use smq_core::{Probability, Task};
 
-    fn drain<T: Copy + Ord + Send, Q: LocalQueue<T>>(handle: &mut SmqHandle<'_, T, Q>) -> Vec<T> {
+    fn drain<T: Copy + Ord + HasKey + Send, Q: LocalQueue<T>>(
+        handle: &mut SmqHandle<'_, T, Q>,
+    ) -> Vec<T> {
         let mut out = Vec::new();
         let mut misses = 0;
         while misses < 16 {
@@ -376,8 +383,7 @@ mod tests {
     fn tasks_published_in_buffer_are_not_stranded() {
         // Push enough tasks that some end up in the stealing buffer, then
         // drain single-threaded: everything must come back.
-        let smq: HeapSmq<Task> =
-            HeapSmq::new(SmqConfig::default_for_threads(2).with_steal_size(4));
+        let smq: HeapSmq<Task> = HeapSmq::new(SmqConfig::default_for_threads(2).with_steal_size(4));
         let mut h = smq.handle(0);
         for v in 0..100u64 {
             h.push(Task::new(v, v));

@@ -19,6 +19,9 @@ use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 
+use crossbeam_utils::CachePadded;
+use smq_core::HasKey;
+
 /// Packed state word layout: bit 0 = stolen flag, bits 1..=16 = length,
 /// bits 17..   = epoch.
 const STOLEN_BIT: u64 = 1;
@@ -49,6 +52,17 @@ fn unpack(state: u64) -> (u64, usize, bool) {
 /// any thread.  See the module documentation for the protocol.
 pub struct StealingBuffer<T: Copy> {
     state: AtomicU64,
+    /// Cached key of `slots[0]`, `u64::MAX` when there is nothing to steal.
+    /// **Written only by the owner** — published (clamped to `u64::MAX - 1`)
+    /// on every fill, retracted by the owner when it finds its buffer stolen
+    /// with nothing to republish.  This is the same *top-key snapshot* idiom
+    /// the Multi-Queue uses for its sub-queues: a prospective thief compares
+    /// this single relaxed word against its own local top instead of running
+    /// the seqlock read loop of [`Self::top`], and only pays for validated
+    /// slot reads once it decides to steal.  After a steal and before the
+    /// owner's next operation the snapshot is stale (still the old key); a
+    /// thief acting on it merely loses one failed claim attempt.
+    top_key: CachePadded<AtomicU64>,
     slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
 }
 
@@ -65,15 +79,28 @@ impl<T: Copy> StealingBuffer<T> {
     /// owner's first `fill` publishes epoch 1.
     pub fn new(capacity: usize) -> Self {
         assert!(
-            capacity >= 1 && capacity <= MAX_CAPACITY,
+            (1..=MAX_CAPACITY).contains(&capacity),
             "capacity must be in 1..={MAX_CAPACITY}"
         );
         Self {
             state: AtomicU64::new(pack(0, 0, true)),
+            top_key: CachePadded::new(AtomicU64::new(u64::MAX)),
             slots: (0..capacity)
                 .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
                 .collect(),
         }
+    }
+
+    /// The cached priority key of the buffer's best task, `u64::MAX` when
+    /// the buffer is stolen or was never filled.
+    ///
+    /// Advisory: a thief uses it to decide *whether* stealing is worthwhile;
+    /// the actual claim ([`Self::steal_into`]) re-validates through the
+    /// epoch-checked state word, so a stale snapshot can only cost a wasted
+    /// attempt, never a torn task.
+    #[inline]
+    pub fn top_key(&self) -> u64 {
+        self.top_key.load(Ordering::Acquire)
     }
 
     /// The buffer's capacity (`STEAL_SIZE`).
@@ -107,53 +134,6 @@ impl<T: Copy> StealingBuffer<T> {
         self.len() == 0
     }
 
-    /// Publishes a new batch of tasks.  **Owner only**, and only while the
-    /// buffer is in the stolen state (the flag is what gives the owner
-    /// exclusive write access to the slots).
-    ///
-    /// # Panics
-    /// Panics if the buffer is not currently stolen, if `tasks` is empty, or
-    /// if it exceeds the capacity.
-    pub fn fill(&self, tasks: &[T]) {
-        let state = self.state.load(Ordering::Acquire);
-        let (epoch, _, stolen) = unpack(state);
-        assert!(stolen, "fill() requires the buffer to be in the stolen state");
-        assert!(!tasks.is_empty(), "fill() requires at least one task");
-        assert!(tasks.len() <= self.capacity(), "fill() exceeds capacity");
-        for (slot, task) in self.slots.iter().zip(tasks) {
-            // SAFETY: the stolen flag is set, so no other thread will read
-            // (and trust) these slots until the release store below, and only
-            // the owner calls fill().
-            unsafe {
-                (*slot.get()).write(*task);
-            }
-        }
-        self.state
-            .store(pack(epoch + 1, tasks.len(), false), Ordering::Release);
-    }
-
-    /// Reads the highest-priority task in the buffer (`tasks[0]`; the owner
-    /// fills the buffer in ascending priority order), or `None` if the
-    /// buffer is stolen or empty.
-    pub fn top(&self) -> Option<T> {
-        loop {
-            let before = self.state.load(Ordering::Acquire);
-            let (_, len, stolen) = unpack(before);
-            if stolen || len == 0 {
-                return None;
-            }
-            // SAFETY: optimistic read validated by the epoch check below;
-            // `T: Copy` so a torn value is never *used* when validation
-            // fails.  Volatile keeps the compiler from caching the read
-            // across the fence.
-            let value = unsafe { std::ptr::read_volatile(self.slots[0].get()).assume_init() };
-            fence(Ordering::Acquire);
-            if self.state.load(Ordering::Acquire) == before {
-                return Some(value);
-            }
-        }
-    }
-
     /// Attempts to claim the whole published batch, appending the tasks (in
     /// ascending priority order) to `out`.  Returns the number of tasks
     /// transferred; 0 means the buffer was stolen or empty.
@@ -177,12 +157,92 @@ impl<T: Copy> StealingBuffer<T> {
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
-                Ok(_) => return len,
+                Ok(_) => {
+                    // Note: the thief deliberately does NOT retract the
+                    // advisory `top_key` — only the owner writes it (see
+                    // `retract_top_key`).  A thief-side store could race a
+                    // concurrent owner refill and overwrite the *new*
+                    // batch's key with `u64::MAX`, permanently hiding a
+                    // claimable buffer from every other thief.  The stale
+                    // key left behind here merely costs the next thief one
+                    // failed claim attempt.
+                    return len;
+                }
                 Err(_) => {
                     // Someone else claimed the batch (or the owner refilled);
                     // discard the optimistic copy and retry.
                     out.truncate(start);
                 }
+            }
+        }
+    }
+}
+
+impl<T: Copy + HasKey> StealingBuffer<T> {
+    /// Publishes a new batch of tasks.  **Owner only**, and only while the
+    /// buffer is in the stolen state (the flag is what gives the owner
+    /// exclusive write access to the slots).
+    ///
+    /// # Panics
+    /// Panics if the buffer is not currently stolen, if `tasks` is empty, or
+    /// if it exceeds the capacity.
+    pub fn fill(&self, tasks: &[T]) {
+        let state = self.state.load(Ordering::Acquire);
+        let (epoch, _, stolen) = unpack(state);
+        assert!(
+            stolen,
+            "fill() requires the buffer to be in the stolen state"
+        );
+        assert!(!tasks.is_empty(), "fill() requires at least one task");
+        assert!(tasks.len() <= self.capacity(), "fill() exceeds capacity");
+        for (slot, task) in self.slots.iter().zip(tasks) {
+            // SAFETY: the stolen flag is set, so no other thread will read
+            // (and trust) these slots until the release store below, and only
+            // the owner calls fill().
+            unsafe {
+                (*slot.get()).write(*task);
+            }
+        }
+        // Publish the advisory snapshot before the batch becomes claimable
+        // so no thief can observe a claimable batch with a MAX snapshot.
+        // Clamped to `u64::MAX - 1`: `u64::MAX` is reserved as the pure
+        // "nothing here" sentinel, so a legitimate MAX-keyed task can never
+        // make the buffer advertise itself as empty.
+        self.top_key
+            .store(tasks[0].key().min(u64::MAX - 1), Ordering::Release);
+        self.state
+            .store(pack(epoch + 1, tasks.len(), false), Ordering::Release);
+    }
+
+    /// Retracts the advisory top-key snapshot (sets it to `u64::MAX`).
+    /// **Owner only**, and only while the buffer is stolen: the owner calls
+    /// this when it observes the stolen state but has nothing to refill
+    /// with, so thieves stop considering a buffer that stayed empty.
+    pub fn retract_top_key(&self) {
+        debug_assert!(self.is_stolen(), "retract requires the stolen state");
+        if self.top_key.load(Ordering::Relaxed) != u64::MAX {
+            self.top_key.store(u64::MAX, Ordering::Release);
+        }
+    }
+
+    /// Reads the highest-priority task in the buffer (`tasks[0]`; the owner
+    /// fills the buffer in ascending priority order), or `None` if the
+    /// buffer is stolen or empty.
+    pub fn top(&self) -> Option<T> {
+        loop {
+            let before = self.state.load(Ordering::Acquire);
+            let (_, len, stolen) = unpack(before);
+            if stolen || len == 0 {
+                return None;
+            }
+            // SAFETY: optimistic read validated by the epoch check below;
+            // `T: Copy` so a torn value is never *used* when validation
+            // fails.  Volatile keeps the compiler from caching the read
+            // across the fence.
+            let value = unsafe { std::ptr::read_volatile(self.slots[0].get()).assume_init() };
+            fence(Ordering::Acquire);
+            if self.state.load(Ordering::Acquire) == before {
+                return Some(value);
             }
         }
     }
@@ -221,6 +281,25 @@ mod tests {
         let mut out = Vec::new();
         assert_eq!(buf.steal_into(&mut out), 0);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn top_key_tracks_fill_and_owner_retract() {
+        let buf: StealingBuffer<u64> = StealingBuffer::new(4);
+        assert_eq!(buf.top_key(), u64::MAX);
+        buf.fill(&[3, 5]);
+        assert_eq!(buf.top_key(), 3);
+        let mut out = Vec::new();
+        assert_eq!(buf.steal_into(&mut out), 2);
+        // Thieves never write the snapshot (a racing write could hide a
+        // freshly refilled batch); the stale key stays until the owner acts.
+        assert_eq!(buf.top_key(), 3);
+        buf.retract_top_key();
+        assert_eq!(buf.top_key(), u64::MAX);
+        // MAX-keyed tasks clamp to MAX - 1 so a full buffer never
+        // advertises itself as empty.
+        buf.fill(&[u64::MAX]);
+        assert_eq!(buf.top_key(), u64::MAX - 1);
     }
 
     #[test]
@@ -302,8 +381,10 @@ mod tests {
                         let n = buf.steal_into(&mut out);
                         if n > 0 {
                             claimed.fetch_add(n, Ordering::Relaxed);
-                            total_sum
-                                .fetch_add(out.iter().map(|&v| v as usize).sum(), Ordering::Relaxed);
+                            total_sum.fetch_add(
+                                out.iter().map(|&v| v as usize).sum(),
+                                Ordering::Relaxed,
+                            );
                         } else if done.load(Ordering::Acquire) && buf.is_stolen() {
                             break;
                         }
@@ -350,7 +431,6 @@ mod tests {
             let stop_ref = &stop;
             s.spawn(move || {
                 let mut out = Vec::new();
-                let mut epoch = 0u64;
                 for i in 0..20_000u64 {
                     // Batches always have matching components so a torn read
                     // would be detectable.
@@ -359,8 +439,6 @@ mod tests {
                         buf_ref.steal_into(&mut out);
                     }
                     buf_ref.fill(&[(i, i), (i, i)]);
-                    epoch += 1;
-                    let _ = epoch;
                 }
                 stop_ref.store(true, Ordering::Release);
             });

@@ -41,10 +41,7 @@ fn main() {
     );
     println!(
         "executor processed {} tasks on {} threads in {:.2?} ({} steals across threads)",
-        metrics.tasks_executed,
-        metrics.threads,
-        metrics.elapsed,
-        metrics.total.steal_successes,
+        metrics.tasks_executed, metrics.threads, metrics.elapsed, metrics.total.steal_successes,
     );
     assert_eq!(metrics.tasks_executed, 3_000);
 }

@@ -8,7 +8,10 @@ use smq_repro::rank::{simulate, RankSimConfig};
 
 fn main() {
     println!("Theorem 1 predicts E[avg rank] = O(n·B·(1+γ)/p_steal · log((1+γ)/p_steal)).\n");
-    println!("{:<6} {:<9} {:<4} {:>14} {:>14}", "n", "p_steal", "B", "avg top rank", "max top rank");
+    println!(
+        "{:<6} {:<9} {:<4} {:>14} {:>14}",
+        "n", "p_steal", "B", "avg top rank", "max top rank"
+    );
     for &n in &[8usize, 16, 32] {
         for &p in &[1u32, 4, 16] {
             for &b in &[1usize, 8] {
@@ -33,5 +36,7 @@ fn main() {
             }
         }
     }
-    println!("\nRank cost grows with n, with B, and as stealing becomes rarer — the Theorem 1 shape.");
+    println!(
+        "\nRank cost grows with n, with B, and as stealing becomes rarer — the Theorem 1 shape."
+    );
 }

@@ -29,7 +29,10 @@ fn main() {
     let (sssp_ref, sssp_settled) = sssp::sequential(&graph, 0);
     let (bfs_ref, _) = bfs::sequential(&graph, 0);
 
-    println!("{:<18} {:>12} {:>12} {:>16}", "scheduler", "SSSP time", "BFS time", "SSSP work incr.");
+    println!(
+        "{:<18} {:>12} {:>12} {:>16}",
+        "scheduler", "SSSP time", "BFS time", "SSSP work incr."
+    );
 
     macro_rules! shoot {
         ($name:expr, $make:expr) => {{
@@ -50,7 +53,10 @@ fn main() {
         }};
     }
 
-    shoot!("SMQ (heap)", HeapSmq::<Task>::new(SmqConfig::default_for_threads(threads)));
+    shoot!(
+        "SMQ (heap)",
+        HeapSmq::<Task>::new(SmqConfig::default_for_threads(threads))
+    );
     shoot!(
         "SMQ (skip list)",
         SkipListSmq::<Task>::new(

@@ -30,7 +30,10 @@ fn expected_task_count(seed_tasks: u64, max_depth: u64) -> u64 {
 
 fn children_of(id: u64, depth: u64) -> u64 {
     // Deterministic pseudo-random fan-out in 0..=2.
-    (id.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(depth as u32) >> 61) % 3
+    (id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .rotate_left(depth as u32)
+        >> 61)
+        % 3
 }
 
 fn run_irregular<S: smq_repro::core::Scheduler<Task>>(scheduler: &S, threads: usize) -> u64 {
@@ -99,4 +102,135 @@ fn single_worker_runs_are_supported_by_every_scheduler() {
     assert_eq!(run_irregular(&smq, 1), expected);
     let obim: Obim<Task> = Obim::new(ObimConfig::pmod(1, 4, 16));
     assert_eq!(run_irregular(&obim, 1), expected);
+}
+
+/// Fan-out of the uniquely-identified stress workload below: depends only
+/// on depth so the total task count is computable without running.
+fn stress_fanout(depth: u64) -> u64 {
+    if depth.is_multiple_of(2) {
+        2
+    } else {
+        1
+    }
+}
+
+/// Tasks per seed in a tree of the given depth under [`stress_fanout`].
+fn stress_tasks_per_seed(max_depth: u64) -> u64 {
+    let mut total = 0u64;
+    let mut level = 1u64;
+    for depth in 0..=max_depth {
+        total += level;
+        if depth < max_depth {
+            level *= stress_fanout(depth);
+        }
+    }
+    total
+}
+
+/// Every task gets a *unique* dense id from a shared allocator and bumps its
+/// own execution slot exactly once, so the test can prove the distributed
+/// termination counters neither lose tasks (a slot left at 0 — the run
+/// exited while work was outstanding) nor double-count them (a slot above 1
+/// — a task was processed twice).
+fn run_unique_id_stress<S: smq_repro::core::Scheduler<Task>>(scheduler: &S, threads: usize) {
+    const SEEDS: u64 = 64;
+    const MAX_DEPTH: u64 = 12;
+    let total = SEEDS * stress_tasks_per_seed(MAX_DEPTH);
+    let next_id = AtomicU64::new(SEEDS);
+    let executions: Vec<AtomicU64> = (0..total).map(|_| AtomicU64::new(0)).collect();
+
+    let metrics = smq_repro::runtime::run(
+        scheduler,
+        &smq_repro::runtime::ExecutorConfig::new(threads),
+        (0..SEEDS).map(|i| Task::new(0, i)).collect(),
+        |task, sink| {
+            let depth = task.key;
+            let id = task.value;
+            executions[id as usize].fetch_add(1, Ordering::Relaxed);
+            if depth < MAX_DEPTH {
+                for _ in 0..stress_fanout(depth) {
+                    let child = next_id.fetch_add(1, Ordering::Relaxed);
+                    sink.push(Task::new(depth + 1, child));
+                }
+            }
+        },
+    );
+
+    assert_eq!(metrics.tasks_executed, total, "task count mismatch");
+    assert_eq!(
+        next_id.load(Ordering::Relaxed),
+        total,
+        "id allocator mismatch"
+    );
+    for (id, count) in executions.iter().enumerate() {
+        let count = count.load(Ordering::Relaxed);
+        assert_eq!(
+            count, 1,
+            "task {id} executed {count} times (0 = lost by termination detection, >1 = double-counted)"
+        );
+    }
+}
+
+#[test]
+fn distributed_termination_loses_nothing_on_multiqueue() {
+    let mq: MultiQueue<Task> = MultiQueue::new(MultiQueueConfig::classic(8).with_seed(21));
+    run_unique_id_stress(&mq, 8);
+}
+
+#[test]
+fn distributed_termination_loses_nothing_on_smq() {
+    let smq: HeapSmq<Task> = HeapSmq::new(
+        SmqConfig::default_for_threads(8)
+            .with_p_steal(Probability::new(2))
+            .with_seed(22),
+    );
+    run_unique_id_stress(&smq, 8);
+}
+
+#[test]
+fn distributed_termination_loses_nothing_under_always_steal() {
+    // p_steal = 1 with a tiny steal batch maximizes cross-thread counter
+    // traffic: every pop tries to move work between workers, so published
+    // and completed counts land on different counters as often as possible.
+    let smq: HeapSmq<Task> = HeapSmq::new(
+        SmqConfig::default_for_threads(4)
+            .with_p_steal(Probability::ALWAYS)
+            .with_steal_size(1)
+            .with_seed(23),
+    );
+    run_unique_id_stress(&smq, 4);
+}
+
+#[test]
+fn snapshot_delete_locks_at_most_once_per_pop_in_the_common_case() {
+    // End-to-end acceptance check for the single-lock two-choice delete:
+    // across a full irregular run the Multi-Queue must average at most ~1
+    // delete-path lock per successful pop (the classic implementation paid
+    // exactly 2).  A small margin absorbs the rare stale-snapshot fallback.
+    let mq: MultiQueue<Task> = MultiQueue::new(MultiQueueConfig::classic(4).with_seed(31));
+    let expected = expected_task_count(500, 12);
+    let executed = AtomicU64::new(0);
+    let metrics = smq_repro::runtime::run(
+        &mq,
+        &smq_repro::runtime::ExecutorConfig::new(4),
+        (0..500).map(|i| Task::new(0, i)).collect(),
+        |task, sink| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            let (depth, id) = (task.key, task.value);
+            if depth < 12 {
+                for c in 0..children_of(id, depth) {
+                    sink.push(Task::new(depth + 1, id.wrapping_mul(31).wrapping_add(c)));
+                }
+            }
+        },
+    );
+    assert_eq!(metrics.tasks_executed, expected);
+    let locks_per_pop = metrics
+        .total
+        .locks_per_pop()
+        .expect("lock-based scheduler must count delete-path locks");
+    assert!(
+        locks_per_pop <= 1.25,
+        "snapshot delete averaged {locks_per_pop:.3} locks per pop (want ~1, classic was 2)"
+    );
 }

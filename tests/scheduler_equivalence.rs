@@ -7,9 +7,7 @@ use smq_repro::algos::{astar, bfs, mst, sssp};
 use smq_repro::core::{Probability, Task};
 use smq_repro::graph::generators::{power_law, road_network, PowerLawParams, RoadNetworkParams};
 use smq_repro::graph::CsrGraph;
-use smq_repro::multiqueue::{
-    DeletePolicy, InsertPolicy, MultiQueue, MultiQueueConfig, Reld,
-};
+use smq_repro::multiqueue::{DeletePolicy, InsertPolicy, MultiQueue, MultiQueueConfig, Reld};
 use smq_repro::obim::{Obim, ObimConfig};
 use smq_repro::runtime::Topology;
 use smq_repro::smq::{HeapSmq, SkipListSmq, SmqConfig};
