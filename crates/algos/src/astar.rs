@@ -9,14 +9,15 @@
 //!
 //! Task priority is the usual `f = g + h`; a task is wasted if its `g` value
 //! is stale or if the vertex can no longer improve the best known route to
-//! the target.
+//! the target.  The parallel run is [`AstarWorkload`] on the generic
+//! [`engine`].
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use smq_core::{Scheduler, Task};
 use smq_graph::CsrGraph;
-use smq_runtime::ExecutorConfig;
 
+use crate::engine::{self, DecreaseKeyWorkload, SequentialReference, TaskOutcome};
 use crate::workload::AlgoResult;
 
 /// Result of an A* run.
@@ -74,6 +75,101 @@ pub fn sequential(graph: &CsrGraph, source: u32, target: u32) -> (u64, u64) {
     (g_score[target as usize], expanded)
 }
 
+/// The A* workload: tasks are `(f = g + h, vertex)`, shared state = one
+/// atomic g-score per vertex plus the best route to the target found so
+/// far (used to prune vertices that can no longer matter).
+pub struct AstarWorkload<'g> {
+    graph: &'g CsrGraph,
+    source: u32,
+    target: u32,
+    g_score: Vec<AtomicU64>,
+    best_target: AtomicU64,
+}
+
+impl<'g> AstarWorkload<'g> {
+    /// A* from `source` to `target`.
+    pub fn new(graph: &'g CsrGraph, source: u32, target: u32) -> Self {
+        let n = graph.num_nodes();
+        assert!(
+            (source as usize) < n && (target as usize) < n,
+            "vertex out of range"
+        );
+        let g_score: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+        g_score[source as usize].store(0, Ordering::Relaxed);
+        Self {
+            graph,
+            source,
+            target,
+            g_score,
+            best_target: AtomicU64::new(u64::MAX),
+        }
+    }
+}
+
+impl DecreaseKeyWorkload for AstarWorkload<'_> {
+    type Output = u64;
+
+    fn name(&self) -> &'static str {
+        "A*"
+    }
+
+    fn initial_tasks(&self) -> Vec<Task> {
+        vec![Task::new(
+            heuristic(self.graph, self.source, self.target),
+            u64::from(self.source),
+        )]
+    }
+
+    fn process(&self, task: Task, push: &mut dyn FnMut(Task)) -> TaskOutcome {
+        let v = task.value as u32;
+        let g = self.g_score[v as usize].load(Ordering::Relaxed);
+        // Recompute the expected priority; a mismatch means a better path
+        // to `v` has been found since this task was pushed.
+        let expected_f = g.saturating_add(heuristic(self.graph, v, self.target));
+        if task.key > expected_f || g == u64::MAX {
+            return TaskOutcome::Wasted;
+        }
+        // Prune vertices that cannot improve the best route found so far
+        // (admissible heuristic ⇒ f is a lower bound on any route via v).
+        if expected_f >= self.best_target.load(Ordering::Relaxed) {
+            return TaskOutcome::Wasted;
+        }
+        if v == self.target {
+            self.best_target.fetch_min(g, Ordering::Relaxed);
+            return TaskOutcome::Useful;
+        }
+        for (u, w) in self.graph.neighbors(v) {
+            let ng = g + u64::from(w);
+            if engine::try_decrease(&self.g_score[u as usize], ng) {
+                if u == self.target {
+                    self.best_target.fetch_min(ng, Ordering::Relaxed);
+                }
+                push(Task::new(
+                    ng + heuristic(self.graph, u, self.target),
+                    u64::from(u),
+                ));
+            }
+        }
+        TaskOutcome::Useful
+    }
+
+    fn output(&self) -> u64 {
+        self.g_score[self.target as usize].load(Ordering::Relaxed)
+    }
+
+    fn sequential_reference(&self) -> SequentialReference<u64> {
+        let (output, baseline_tasks) = sequential(self.graph, self.source, self.target);
+        SequentialReference {
+            output,
+            baseline_tasks,
+        }
+    }
+
+    fn outputs_equivalent(&self, a: &u64, b: &u64) -> bool {
+        a == b
+    }
+}
+
 /// Runs A* from `source` to `target` on `scheduler` with `threads` workers.
 pub fn parallel<S>(
     graph: &CsrGraph,
@@ -85,77 +181,11 @@ pub fn parallel<S>(
 where
     S: Scheduler<Task>,
 {
-    let n = graph.num_nodes();
-    assert!(
-        (source as usize) < n && (target as usize) < n,
-        "vertex out of range"
-    );
-    let g_score: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
-    g_score[source as usize].store(0, Ordering::Relaxed);
-    let best_target = AtomicU64::new(u64::MAX);
-    let useful = AtomicU64::new(0);
-    let wasted = AtomicU64::new(0);
-
-    let metrics = smq_runtime::run(
-        scheduler,
-        &ExecutorConfig::new(threads),
-        vec![Task::new(
-            heuristic(graph, source, target),
-            u64::from(source),
-        )],
-        |task, sink| {
-            let v = task.value as u32;
-            let g = g_score[v as usize].load(Ordering::Relaxed);
-            // Recompute the expected priority; a mismatch means a better path
-            // to `v` has been found since this task was pushed.
-            let expected_f = g.saturating_add(heuristic(graph, v, target));
-            if task.key > expected_f || g == u64::MAX {
-                wasted.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-            // Prune vertices that cannot improve the best route found so far
-            // (admissible heuristic ⇒ f is a lower bound on any route via v).
-            if expected_f >= best_target.load(Ordering::Relaxed) {
-                wasted.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-            useful.fetch_add(1, Ordering::Relaxed);
-            if v == target {
-                best_target.fetch_min(g, Ordering::Relaxed);
-                return;
-            }
-            for (u, w) in graph.neighbors(v) {
-                let ng = g + u64::from(w);
-                let slot = &g_score[u as usize];
-                let mut current = slot.load(Ordering::Relaxed);
-                while ng < current {
-                    match slot.compare_exchange_weak(
-                        current,
-                        ng,
-                        Ordering::Relaxed,
-                        Ordering::Relaxed,
-                    ) {
-                        Ok(_) => {
-                            if u == target {
-                                best_target.fetch_min(ng, Ordering::Relaxed);
-                            }
-                            sink.push(Task::new(ng + heuristic(graph, u, target), u64::from(u)));
-                            break;
-                        }
-                        Err(observed) => current = observed,
-                    }
-                }
-            }
-        },
-    );
-
+    let workload = AstarWorkload::new(graph, source, target);
+    let run = engine::run_parallel(&workload, scheduler, threads);
     AstarRun {
-        distance: g_score[target as usize].load(Ordering::Relaxed),
-        result: AlgoResult {
-            metrics,
-            useful_tasks: useful.into_inner(),
-            wasted_tasks: wasted.into_inner(),
-        },
+        distance: run.output,
+        result: run.result,
     }
 }
 

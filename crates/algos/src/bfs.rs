@@ -3,13 +3,15 @@
 //! The paper runs BFS through the same scheduler machinery as SSSP by
 //! treating every edge as having weight 1 and prioritizing tasks by hop
 //! count.  This keeps the comparison between schedulers apples-to-apples:
-//! the only difference from SSSP is the weight function, so we reuse the
-//! SSSP engine with a constant mapping.
+//! the only difference from SSSP is the weight function, so BFS is
+//! literally [`SsspWorkload::bfs`] — the engine workload with a constant
+//! weight mapping.
 
 use smq_core::{Scheduler, Task};
 use smq_graph::CsrGraph;
 
-use crate::sssp;
+use crate::engine;
+use crate::sssp::{self, SsspWorkload};
 use crate::workload::AlgoResult;
 
 /// Hop counts plus run accounting from a parallel BFS execution.
@@ -33,9 +35,10 @@ pub fn parallel<S>(graph: &CsrGraph, source: u32, scheduler: &S, threads: usize)
 where
     S: Scheduler<Task>,
 {
-    let run = sssp::parallel_weighted(graph, source, scheduler, threads, |_| 1);
+    let workload = SsspWorkload::bfs(graph, source);
+    let run = engine::run_parallel(&workload, scheduler, threads);
     BfsRun {
-        levels: run.distances,
+        levels: run.output,
         result: run.result,
     }
 }

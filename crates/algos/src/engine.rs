@@ -1,0 +1,253 @@
+//! The generic relaxed-priority workload engine.
+//!
+//! Every workload in this crate — SSSP, BFS, A*, Borůvka MST,
+//! PageRank-delta, k-core — is the same pattern wearing different clothes:
+//! seed the scheduler with prioritized tasks, pop tasks, decide whether each
+//! popped task still matters (*useful*) or was made stale by concurrent
+//! progress (*wasted*), update some shared monotone state, and push
+//! follow-up tasks.  [`DecreaseKeyWorkload`] captures exactly that contract
+//! and [`run_parallel`] is the one parallel driver, so the useful/wasted
+//! accounting, the executor invocation, and the [`AlgoResult`] assembly
+//! exist once instead of once per algorithm.
+//!
+//! The shared state of these workloads is monotone (distances only
+//! decrease, residuals drain, h-values fall, components merge), which is
+//! what makes them safe under *relaxed* schedulers: executing tasks out of
+//! strict priority order changes how much work is done, never what is
+//! computed.  [`try_decrease`] is the canonical CAS-relax step for the
+//! `AtomicU64`-per-vertex workloads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use smq_core::{Scheduler, Task};
+use smq_runtime::ExecutorConfig;
+
+use crate::workload::AlgoResult;
+
+/// What processing one task accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskOutcome {
+    /// The task advanced the algorithm (settled a vertex, drained a
+    /// residual, merged a component, lowered an h-value, ...).
+    Useful,
+    /// The task was stale on arrival — the wasted work caused by relaxed
+    /// priority ordering, the central quantity of the paper's evaluation.
+    Wasted,
+}
+
+/// The output of a workload's exact sequential reference implementation.
+#[derive(Debug, Clone)]
+pub struct SequentialReference<O> {
+    /// The reference answer the parallel run must be equivalent to.
+    pub output: O,
+    /// How many tasks the sequential execution processed — the baseline for
+    /// the paper's *work increase* metric.
+    pub baseline_tasks: u64,
+}
+
+/// A workload expressible over a relaxed priority scheduler.
+///
+/// Implementations own the per-run shared state (atomic distance arrays,
+/// residual vectors, union-find structures, ...) and borrow the input
+/// graph; one value of the implementing type corresponds to one run.
+///
+/// The contract that makes a workload safe under every scheduler in this
+/// workspace: [`process`](Self::process) must be correct for *any* order of
+/// task execution, and tasks may be executed while already stale (the
+/// implementation detects this and reports [`TaskOutcome::Wasted`]).
+pub trait DecreaseKeyWorkload: Sync {
+    /// The algorithm-level answer (distances, ranks, core numbers, ...).
+    type Output;
+
+    /// Short display name ("SSSP", "PR-delta", ...).
+    fn name(&self) -> &'static str;
+
+    /// The tasks seeding the run.
+    fn initial_tasks(&self) -> Vec<Task>;
+
+    /// Executes one task against the shared state, pushing any follow-up
+    /// tasks through `push`, and reports whether the task was useful.
+    fn process(&self, task: Task, push: &mut dyn FnMut(Task)) -> TaskOutcome;
+
+    /// A snapshot of the algorithm-level answer held in the shared state.
+    /// Meaningful once the run has terminated (quiescent state).
+    fn output(&self) -> Self::Output;
+
+    /// Runs the exact sequential reference on the same input.
+    fn sequential_reference(&self) -> SequentialReference<Self::Output>;
+
+    /// Whether two outputs are equivalent for this workload.  Exact
+    /// workloads (SSSP, BFS, A*, MST, k-core) compare with `==`;
+    /// approximate ones (PageRank-delta) compare within the error bound
+    /// their termination threshold guarantees.
+    fn outputs_equivalent(&self, a: &Self::Output, b: &Self::Output) -> bool;
+}
+
+/// Output plus accounting from one parallel engine run.
+#[derive(Debug, Clone)]
+pub struct EngineRun<O> {
+    /// The workload's answer, read from the shared state after termination.
+    pub output: O,
+    /// Work and wall-clock accounting.  `useful_tasks + wasted_tasks`
+    /// always equals `metrics.tasks_executed`: the driver classifies every
+    /// processed task as exactly one of the two.
+    pub result: AlgoResult,
+}
+
+/// Runs `workload` to quiescence on `scheduler` with `threads` workers.
+///
+/// This is the only parallel driver in the crate: it owns the executor
+/// invocation, the useful/wasted counters, and the [`AlgoResult`]
+/// assembly for every workload.
+pub fn run_parallel<W, S>(workload: &W, scheduler: &S, threads: usize) -> EngineRun<W::Output>
+where
+    W: DecreaseKeyWorkload,
+    S: Scheduler<Task>,
+{
+    let useful = AtomicU64::new(0);
+    let wasted = AtomicU64::new(0);
+
+    let metrics = smq_runtime::run(
+        scheduler,
+        &ExecutorConfig::new(threads),
+        workload.initial_tasks(),
+        |task, sink| {
+            let mut push = |t: Task| sink.push(t);
+            match workload.process(task, &mut push) {
+                TaskOutcome::Useful => useful.fetch_add(1, Ordering::Relaxed),
+                TaskOutcome::Wasted => wasted.fetch_add(1, Ordering::Relaxed),
+            };
+        },
+    );
+
+    EngineRun {
+        output: workload.output(),
+        result: AlgoResult {
+            metrics,
+            useful_tasks: useful.into_inner(),
+            wasted_tasks: wasted.into_inner(),
+        },
+    }
+}
+
+/// Runs the parallel workload and asserts it is equivalent to its
+/// sequential reference, returning both runs' data.  The shared
+/// correctness check used by the integration and property tests.
+pub fn run_and_check<W, S>(
+    workload: &W,
+    scheduler: &S,
+    threads: usize,
+) -> (EngineRun<W::Output>, SequentialReference<W::Output>)
+where
+    W: DecreaseKeyWorkload,
+    S: Scheduler<Task>,
+{
+    let run = run_parallel(workload, scheduler, threads);
+    let reference = workload.sequential_reference();
+    assert!(
+        workload.outputs_equivalent(&run.output, &reference.output),
+        "{} diverged from its sequential reference",
+        workload.name()
+    );
+    (run, reference)
+}
+
+/// The canonical CAS-relax step: atomically lowers `slot` to `proposed` if
+/// `proposed` is strictly smaller than the current value.
+///
+/// Returns `true` when this call performed the decrease (the caller should
+/// then publish a follow-up task), `false` when the slot already held an
+/// equal or smaller value — some other task got there first, which is
+/// precisely how concurrent relaxations deduplicate work.
+#[inline]
+pub fn try_decrease(slot: &AtomicU64, proposed: u64) -> bool {
+    let mut current = slot.load(Ordering::Relaxed);
+    while proposed < current {
+        match slot.compare_exchange_weak(current, proposed, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return true,
+            Err(observed) => current = observed,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smq_scheduler::{HeapSmq, SmqConfig};
+
+    #[test]
+    fn try_decrease_only_lowers() {
+        let slot = AtomicU64::new(10);
+        assert!(try_decrease(&slot, 7));
+        assert_eq!(slot.load(Ordering::Relaxed), 7);
+        assert!(!try_decrease(&slot, 7), "equal value is not a decrease");
+        assert!(!try_decrease(&slot, 9), "larger value must be rejected");
+        assert_eq!(slot.load(Ordering::Relaxed), 7);
+        assert!(try_decrease(&slot, 0));
+        assert_eq!(slot.load(Ordering::Relaxed), 0);
+    }
+
+    /// A toy workload: count down from each seed key to zero; the output is
+    /// the number of tasks that reached zero.  Exercises the driver's
+    /// counters without any graph machinery.
+    struct Countdown {
+        reached_zero: AtomicU64,
+    }
+
+    impl DecreaseKeyWorkload for Countdown {
+        type Output = u64;
+
+        fn name(&self) -> &'static str {
+            "countdown"
+        }
+
+        fn initial_tasks(&self) -> Vec<Task> {
+            (1..=8u64).map(|k| Task::new(k, k)).collect()
+        }
+
+        fn process(&self, task: Task, push: &mut dyn FnMut(Task)) -> TaskOutcome {
+            if task.key == 0 {
+                self.reached_zero.fetch_add(1, Ordering::Relaxed);
+                TaskOutcome::Wasted
+            } else {
+                push(Task::new(task.key - 1, task.value));
+                TaskOutcome::Useful
+            }
+        }
+
+        fn output(&self) -> u64 {
+            self.reached_zero.load(Ordering::Relaxed)
+        }
+
+        fn sequential_reference(&self) -> SequentialReference<u64> {
+            // 8 chains reach zero; each chain of length k+1 executes k
+            // useful steps plus the terminal task.
+            SequentialReference {
+                output: 8,
+                baseline_tasks: (1..=8u64).map(|k| k + 1).sum(),
+            }
+        }
+
+        fn outputs_equivalent(&self, a: &u64, b: &u64) -> bool {
+            a == b
+        }
+    }
+
+    #[test]
+    fn driver_counts_every_task_exactly_once() {
+        let workload = Countdown {
+            reached_zero: AtomicU64::new(0),
+        };
+        let smq: HeapSmq<Task> = HeapSmq::new(SmqConfig::default_for_threads(2));
+        let (run, reference) = run_and_check(&workload, &smq, 2);
+        assert_eq!(run.output, 8);
+        assert_eq!(
+            run.result.total_tasks(),
+            run.result.metrics.tasks_executed,
+            "useful + wasted must equal tasks executed"
+        );
+        assert_eq!(run.result.total_tasks(), reference.baseline_tasks);
+        assert_eq!(run.result.wasted_tasks, 8);
+    }
+}

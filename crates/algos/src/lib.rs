@@ -1,27 +1,40 @@
 //! Task-parallel graph algorithms formulated over relaxed priority
 //! schedulers, plus exact sequential references.
 //!
-//! These are the four workloads of the paper's evaluation (Section 5):
+//! All workloads run through one generic driver: [`engine`] defines the
+//! [`DecreaseKeyWorkload`] trait (initial
+//! tasks, a `process` step classifying each task as useful or wasted, a
+//! shared-state output view, and a sequential reference) and
+//! [`engine::run_parallel`], which owns the executor invocation and the
+//! useful/wasted accounting for every algorithm.  The six workloads:
 //!
 //! * [`sssp`] — single-source shortest paths with priority = tentative
 //!   distance (the delta-stepping-style formulation Galois uses),
 //! * [`bfs`] — breadth-first search, i.e. SSSP with unit weights,
 //! * [`astar`] — point-to-point shortest path guided by a Euclidean
 //!   (equirectangular-style) distance heuristic,
-//! * [`mst`] — Borůvka's minimum-spanning-forest algorithm with per-component
-//!   tasks prioritized by component size.
+//! * [`mst`] — Borůvka's minimum-spanning-forest algorithm with
+//!   per-component tasks prioritized by component size,
+//! * [`pagerank`] — residual-prioritized PageRank-delta (largest pending
+//!   residual first),
+//! * [`kcore`] — k-core decomposition via the asynchronous h-index fixed
+//!   point (lowest candidate coreness first).
 //!
-//! Every parallel run reports both wall-clock metrics (via `smq-runtime`) and
-//! the algorithm-level *work* counters the paper uses to quantify wasted
-//! work: how many tasks were executed versus how many a perfectly ordered
-//! execution would need.
+//! Every parallel run reports both wall-clock metrics (via `smq-runtime`)
+//! and the algorithm-level *work* counters the paper uses to quantify
+//! wasted work: how many tasks were executed versus how many a perfectly
+//! ordered execution would need.
 
 #![warn(missing_docs)]
 
 pub mod astar;
 pub mod bfs;
+pub mod engine;
+pub mod kcore;
 pub mod mst;
+pub mod pagerank;
 pub mod sssp;
 pub mod workload;
 
+pub use engine::{DecreaseKeyWorkload, EngineRun, SequentialReference, TaskOutcome};
 pub use workload::AlgoResult;

@@ -21,8 +21,8 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use parking_lot::Mutex;
 use smq_core::{Scheduler, Task};
 use smq_graph::CsrGraph;
-use smq_runtime::ExecutorConfig;
 
+use crate::engine::{self, DecreaseKeyWorkload, SequentialReference, TaskOutcome};
 use crate::workload::AlgoResult;
 
 /// Result of a minimum-spanning-forest run.
@@ -202,65 +202,110 @@ pub fn sequential(graph: &CsrGraph) -> (u64, u64, u64) {
     )
 }
 
+/// The Borůvka workload: one task per live component, priority = component
+/// size, shared state = the union-find plus member lists of
+/// `BoruvkaState`.  The output is `(forest weight, edges in forest)`.
+pub struct BoruvkaWorkload<'g> {
+    graph: &'g CsrGraph,
+    state: BoruvkaState<'g>,
+}
+
+impl<'g> BoruvkaWorkload<'g> {
+    /// Minimum spanning forest of `graph`.
+    ///
+    /// The graph must be symmetric (every edge present in both directions,
+    /// e.g. built with `add_undirected_edge` or a symmetrized copy): the
+    /// cut-property argument that makes relaxed execution safe scans a
+    /// component's *outgoing* adjacency and assumes that covers every edge
+    /// leaving the component.
+    pub fn new(graph: &'g CsrGraph) -> Self {
+        Self {
+            graph,
+            state: BoruvkaState::new(graph),
+        }
+    }
+}
+
+impl DecreaseKeyWorkload for BoruvkaWorkload<'_> {
+    type Output = (u64, u64);
+
+    fn name(&self) -> &'static str {
+        "MST"
+    }
+
+    fn initial_tasks(&self) -> Vec<Task> {
+        // One initial task per vertex; priority = component size (1).
+        (0..self.graph.num_nodes() as u32)
+            .map(|v| Task::new(1, u64::from(v)))
+            .collect()
+    }
+
+    fn process(&self, task: Task, push: &mut dyn FnMut(Task)) -> TaskOutcome {
+        let state = &self.state;
+        let root = state.uf.find(task.value as u32);
+        if u64::from(root) != task.value {
+            // The component this task was created for has been merged away;
+            // the surviving component has (or will get) its own task.
+            return TaskOutcome::Wasted;
+        }
+        let scan = state.scan_component(root);
+        if scan.best.is_none() {
+            // Isolated component or already spanning its connected part.
+            return TaskOutcome::Useful;
+        }
+        match state.try_commit(root, &scan) {
+            Ok(winner) => {
+                let size = state.component_size(winner) as u64;
+                if (size as usize) < self.graph.num_nodes() {
+                    push(Task::new(size, u64::from(winner)));
+                }
+                TaskOutcome::Useful
+            }
+            Err(()) => {
+                // A concurrent merge invalidated the scan: re-enqueue the
+                // (possibly renamed) component and count the wasted attempt.
+                let current = state.uf.find(root);
+                let size = state.component_size(current) as u64;
+                push(Task::new(size, u64::from(current)));
+                TaskOutcome::Wasted
+            }
+        }
+    }
+
+    fn output(&self) -> (u64, u64) {
+        (
+            self.state.total_weight.load(Ordering::Relaxed),
+            self.state.edges_in_forest.load(Ordering::Relaxed),
+        )
+    }
+
+    fn sequential_reference(&self) -> SequentialReference<(u64, u64)> {
+        let (weight, edges, baseline_tasks) = sequential(self.graph);
+        SequentialReference {
+            output: (weight, edges),
+            baseline_tasks,
+        }
+    }
+
+    fn outputs_equivalent(&self, a: &(u64, u64), b: &(u64, u64)) -> bool {
+        // Effective edge weights are distinct (ties broken by endpoint
+        // ids), so the forest — and therefore both quantities — is unique.
+        a == b
+    }
+}
+
 /// Runs parallel Borůvka on `scheduler` with `threads` workers.
 pub fn parallel<S>(graph: &CsrGraph, scheduler: &S, threads: usize) -> MstRun
 where
     S: Scheduler<Task>,
 {
-    let state = BoruvkaState::new(graph);
-    let useful = AtomicU64::new(0);
-    let wasted = AtomicU64::new(0);
-    let n = graph.num_nodes() as u32;
-
-    // One initial task per vertex; priority = component size (1).
-    let initial: Vec<Task> = (0..n).map(|v| Task::new(1, u64::from(v))).collect();
-
-    let metrics = smq_runtime::run(
-        scheduler,
-        &ExecutorConfig::new(threads),
-        initial,
-        |task, sink| {
-            let root = state.uf.find(task.value as u32);
-            if u64::from(root) != task.value {
-                // The component this task was created for has been merged away;
-                // the surviving component has (or will get) its own task.
-                wasted.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-            let scan = state.scan_component(root);
-            if scan.best.is_none() {
-                // Isolated component or already spanning its connected part.
-                useful.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-            match state.try_commit(root, &scan) {
-                Ok(winner) => {
-                    useful.fetch_add(1, Ordering::Relaxed);
-                    let size = state.component_size(winner) as u64;
-                    if (size as usize) < graph.num_nodes() {
-                        sink.push(Task::new(size, u64::from(winner)));
-                    }
-                }
-                Err(()) => {
-                    // A concurrent merge invalidated the scan: re-enqueue the
-                    // (possibly renamed) component and count the wasted attempt.
-                    wasted.fetch_add(1, Ordering::Relaxed);
-                    let current = state.uf.find(root);
-                    let size = state.component_size(current) as u64;
-                    sink.push(Task::new(size, u64::from(current)));
-                }
-            }
-        },
-    );
-
+    let workload = BoruvkaWorkload::new(graph);
+    let run = engine::run_parallel(&workload, scheduler, threads);
+    let (total_weight, edges_in_forest) = run.output;
     MstRun {
-        total_weight: state.total_weight.load(Ordering::Relaxed),
-        edges_in_forest: state.edges_in_forest.load(Ordering::Relaxed),
-        result: AlgoResult {
-            metrics,
-            useful_tasks: useful.into_inner(),
-            wasted_tasks: wasted.into_inner(),
-        },
+        total_weight,
+        edges_in_forest,
+        result: run.result,
     }
 }
 

@@ -6,13 +6,17 @@
 //! found meanwhile) is *wasted work*; the better the scheduler's rank
 //! guarantees, the fewer such tasks are executed — this is the core
 //! mechanism behind the paper's Figure 2 results.
+//!
+//! The parallel run is [`SsspWorkload`] driven by the generic
+//! [`engine`]; the same workload with a unit weight mapping
+//! is BFS (see [`crate::bfs`]).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use smq_core::{Scheduler, Task};
 use smq_graph::CsrGraph;
-use smq_runtime::{ExecutorConfig, RunMetrics};
 
+use crate::engine::{self, DecreaseKeyWorkload, SequentialReference, TaskOutcome};
 use crate::workload::AlgoResult;
 
 /// Distances plus run accounting from a parallel SSSP execution.
@@ -63,12 +67,117 @@ pub fn sequential_weighted(
     (dist, settled)
 }
 
+/// The SSSP workload: one `(distance, vertex)` task per relaxation, shared
+/// state = one atomic tentative distance per vertex, priority = distance.
+///
+/// Generic over the edge-weight mapping so BFS (constant weight 1) shares
+/// the implementation — the only difference between the two workloads.
+pub struct SsspWorkload<'g, F = fn(u32) -> u64> {
+    graph: &'g CsrGraph,
+    source: u32,
+    label: &'static str,
+    edge_weight: F,
+    distances: Vec<AtomicU64>,
+}
+
+impl<'g> SsspWorkload<'g> {
+    /// SSSP from `source` with the graph's own edge weights.
+    pub fn new(graph: &'g CsrGraph, source: u32) -> Self {
+        Self::with_weight(graph, source, "SSSP", u64::from)
+    }
+
+    /// BFS from `source`: every edge counts 1 hop.
+    pub fn bfs(graph: &'g CsrGraph, source: u32) -> Self {
+        Self::with_weight(graph, source, "BFS", |_| 1)
+    }
+}
+
+impl<'g, F> SsspWorkload<'g, F>
+where
+    F: Fn(u32) -> u64 + Sync,
+{
+    /// SSSP with a caller-supplied weight mapping and display label.
+    pub fn with_weight(
+        graph: &'g CsrGraph,
+        source: u32,
+        label: &'static str,
+        edge_weight: F,
+    ) -> Self {
+        let n = graph.num_nodes();
+        assert!((source as usize) < n, "source vertex out of range");
+        let distances: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+        distances[source as usize].store(0, Ordering::Relaxed);
+        Self {
+            graph,
+            source,
+            label,
+            edge_weight,
+            distances,
+        }
+    }
+}
+
+impl<F> DecreaseKeyWorkload for SsspWorkload<'_, F>
+where
+    F: Fn(u32) -> u64 + Sync,
+{
+    type Output = Vec<u64>;
+
+    fn name(&self) -> &'static str {
+        self.label
+    }
+
+    fn initial_tasks(&self) -> Vec<Task> {
+        vec![Task::new(0, u64::from(self.source))]
+    }
+
+    fn process(&self, task: Task, push: &mut dyn FnMut(Task)) -> TaskOutcome {
+        let v = task.value as usize;
+        let d = task.key;
+        if d > self.distances[v].load(Ordering::Relaxed) {
+            return TaskOutcome::Wasted;
+        }
+        for (u, w) in self.graph.neighbors(v as u32) {
+            let nd = d + (self.edge_weight)(w);
+            if engine::try_decrease(&self.distances[u as usize], nd) {
+                push(Task::new(nd, u64::from(u)));
+            }
+        }
+        TaskOutcome::Useful
+    }
+
+    fn output(&self) -> Vec<u64> {
+        self.distances
+            .iter()
+            .map(|d| d.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    fn sequential_reference(&self) -> SequentialReference<Vec<u64>> {
+        let (output, baseline_tasks) =
+            sequential_weighted(self.graph, self.source, &self.edge_weight);
+        SequentialReference {
+            output,
+            baseline_tasks,
+        }
+    }
+
+    fn outputs_equivalent(&self, a: &Vec<u64>, b: &Vec<u64>) -> bool {
+        a == b
+    }
+}
+
 /// Runs SSSP from `source` on `scheduler` with `threads` worker threads.
 pub fn parallel<S>(graph: &CsrGraph, source: u32, scheduler: &S, threads: usize) -> SsspRun
 where
     S: Scheduler<Task>,
 {
-    parallel_weighted(graph, source, scheduler, threads, u64::from)
+    let workload = SsspWorkload::new(graph, source);
+    let run = engine::run_parallel(&workload, scheduler, threads);
+    SsspRun {
+        distances: run.output,
+        result: run.result,
+    }
 }
 
 /// Parallel SSSP with a caller-supplied weight mapping.
@@ -82,54 +191,11 @@ pub fn parallel_weighted<S>(
 where
     S: Scheduler<Task>,
 {
-    let n = graph.num_nodes();
-    assert!((source as usize) < n, "source vertex out of range");
-    let distances: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
-    distances[source as usize].store(0, Ordering::Relaxed);
-    let useful = AtomicU64::new(0);
-    let wasted = AtomicU64::new(0);
-
-    let metrics: RunMetrics = smq_runtime::run(
-        scheduler,
-        &ExecutorConfig::new(threads),
-        vec![Task::new(0, u64::from(source))],
-        |task, sink| {
-            let v = task.value as usize;
-            let d = task.key;
-            if d > distances[v].load(Ordering::Relaxed) {
-                wasted.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-            useful.fetch_add(1, Ordering::Relaxed);
-            for (u, w) in graph.neighbors(v as u32) {
-                let nd = d + edge_weight(w);
-                let target = &distances[u as usize];
-                let mut current = target.load(Ordering::Relaxed);
-                while nd < current {
-                    match target.compare_exchange_weak(
-                        current,
-                        nd,
-                        Ordering::Relaxed,
-                        Ordering::Relaxed,
-                    ) {
-                        Ok(_) => {
-                            sink.push(Task::new(nd, u64::from(u)));
-                            break;
-                        }
-                        Err(observed) => current = observed,
-                    }
-                }
-            }
-        },
-    );
-
+    let workload = SsspWorkload::with_weight(graph, source, "SSSP", edge_weight);
+    let run = engine::run_parallel(&workload, scheduler, threads);
     SsspRun {
-        distances: distances.into_iter().map(|d| d.into_inner()).collect(),
-        result: AlgoResult {
-            metrics,
-            useful_tasks: useful.into_inner(),
-            wasted_tasks: wasted.into_inner(),
-        },
+        distances: run.output,
+        result: run.result,
     }
 }
 
@@ -220,6 +286,16 @@ mod tests {
     fn spraylist_parallel_sssp_is_correct() {
         let sl: SprayList<Task> = SprayList::new(SprayListConfig::default_for_threads(2));
         check_parallel_matches_sequential(&sl, 2);
+    }
+
+    #[test]
+    fn workload_reports_equivalence_against_its_own_reference() {
+        let g = small_road();
+        let workload = SsspWorkload::new(&g, 0);
+        let smq: HeapSmq<Task> = HeapSmq::new(SmqConfig::default_for_threads(2));
+        let (run, reference) = engine::run_and_check(&workload, &smq, 2);
+        assert_eq!(run.output, reference.output);
+        assert!(reference.baseline_tasks > 0);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Minimal command-line handling shared by the figure binaries.
 
+use crate::schedulers::Workload;
+
 /// Common knobs accepted by every figure binary.
 #[derive(Debug, Clone)]
 pub struct BenchArgs {
@@ -12,6 +14,9 @@ pub struct BenchArgs {
     pub repetitions: usize,
     /// Base PRNG seed.
     pub seed: u64,
+    /// Workload filter from `--workloads` (comma-separated names); `None`
+    /// means the binary's default set.
+    pub workloads: Option<Vec<Workload>>,
 }
 
 impl Default for BenchArgs {
@@ -21,14 +26,15 @@ impl Default for BenchArgs {
             full_scale: false,
             repetitions: 3,
             seed: 0xBE7C,
+            workloads: None,
         }
     }
 }
 
 impl BenchArgs {
-    /// Parses `--threads N`, `--scale small|full`, `--reps N`, `--seed N`
-    /// from an iterator of arguments.  Unknown flags are returned so callers
-    /// can handle binary-specific options.
+    /// Parses `--threads N`, `--scale small|full`, `--reps N`, `--seed N`,
+    /// `--workloads a,b,...` from an iterator of arguments.  Unknown flags
+    /// are returned so callers can handle binary-specific options.
     pub fn parse<I: IntoIterator<Item = String>>(args: I) -> (Self, Vec<String>) {
         let mut out = Self::default();
         let mut rest = Vec::new();
@@ -61,12 +67,34 @@ impl BenchArgs {
                         .and_then(|v| v.parse().ok())
                         .expect("--seed needs an integer");
                 }
+                "--workloads" => {
+                    let list = iter
+                        .next()
+                        .expect("--workloads needs a comma-separated list");
+                    out.workloads = Some(
+                        list.split(',')
+                            .map(|name| {
+                                Workload::parse(name).unwrap_or_else(|| {
+                                    panic!("unknown workload '{name}' in --workloads")
+                                })
+                            })
+                            .collect(),
+                    );
+                }
                 _ => rest.push(arg),
             }
         }
         assert!(out.threads >= 1, "need at least one thread");
         assert!(out.repetitions >= 1, "need at least one repetition");
         (out, rest)
+    }
+
+    /// The workloads a sweep should run: the `--workloads` selection, or
+    /// all six when the flag was absent.
+    pub fn selected_workloads(&self) -> Vec<Workload> {
+        self.workloads
+            .clone()
+            .unwrap_or_else(|| Workload::ALL.to_vec())
     }
 
     /// Parses the real process arguments (skipping the program name).
@@ -89,6 +117,23 @@ mod tests {
         assert_eq!(args.threads, 4);
         assert!(!args.full_scale);
         assert!(rest.is_empty());
+        assert_eq!(args.selected_workloads(), Workload::ALL.to_vec());
+    }
+
+    #[test]
+    fn workload_filter_is_parsed() {
+        let (args, rest) = parse(&["--workloads", "sssp,kcore,pagerank"]);
+        assert!(rest.is_empty());
+        assert_eq!(
+            args.selected_workloads(),
+            vec![Workload::Sssp, Workload::KCore, Workload::PagerankDelta]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn bad_workload_name_panics() {
+        let _ = parse(&["--workloads", "sssp,frobnicate"]);
     }
 
     #[test]

@@ -1,9 +1,27 @@
 //! Table 1: the benchmark input graphs.
 //!
 //! Prints the vertex/edge counts and structural statistics of the synthetic
-//! stand-ins used throughout the harness (and notes what they substitute).
+//! stand-ins used throughout the harness (and notes what they substitute),
+//! plus — new with the unified workload engine — the sequential baseline
+//! task count of every workload on every graph it suits, the denominator of
+//! every work-increase number the other binaries report.
 
-use smq_bench::{standard_graphs, BenchArgs, Table};
+use smq_algos::{astar, bfs, kcore, mst, pagerank, sssp};
+use smq_bench::{standard_graphs, BenchArgs, GraphSpec, Table, Workload};
+
+/// The sequential reference's task count for `workload` on `spec`.
+fn baseline_tasks(workload: Workload, spec: &GraphSpec) -> u64 {
+    match workload {
+        Workload::Sssp => sssp::sequential(&spec.graph, spec.source).1,
+        Workload::Bfs => bfs::sequential(&spec.graph, spec.source).1,
+        Workload::Astar => astar::sequential(&spec.graph, spec.source, spec.target).1,
+        Workload::Mst => mst::sequential(&spec.graph).2,
+        Workload::PagerankDelta => {
+            pagerank::sequential(&spec.graph, pagerank::PagerankConfig::default()).1
+        }
+        Workload::KCore => kcore::sequential(&spec.graph).1,
+    }
+}
 
 fn main() {
     let (args, _rest) = BenchArgs::from_env();
@@ -33,6 +51,28 @@ fn main() {
         ]);
     }
     table.print();
+
+    let workloads = args.selected_workloads();
+    let mut header: Vec<&str> = vec!["Graph"];
+    header.extend(workloads.iter().map(|w| w.name()));
+    let mut baselines = Table::new(
+        "Table 1b — sequential baseline tasks per workload ('-' = workload \
+         not run on this graph)",
+        &header,
+    );
+    for spec in &specs {
+        let mut row = vec![spec.name.to_string()];
+        for &workload in &workloads {
+            row.push(if workload.suits(spec) {
+                smq_bench::report::count(baseline_tasks(workload, spec))
+            } else {
+                "-".to_string()
+            });
+        }
+        baselines.add_row(row);
+    }
+    baselines.print();
+
     println!(
         "Paper's originals: USA 24M/58M, WEST 6M/15M, TWITTER 41M/1468M, WEB 50M/1930M \
          (vertices/edges).  Run with --scale full for larger stand-ins."

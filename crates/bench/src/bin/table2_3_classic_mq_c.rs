@@ -1,4 +1,4 @@
-//! Tables 2–3: classic Multi-Queue speedup for queue multiplicities C ∈ [2,8].
+//! Tables 2–3: classic Multi-Queue speedup for queue multiplicities C ∈ {2..8}.
 //!
 //! The paper reports speedup of the C·T-queue Multi-Queue over a sequential
 //! priority-queue execution, per benchmark.  This binary sweeps C for every

@@ -87,6 +87,19 @@ pub fn f2(x: f64) -> String {
     format!("{x:.2}")
 }
 
+/// Formats a count with thousands separators (task and edge counts).
+pub fn count(x: u64) -> String {
+    let digits = x.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +128,13 @@ mod tests {
     fn f2_formats_two_decimals() {
         assert_eq!(f2(1.2345), "1.23");
         assert_eq!(f2(2.0), "2.00");
+    }
+
+    #[test]
+    fn count_groups_thousands() {
+        assert_eq!(count(0), "0");
+        assert_eq!(count(999), "999");
+        assert_eq!(count(1_000), "1,000");
+        assert_eq!(count(1_234_567), "1,234,567");
     }
 }

@@ -1,7 +1,13 @@
 //! Scheduler dispatch: build any of the evaluated schedulers from a
-//! description and run any of the four workloads on it.
+//! description and run any of the six workloads on it through the generic
+//! engine (`smq_algos::engine`).
 
-use smq_algos::{astar, bfs, mst, sssp};
+use smq_algos::astar::AstarWorkload;
+use smq_algos::engine::{self, DecreaseKeyWorkload};
+use smq_algos::kcore::KCoreWorkload;
+use smq_algos::mst::BoruvkaWorkload;
+use smq_algos::pagerank::{PagerankConfig, PagerankWorkload};
+use smq_algos::sssp::SsspWorkload;
 use smq_core::{Probability, Scheduler, Task};
 use smq_multiqueue::{DeletePolicy, InsertPolicy, MultiQueue, MultiQueueConfig, Reld};
 use smq_obim::{Obim, ObimConfig};
@@ -22,15 +28,22 @@ pub enum Workload {
     Astar,
     /// Borůvka minimum spanning forest.
     Mst,
+    /// Residual-prioritized PageRank-delta.
+    PagerankDelta,
+    /// k-core decomposition (h-index fixed point).
+    KCore,
 }
 
 impl Workload {
-    /// All four workloads, in the paper's order.
-    pub const ALL: [Workload; 4] = [
+    /// All six workloads: the paper's four plus the two Galois-lineage
+    /// benchmarks the engine added.
+    pub const ALL: [Workload; 6] = [
         Workload::Sssp,
         Workload::Bfs,
         Workload::Astar,
         Workload::Mst,
+        Workload::PagerankDelta,
+        Workload::KCore,
     ];
 
     /// Short display name.
@@ -40,6 +53,34 @@ impl Workload {
             Workload::Bfs => "BFS",
             Workload::Astar => "A*",
             Workload::Mst => "MST",
+            Workload::PagerankDelta => "PR-delta",
+            Workload::KCore => "k-core",
+        }
+    }
+
+    /// Parses a command-line workload name (`--workloads` flag).
+    pub fn parse(name: &str) -> Option<Workload> {
+        match name.to_ascii_lowercase().as_str() {
+            "sssp" => Some(Workload::Sssp),
+            "bfs" => Some(Workload::Bfs),
+            "astar" | "a*" => Some(Workload::Astar),
+            "mst" => Some(Workload::Mst),
+            "pagerank" | "pr-delta" | "prdelta" => Some(Workload::PagerankDelta),
+            "kcore" | "k-core" => Some(Workload::KCore),
+            _ => None,
+        }
+    }
+
+    /// Whether `spec` is a sensible input for this workload, mirroring the
+    /// paper's (and the Galois lineage's) pairings: A* needs coordinates,
+    /// MST runs on the road graphs, PageRank-delta and k-core on the
+    /// power-law (social/web) graphs.
+    pub fn suits(&self, spec: &GraphSpec) -> bool {
+        match self {
+            Workload::Sssp | Workload::Bfs => true,
+            Workload::Astar => spec.graph.has_coordinates(),
+            Workload::Mst => spec.graph.avg_degree() <= 10.0,
+            Workload::PagerankDelta | Workload::KCore => spec.graph.avg_degree() > 10.0,
         }
     }
 }
@@ -200,35 +241,54 @@ fn numa_topology(threads: usize) -> Topology {
     }
 }
 
+/// Runs one engine workload and converts its accounting.  The only place
+/// results are assembled — per-algorithm run logic lives in the workload
+/// implementations, not here.
+fn engine_run<W, S>(workload: &W, scheduler: &S, threads: usize) -> WorkloadResult
+where
+    W: DecreaseKeyWorkload,
+    S: Scheduler<Task>,
+{
+    let run = engine::run_parallel(workload, scheduler, threads);
+    WorkloadResult {
+        seconds: run.result.metrics.elapsed.as_secs_f64(),
+        useful_tasks: run.result.useful_tasks,
+        wasted_tasks: run.result.wasted_tasks,
+        node_locality: run.result.metrics.node_locality(),
+    }
+}
+
 fn run_on<S: Scheduler<Task>>(
     scheduler: &S,
     workload: Workload,
     spec: &GraphSpec,
     threads: usize,
 ) -> WorkloadResult {
-    let (result, _) = match workload {
-        Workload::Sssp => {
-            let run = sssp::parallel(&spec.graph, spec.source, scheduler, threads);
-            (run.result, ())
-        }
-        Workload::Bfs => {
-            let run = bfs::parallel(&spec.graph, spec.source, scheduler, threads);
-            (run.result, ())
-        }
-        Workload::Astar => {
-            let run = astar::parallel(&spec.graph, spec.source, spec.target, scheduler, threads);
-            (run.result, ())
-        }
-        Workload::Mst => {
-            let run = mst::parallel(&spec.graph, scheduler, threads);
-            (run.result, ())
-        }
-    };
-    WorkloadResult {
-        seconds: result.metrics.elapsed.as_secs_f64(),
-        useful_tasks: result.useful_tasks,
-        wasted_tasks: result.wasted_tasks,
-        node_locality: result.metrics.node_locality(),
+    // Each arm only constructs the workload value; the run itself is the
+    // single generic driver behind `engine_run`.
+    match workload {
+        Workload::Sssp => engine_run(
+            &SsspWorkload::new(&spec.graph, spec.source),
+            scheduler,
+            threads,
+        ),
+        Workload::Bfs => engine_run(
+            &SsspWorkload::bfs(&spec.graph, spec.source),
+            scheduler,
+            threads,
+        ),
+        Workload::Astar => engine_run(
+            &AstarWorkload::new(&spec.graph, spec.source, spec.target),
+            scheduler,
+            threads,
+        ),
+        Workload::Mst => engine_run(&BoruvkaWorkload::new(&spec.graph), scheduler, threads),
+        Workload::PagerankDelta => engine_run(
+            &PagerankWorkload::new(&spec.graph, PagerankConfig::default()),
+            scheduler,
+            threads,
+        ),
+        Workload::KCore => engine_run(&KCoreWorkload::new(&spec.graph), scheduler, threads),
     }
 }
 
@@ -394,8 +454,58 @@ mod tests {
     #[test]
     fn workload_names_and_spec_names_are_stable() {
         assert_eq!(Workload::Sssp.name(), "SSSP");
-        assert_eq!(Workload::ALL.len(), 4);
+        assert_eq!(Workload::ALL.len(), 6);
         assert!(SchedulerSpec::smq_default().name().starts_with("SMQ-heap"));
         assert_eq!(SchedulerSpec::SprayList.name(), "SprayList");
+    }
+
+    #[test]
+    fn workload_parse_round_trips() {
+        assert_eq!(Workload::parse("sssp"), Some(Workload::Sssp));
+        assert_eq!(Workload::parse("BFS"), Some(Workload::Bfs));
+        assert_eq!(Workload::parse("a*"), Some(Workload::Astar));
+        assert_eq!(Workload::parse("pagerank"), Some(Workload::PagerankDelta));
+        assert_eq!(Workload::parse("k-core"), Some(Workload::KCore));
+        assert_eq!(Workload::parse("nope"), None);
+    }
+
+    #[test]
+    fn new_workloads_run_through_the_engine_dispatch() {
+        use smq_graph::generators::{power_law, PowerLawParams};
+        // A small stand-in spec so the debug-mode test stays fast; the big
+        // standard graphs are exercised by the release-mode binaries.
+        let graph = power_law(PowerLawParams {
+            nodes: 1_000,
+            avg_degree: 12,
+            exponent: 2.2,
+            max_weight: 255,
+            seed: 9,
+        });
+        let spec = GraphSpec {
+            name: "small-social",
+            description: "test stand-in",
+            source: 0,
+            target: (graph.num_nodes() - 1) as u32,
+            graph,
+        };
+        let full = standard_graphs(false, 7);
+        for workload in [Workload::PagerankDelta, Workload::KCore] {
+            assert!(
+                workload.suits(&full[2]),
+                "social graphs suit {}",
+                workload.name()
+            );
+            assert!(!workload.suits(&full[0]), "road graphs do not");
+            let result = run_workload(&SchedulerSpec::smq_default(), workload, &spec, 2, 3);
+            assert!(
+                result.useful_tasks > 0,
+                "{} did no useful work",
+                workload.name()
+            );
+            assert_eq!(
+                result.total_tasks(),
+                result.useful_tasks + result.wasted_tasks
+            );
+        }
     }
 }

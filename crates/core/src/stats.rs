@@ -23,6 +23,13 @@ pub struct OpStats {
     pub steal_attempts: u64,
     /// Steal attempts that actually transferred tasks.
     pub steal_successes: u64,
+    /// Steal attempts whose snapshot comparison justified a claim but whose
+    /// claim transferred nothing — the victim's buffer was raced away or
+    /// its advisory top-key was transiently stale (e.g. `u64::MAX` right
+    /// after a steal, before the owner refilled).  Together with
+    /// `steal_successes` this pair measures how often thieves act on stale
+    /// snapshots, the quantity the owner-side eager refill targets.
+    pub steal_failed_claims: u64,
     /// Tasks obtained from another thread's queue/buffer.
     pub stolen_tasks: u64,
     /// Failed lock acquisitions (lock-based schedulers) or CAS failures
@@ -49,6 +56,7 @@ impl OpStats {
         self.empty_pops += other.empty_pops;
         self.steal_attempts += other.steal_attempts;
         self.steal_successes += other.steal_successes;
+        self.steal_failed_claims += other.steal_failed_claims;
         self.stolen_tasks += other.stolen_tasks;
         self.contention_retries += other.contention_retries;
         self.locks_acquired += other.locks_acquired;
@@ -87,6 +95,19 @@ impl OpStats {
         }
     }
 
+    /// Of the claims thieves actually committed to (snapshot said the
+    /// victim was better), the fraction that came back empty-handed —
+    /// `None` when no claim was ever committed to.  High values mean
+    /// thieves keep acting on stale top-key snapshots.
+    pub fn steal_claim_failure_rate(&self) -> Option<f64> {
+        let committed = self.steal_successes + self.steal_failed_claims;
+        if committed == 0 {
+            None
+        } else {
+            Some(self.steal_failed_claims as f64 / committed as f64)
+        }
+    }
+
     /// Delete-path locks acquired per successful pop, or `None` when the
     /// scheduler popped nothing (or is lock-free and never counts locks).
     pub fn locks_per_pop(&self) -> Option<f64> {
@@ -109,6 +130,7 @@ mod tests {
             empty_pops: a + 2,
             steal_attempts: a + 3,
             steal_successes: a + 4,
+            steal_failed_claims: a + 10,
             stolen_tasks: a + 5,
             contention_retries: a + 6,
             locks_acquired: a + 9,
@@ -127,6 +149,7 @@ mod tests {
         assert_eq!(a.empty_pops, 114);
         assert_eq!(a.steal_attempts, 116);
         assert_eq!(a.steal_successes, 118);
+        assert_eq!(a.steal_failed_claims, 130);
         assert_eq!(a.stolen_tasks, 120);
         assert_eq!(a.contention_retries, 122);
         assert_eq!(a.locks_acquired, 128);
@@ -153,6 +176,15 @@ mod tests {
         s.steal_successes = 4;
         assert_eq!(s.node_locality(), Some(0.75));
         assert_eq!(s.steal_success_rate(), Some(0.4));
+    }
+
+    #[test]
+    fn claim_failure_rate() {
+        let mut s = OpStats::default();
+        assert_eq!(s.steal_claim_failure_rate(), None);
+        s.steal_successes = 6;
+        s.steal_failed_claims = 2;
+        assert_eq!(s.steal_claim_failure_rate(), Some(0.25));
     }
 
     #[test]

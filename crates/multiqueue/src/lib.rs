@@ -15,7 +15,7 @@
 //!   thread's node are sampled with weight 1, remote queues with weight
 //!   `1/K`.
 //! * [`Reld`] — the random-enqueue local-dequeue scheduler from Jeffrey et
-//!   al. [14], another Figure 2 baseline.
+//!   al. \[14\], another Figure 2 baseline.
 //!
 //! All variants are driven by a single [`MultiQueueConfig`], so the
 //! benchmark harness can sweep the exact parameter grids of the paper's

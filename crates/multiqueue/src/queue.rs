@@ -428,10 +428,18 @@ impl<T: Ord + HasKey> MultiQueueHandle<'_, T> {
         let needs_new = self.tl_delete_queue.is_none() || change.sample(&mut self.rng);
         if !needs_new {
             let q = self.tl_delete_queue.expect("checked above");
-            let mut guard = self.parent.queues[q].lock();
-            self.stats.locks_acquired += 1;
-            if let Some(task) = guard.pop() {
-                return Some(task);
+            // Snapshot re-check before paying the lock (the same idiom as
+            // the two-choice delete): a `u64::MAX` snapshot means the
+            // current queue was empty at its last unlock, so a blocking
+            // lock would almost surely confirm emptiness at full price —
+            // fall straight through to a fresh selection instead.  A stale
+            // non-MAX snapshot merely costs the (previous) lock-and-miss.
+            if self.parent.queues[q].top_key() != u64::MAX {
+                let mut guard = self.parent.queues[q].lock();
+                self.stats.locks_acquired += 1;
+                if let Some(task) = guard.pop() {
+                    return Some(task);
+                }
             }
             // Current queue ran dry: fall through to a fresh selection.
         }
@@ -716,6 +724,32 @@ mod tests {
         assert_eq!(handle.pop(), Some(Task::new(30, 2)));
         assert_eq!(mq.snapshot_key(0), u64::MAX, "lie must be corrected");
         assert_eq!(handle.pop(), None);
+    }
+
+    #[test]
+    fn temporal_delete_skips_the_lock_when_the_current_queue_looks_empty() {
+        // Drain everything, then keep popping: every queue's snapshot is
+        // MAX, so neither the temporal "current queue" path nor the
+        // two-choice fallback may acquire another lock.
+        let config = MultiQueueConfig::classic(2)
+            .with_delete(DeletePolicy::TemporalLocality(Probability::new(64)))
+            .with_seed(13);
+        let mq: MultiQueue<u64> = MultiQueue::new(config);
+        let mut handle = mq.handle(0);
+        for v in 0..200u64 {
+            handle.push(v);
+        }
+        let drained = drain_all(&mut handle);
+        assert_eq!(drained.len(), 200);
+        let locks_after_drain = handle.stats().locks_acquired;
+        for _ in 0..50 {
+            assert_eq!(handle.pop(), None);
+        }
+        assert_eq!(
+            handle.stats().locks_acquired,
+            locks_after_drain,
+            "pops on an all-empty-snapshot scheduler must not lock"
+        );
     }
 
     #[test]

@@ -107,6 +107,18 @@ pub struct ConcurrentSkipList<T: Ord + Copy> {
     seq: AtomicU64,
     /// Every node ever allocated, freed when the list is dropped.
     allocations: Mutex<Vec<*mut Node<T>>>,
+    /// Lock standing in for the head sentinel in the predecessor-locking
+    /// protocol.  Real nodes carry their own lock; the head used to have
+    /// none, which let a front-insert and a front-unlink validate
+    /// `head[level]` concurrently and then overwrite each other's store —
+    /// the insert could re-link a marked, already-excised node and strand
+    /// it (reachable + marked + no active deleter), livelocking every later
+    /// head-adjacent operation.  Acquired whenever a null (head) pred
+    /// participates in insert/unlink validation; nulls are always the
+    /// final distinct pred in the bottom-up lock order (the head is "key
+    /// -∞"), so the global descending-key acquisition order — and with it
+    /// deadlock freedom — is preserved.
+    head_lock: Mutex<()>,
 }
 
 // SAFETY: nodes are only mutated under their own locks or through atomics,
@@ -133,6 +145,7 @@ impl<T: Ord + Copy> ConcurrentSkipList<T> {
             len: AtomicUsize::new(0),
             seq: AtomicU64::new(0),
             allocations: Mutex::new(Vec::new()),
+            head_lock: Mutex::new(()),
         }
     }
 
@@ -228,7 +241,10 @@ impl<T: Ord + Copy> ConcurrentSkipList<T> {
             // Keys are unique, so `find` can never report `found`.
             let _ = self.find(&key, &mut preds, &mut succs);
 
-            // Lock the predecessors bottom-up and validate.
+            // Lock the predecessors bottom-up and validate.  A null pred is
+            // the head sentinel, represented by `head_lock`; head preds are
+            // always the final distinct entry in the bottom-up order, so
+            // acquisition stays descending-key and deadlock-free.
             let mut guards = Vec::with_capacity(height);
             let mut prev_locked: *mut Node<T> = usize::MAX as *mut Node<T>; // sentinel != any pred
             let mut valid = true;
@@ -237,7 +253,7 @@ impl<T: Ord + Copy> ConcurrentSkipList<T> {
                 let succ = succs[level];
                 if pred != prev_locked {
                     if pred.is_null() {
-                        // The head sentinel has no lock and is never marked.
+                        guards.push(self.head_lock.lock());
                     } else {
                         // SAFETY: nodes are never freed while the list lives.
                         guards.push(unsafe { (*pred).lock.lock() });
@@ -295,14 +311,19 @@ impl<T: Ord + Copy> ConcurrentSkipList<T> {
         loop {
             let _ = self.find(&key, &mut preds, &mut succs);
             // Lock predecessors bottom-up and validate that they still point
-            // at the victim at every level the victim occupies.
+            // at the victim at every level the victim occupies.  Null preds
+            // are the head sentinel and take `head_lock` — without it, a
+            // front-insert validating `head[level]` concurrently with this
+            // unlink could re-link the excised victim (see `head_lock`).
             let mut guards = Vec::with_capacity(height);
             let mut prev_locked: *mut Node<T> = usize::MAX as *mut Node<T>;
             let mut valid = true;
             for level in 0..height {
                 let pred = preds[level];
                 if pred != prev_locked {
-                    if !pred.is_null() {
+                    if pred.is_null() {
+                        guards.push(self.head_lock.lock());
+                    } else {
                         guards.push((*pred).lock.lock());
                     }
                     prev_locked = pred;
@@ -432,6 +453,34 @@ impl<T: Ord + Copy> ConcurrentSkipList<T> {
             }
         }
         self.delete_min()
+    }
+
+    /// Verifies that every level's chain is strictly key-ordered.  Intended
+    /// for quiescent diagnostics/tests only (racy under concurrency).
+    /// Returns the offending level on failure.
+    pub fn validate_order(&self) -> Result<(), usize> {
+        let cap = self.allocations.lock().len() + 1;
+        for level in 0..MAX_HEIGHT {
+            let mut curr = self.head[level].load(Ordering::Acquire);
+            let mut prev: Option<*mut Node<T>> = None;
+            let mut steps = 0usize;
+            while !curr.is_null() {
+                steps += 1;
+                if steps > cap {
+                    // More steps than nodes ever allocated: the chain cycles.
+                    return Err(1000 + level);
+                }
+                if let Some(p) = prev {
+                    // SAFETY: nodes are never freed while the list is alive.
+                    if unsafe { (*p).key >= (*curr).key } {
+                        return Err(level);
+                    }
+                }
+                prev = Some(curr);
+                curr = unsafe { &*curr }.next[level].load(Ordering::Acquire);
+            }
+        }
+        Ok(())
     }
 
     /// Returns the current minimum value without removing it (racy; intended
@@ -633,5 +682,50 @@ mod tests {
             count += 1;
         }
         assert_eq!(count, live);
+    }
+
+    /// Regression test for the head-sentinel race: with tiny equal-ish keys
+    /// every insert's pred and every delete-min's pred is the head, so a
+    /// front-insert validating `head[level]` concurrently with a
+    /// front-unlink used to overwrite each other's store and re-link an
+    /// excised (marked) node — permanently stranding it and livelocking
+    /// all later head-adjacent operations.  With `head_lock` in the
+    /// protocol the run must terminate with every element delivered exactly
+    /// once and strictly ordered chains.
+    #[test]
+    fn concurrent_head_churn_conserves_elements() {
+        use std::sync::Arc;
+        for trial in 0..8u64 {
+            let list: Arc<ConcurrentSkipList<u64>> = Arc::new(ConcurrentSkipList::new());
+            let popped = Arc::new(AtomicUsize::new(0));
+            let threads = 2;
+            let per_thread = 4_000usize;
+            std::thread::scope(|s| {
+                for t in 0..threads {
+                    let list = Arc::clone(&list);
+                    let popped = Arc::clone(&popped);
+                    s.spawn(move || {
+                        let mut rng = Pcg32::for_thread(trial, t);
+                        for _ in 0..per_thread {
+                            // Keys from a tiny range concentrate all
+                            // structural activity at the head.
+                            list.insert(rng.next_bounded(4) as u64, &mut rng);
+                            if list.delete_min().is_some() {
+                                popped.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    });
+                }
+            });
+            assert!(list.validate_order().is_ok(), "chain order corrupted");
+            while list.delete_min().is_some() {
+                popped.fetch_add(1, Ordering::Relaxed);
+            }
+            assert_eq!(
+                popped.load(Ordering::Relaxed),
+                threads * per_thread,
+                "trial {trial}: elements lost or double-delivered"
+            );
+        }
     }
 }

@@ -243,7 +243,14 @@ where
                 self.stats.stolen_tasks += 1 + self.stolen_tasks.len() as u64;
                 Some(task)
             }
-            None => None,
+            None => {
+                // The snapshot said the victim was better, but the claim
+                // came back empty: the batch was raced away (or the
+                // advisory key was stale).  Counted so the success/failure
+                // pair can quantify snapshot staleness.
+                self.stats.steal_failed_claims += 1;
+                None
+            }
         }
     }
 
@@ -267,6 +274,27 @@ where
             (None, None) => None,
         }
     }
+
+    /// The pop order of Listing 2; the outer [`SchedulerHandle::pop`] wraps
+    /// this with statistics and the eager buffer refill.
+    fn pop_task(&mut self) -> Option<T> {
+        // 1. Previously stolen tasks are processed first (Listing 2).
+        if let Some(task) = self.stolen_tasks.pop_front() {
+            return Some(task);
+        }
+        // 2. With probability p_steal, try to steal a better batch.
+        if self.parent.config.p_steal.sample(&mut self.rng) {
+            if let Some(task) = self.try_steal() {
+                return Some(task);
+            }
+        }
+        // 3. Take the best local task.
+        if let Some(task) = self.pop_local() {
+            return Some(task);
+        }
+        // 4. The local queue is empty: stealing is the only option left.
+        self.try_steal()
+    }
 }
 
 impl<T, Q> SchedulerHandle<T> for SmqHandle<'_, T, Q>
@@ -282,28 +310,16 @@ where
     }
 
     fn pop(&mut self) -> Option<T> {
-        // 1. Previously stolen tasks are processed first (Listing 2).
-        if let Some(task) = self.stolen_tasks.pop_front() {
-            self.stats.pops += 1;
-            return Some(task);
-        }
-        // 2. With probability p_steal, try to steal a better batch.
-        let p_steal = self.parent.config.p_steal;
-        if p_steal.sample(&mut self.rng) {
-            if let Some(task) = self.try_steal() {
-                self.stats.pops += 1;
-                return Some(task);
-            }
-        }
-        // 3. Take the best local task.
-        if let Some(task) = self.pop_local() {
-            self.stats.pops += 1;
-            return Some(task);
-        }
-        // 4. The local queue is empty: stealing is the only option left.
-        match self.try_steal() {
+        match self.pop_task() {
             Some(task) => {
                 self.stats.pops += 1;
+                // Eager owner-side refill: if our buffer was claimed (by a
+                // thief, or by ourselves in `pop_local`), republish the next
+                // batch *now* instead of waiting for the next push.  Thieves
+                // therefore never observe a stolen buffer — or its stale /
+                // `u64::MAX` top-key snapshot — for longer than one owner
+                // operation while the owner still has work to publish.
+                self.refill_buffer_if_stolen();
                 Some(task)
             }
             None => {
@@ -484,6 +500,57 @@ mod tests {
         let total = threads as u64 * per_thread;
         assert_eq!(popped.load(Ordering::Relaxed), total);
         assert_eq!(sum.load(Ordering::Relaxed), total * (total - 1) / 2);
+    }
+
+    #[test]
+    fn owner_pop_eagerly_republishes_after_reclaiming_own_buffer() {
+        // The first push lands in the (initially stolen) buffer, the rest
+        // queue up locally.  The first pop reclaims the buffer wholesale;
+        // the eager refill must republish the next batch within the same
+        // pop, so the buffer is never left stolen (with a stale top-key)
+        // while local work exists.
+        let smq: HeapSmq<u64> = HeapSmq::new(SmqConfig::default_for_threads(2).with_steal_size(4));
+        let mut h = smq.handle(0);
+        for v in 0..20u64 {
+            h.push(v);
+        }
+        assert_eq!(smq.published_top(0), Some(0));
+        assert_eq!(h.pop(), Some(0));
+        let slot = &smq.slots[0];
+        assert!(
+            !slot.buffer.is_stolen(),
+            "eager refill must republish immediately after the reclaim"
+        );
+        assert_eq!(slot.buffer.top_key(), 1, "next batch's key must be live");
+        assert_eq!(smq.published_top(0), Some(1));
+    }
+
+    #[test]
+    fn stale_snapshot_claims_are_counted() {
+        let config = SmqConfig::default_for_threads(2)
+            .with_steal_size(4)
+            .with_p_steal(Probability::ALWAYS)
+            .with_seed(1);
+        let smq: HeapSmq<u64> = HeapSmq::new(config);
+        {
+            let mut h0 = smq.handle(0);
+            h0.push(0);
+            // h0 drops without popping: its buffer advertises key 0.
+        }
+        let mut h1 = smq.handle(1);
+        // First pop claims the batch; the advisory key stays 0 (stale) and
+        // the absent owner never refills.
+        assert_eq!(h1.pop(), Some(0));
+        assert_eq!(h1.stats().steal_successes, 1);
+        // Subsequent pops keep seeing the stale snapshot, commit to a
+        // claim, and come back empty — the failure counter must say so.
+        assert_eq!(h1.pop(), None);
+        let stats = h1.stats();
+        assert!(
+            stats.steal_failed_claims >= 1,
+            "stale-snapshot claims must be counted (got {stats:?})"
+        );
+        assert!(stats.steal_claim_failure_rate().unwrap() > 0.0);
     }
 
     #[test]

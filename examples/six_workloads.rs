@@ -1,0 +1,62 @@
+//! Tour of the unified workload engine: all six workloads — SSSP, BFS, A*,
+//! Borůvka MST, PageRank-delta, and k-core — running through the one
+//! generic driver (`smq_algos::engine`) on the paper's default SMQ, each
+//! checked against its own sequential reference.
+//!
+//! Run with: `cargo run --release --example six_workloads`
+
+use smq_repro::algos::astar::AstarWorkload;
+use smq_repro::algos::engine::{self, DecreaseKeyWorkload};
+use smq_repro::algos::kcore::KCoreWorkload;
+use smq_repro::algos::mst::BoruvkaWorkload;
+use smq_repro::algos::pagerank::{PagerankConfig, PagerankWorkload};
+use smq_repro::algos::sssp::SsspWorkload;
+use smq_repro::core::Task;
+use smq_repro::graph::generators::{power_law, road_network, PowerLawParams, RoadNetworkParams};
+use smq_repro::smq::{HeapSmq, SmqConfig};
+
+/// Runs one workload on a fresh SMQ and prints its one-line report card.
+fn show<W: DecreaseKeyWorkload>(workload: &W, threads: usize) {
+    let smq: HeapSmq<Task> = HeapSmq::new(SmqConfig::default_for_threads(threads));
+    let (run, reference) = engine::run_and_check(workload, &smq, threads);
+    println!(
+        "{:>9}  tasks {:>8} (useful {:>8}, wasted {:>7})  work-increase {:>5.2}  {:>8.2?}",
+        workload.name(),
+        run.result.total_tasks(),
+        run.result.useful_tasks,
+        run.result.wasted_tasks,
+        run.result.work_increase(reference.baseline_tasks),
+        run.result.metrics.elapsed,
+    );
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get().min(4))
+        .unwrap_or(2);
+    let road = road_network(RoadNetworkParams {
+        width: 48,
+        height: 48,
+        removal_percent: 10,
+        seed: 7,
+    });
+    let social = power_law(PowerLawParams {
+        nodes: 8_000,
+        avg_degree: 10,
+        exponent: 2.2,
+        max_weight: 255,
+        seed: 7,
+    });
+    let target = (road.num_nodes() - 1) as u32;
+
+    println!("six workloads, one engine, {threads} threads — every run checked against its sequential reference\n");
+    show(&SsspWorkload::new(&road, 0), threads);
+    show(&SsspWorkload::bfs(&social, 0), threads);
+    show(&AstarWorkload::new(&road, 0, target), threads);
+    show(&BoruvkaWorkload::new(&road), threads);
+    show(
+        &PagerankWorkload::new(&social, PagerankConfig::default()),
+        threads,
+    );
+    show(&KCoreWorkload::new(&social), threads);
+}

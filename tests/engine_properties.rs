@@ -1,0 +1,174 @@
+//! Engine-level property tests: for randomly generated graphs, thread
+//! counts, and scheduler families, every workload driven by the generic
+//! engine must satisfy the accounting invariants
+//!
+//! * `useful_tasks + wasted_tasks == tasks_executed` (every processed task
+//!   is classified exactly once),
+//! * `pushes == pops` across all handles (no task is lost or
+//!   double-delivered: everything pushed — seeds included — is popped
+//!   exactly once before termination),
+//!
+//! and its output must be equivalent to the workload's own sequential
+//! reference.
+
+use proptest::prelude::*;
+
+use smq_repro::algos::astar::AstarWorkload;
+use smq_repro::algos::engine::{self, DecreaseKeyWorkload, EngineRun};
+use smq_repro::algos::kcore::KCoreWorkload;
+use smq_repro::algos::mst::BoruvkaWorkload;
+use smq_repro::algos::pagerank::{PagerankConfig, PagerankWorkload};
+use smq_repro::algos::sssp::SsspWorkload;
+use smq_repro::core::{Probability, Scheduler, Task};
+use smq_repro::graph::generators::uniform_random;
+use smq_repro::graph::CsrGraph;
+use smq_repro::multiqueue::{DeletePolicy, InsertPolicy, MultiQueue, MultiQueueConfig, Reld};
+use smq_repro::obim::{Obim, ObimConfig};
+use smq_repro::smq::{HeapSmq, SkipListSmq, SmqConfig};
+use smq_repro::spraylist::{SprayList, SprayListConfig};
+
+/// Asserts the engine invariants on a finished run.
+fn assert_invariants<O>(run: &EngineRun<O>, label: &str) {
+    assert_eq!(
+        run.result.useful_tasks + run.result.wasted_tasks,
+        run.result.metrics.tasks_executed,
+        "{label}: every executed task must be exactly one of useful/wasted"
+    );
+    assert_eq!(
+        run.result.metrics.total.pushes, run.result.metrics.total.pops,
+        "{label}: tasks were lost or double-delivered"
+    );
+    assert_eq!(
+        run.result.metrics.total.pops, run.result.metrics.tasks_executed,
+        "{label}: every pop must correspond to one processed task"
+    );
+}
+
+/// Runs one workload on one scheduler and checks both the accounting
+/// invariants and equivalence with the sequential reference.
+fn check<W, S>(workload: &W, scheduler: &S, threads: usize)
+where
+    W: DecreaseKeyWorkload,
+    S: Scheduler<Task>,
+{
+    let (run, _reference) = engine::run_and_check(workload, scheduler, threads);
+    assert_invariants(&run, workload.name());
+}
+
+/// Undirected view of a directed graph — Borůvka's cut-property argument
+/// needs symmetric adjacency.
+fn symmetrized(directed: &CsrGraph) -> CsrGraph {
+    use smq_repro::graph::GraphBuilder;
+    let mut b = GraphBuilder::new(directed.num_nodes() as u32);
+    for e in directed.edges() {
+        b.add_undirected_edge(e.from, e.to, e.weight);
+    }
+    b.build()
+}
+
+/// Runs all six workloads over the graph on fresh schedulers from `make`.
+fn check_all_workloads<S, F>(graph: &CsrGraph, make: F, threads: usize)
+where
+    S: Scheduler<Task>,
+    F: Fn() -> S,
+{
+    let target = (graph.num_nodes() - 1) as u32;
+    check(&SsspWorkload::new(graph, 0), &make(), threads);
+    check(&SsspWorkload::bfs(graph, 0), &make(), threads);
+    check(&AstarWorkload::new(graph, 0, target), &make(), threads);
+    check(&BoruvkaWorkload::new(&symmetrized(graph)), &make(), threads);
+    let pr_config = PagerankConfig {
+        damping: 0.85,
+        epsilon: 1e-5,
+    };
+    check(&PagerankWorkload::new(graph, pr_config), &make(), threads);
+    check(&KCoreWorkload::new(graph), &make(), threads);
+}
+
+/// Dispatches over every scheduler family by index.
+fn check_with_scheduler_family(graph: &CsrGraph, family: usize, threads: usize, seed: u64) {
+    match family % 8 {
+        0 => check_all_workloads(
+            graph,
+            || HeapSmq::<Task>::new(SmqConfig::default_for_threads(threads).with_seed(seed)),
+            threads,
+        ),
+        1 => check_all_workloads(
+            graph,
+            || SkipListSmq::<Task>::new(SmqConfig::default_for_threads(threads).with_seed(seed)),
+            threads,
+        ),
+        2 => check_all_workloads(
+            graph,
+            || MultiQueue::<Task>::new(MultiQueueConfig::classic(threads).with_seed(seed)),
+            threads,
+        ),
+        3 => check_all_workloads(
+            graph,
+            || {
+                MultiQueue::<Task>::new(
+                    MultiQueueConfig::classic(threads)
+                        .with_insert(InsertPolicy::Batching(8))
+                        .with_delete(DeletePolicy::Batching(8))
+                        .with_seed(seed),
+                )
+            },
+            threads,
+        ),
+        4 => check_all_workloads(
+            graph,
+            || {
+                MultiQueue::<Task>::new(
+                    MultiQueueConfig::classic(threads)
+                        .with_insert(InsertPolicy::TemporalLocality(Probability::new(16)))
+                        .with_delete(DeletePolicy::TemporalLocality(Probability::new(16)))
+                        .with_seed(seed),
+                )
+            },
+            threads,
+        ),
+        5 => check_all_workloads(
+            graph,
+            || Obim::<Task>::new(ObimConfig::obim(threads, 4, 8)),
+            threads,
+        ),
+        6 => check_all_workloads(
+            graph,
+            || Obim::<Task>::new(ObimConfig::pmod(threads, 4, 8)),
+            threads,
+        ),
+        _ => check_all_workloads(graph, || Reld::<Task>::new(threads, 2, seed), threads),
+    }
+}
+
+proptest! {
+    #[test]
+    fn every_workload_conserves_tasks_on_every_scheduler(
+        nodes in 16u32..96,
+        edge_factor in 2u64..5,
+        family in 0usize..8,
+        threads in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let graph = uniform_random(nodes, u64::from(nodes) * edge_factor, 200, seed);
+        check_with_scheduler_family(&graph, family, threads, seed);
+    }
+
+    #[test]
+    fn spraylist_conserves_tasks(
+        nodes in 16u32..64,
+        seed in 0u64..1_000_000,
+    ) {
+        // SprayList is slower per op; give it its own smaller sweep so the
+        // combined property run stays fast.
+        let graph = uniform_random(nodes, u64::from(nodes) * 3, 200, seed);
+        check_all_workloads(
+            &graph,
+            || SprayList::<Task>::new(SprayListConfig {
+                seed,
+                ..SprayListConfig::default_for_threads(2)
+            }),
+            2,
+        );
+    }
+}
