@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use smq_core::{Scheduler, Task};
 use smq_graph::CsrGraph;
+use smq_runtime::Scratch;
 
 use crate::engine::{self, DecreaseKeyWorkload, SequentialReference, TaskOutcome};
 use crate::workload::AlgoResult;
@@ -120,7 +121,12 @@ impl DecreaseKeyWorkload for AstarWorkload<'_> {
         )]
     }
 
-    fn process(&self, task: Task, push: &mut dyn FnMut(Task)) -> TaskOutcome {
+    fn process(
+        &self,
+        task: Task,
+        push: &mut dyn FnMut(Task),
+        _scratch: &mut Scratch,
+    ) -> TaskOutcome {
         let v = task.value as u32;
         let g = self.g_score[v as usize].load(Ordering::Relaxed);
         // Recompute the expected priority; a mismatch means a better path

@@ -16,11 +16,19 @@
 //! strict priority order changes how much work is done, never what is
 //! computed.  [`try_decrease`] is the canonical CAS-relax step for the
 //! `AtomicU64`-per-vertex workloads.
+//!
+//! Execution goes through the resident worker pool (`smq-pool`) in both
+//! modes: [`run_on_pool`] executes one workload as a job on an existing
+//! [`WorkerPool`] (thousands of jobs amortize one thread fleet — see
+//! `crate::query` for the A* route-query service built on this), and
+//! [`run_parallel`] is the one-shot wrapper that builds a transient pool
+//! around a borrowed scheduler, runs the single job, and joins.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use smq_core::{Scheduler, Task};
-use smq_runtime::ExecutorConfig;
+use smq_pool::{PoolConfig, PoolJob, WorkerPool};
+use smq_runtime::Scratch;
 
 use crate::workload::AlgoResult;
 
@@ -67,7 +75,13 @@ pub trait DecreaseKeyWorkload: Sync {
 
     /// Executes one task against the shared state, pushing any follow-up
     /// tasks through `push`, and reports whether the task was useful.
-    fn process(&self, task: Task, push: &mut dyn FnMut(Task)) -> TaskOutcome;
+    ///
+    /// `scratch` is the calling worker's reusable [`Scratch`] arena:
+    /// task-sized temporary buffers (k-core's counting buffer, for example)
+    /// should come from it instead of a per-task allocation.  It survives
+    /// across tasks — and, on a resident pool, across whole jobs.
+    fn process(&self, task: Task, push: &mut dyn FnMut(Task), scratch: &mut Scratch)
+        -> TaskOutcome;
 
     /// A snapshot of the algorithm-level answer held in the shared state.
     /// Meaningful once the run has terminated (quiescent state).
@@ -94,40 +108,56 @@ pub struct EngineRun<O> {
     pub result: AlgoResult,
 }
 
+/// Adapts a [`DecreaseKeyWorkload`] to the pool's object-safe job trait.
+/// The pool counts useful/wasted per worker (no shared atomics on the task
+/// path), so the adapter only translates the outcome to a bool.
+struct WorkloadJob<'w, W>(&'w W);
+
+impl<W: DecreaseKeyWorkload> PoolJob for WorkloadJob<'_, W> {
+    fn seed_tasks(&self) -> Vec<Task> {
+        self.0.initial_tasks()
+    }
+
+    fn process(&self, task: Task, push: &mut dyn FnMut(Task), scratch: &mut Scratch) -> bool {
+        matches!(self.0.process(task, push, scratch), TaskOutcome::Useful)
+    }
+}
+
+/// Runs `workload` to quiescence as one job on a resident [`WorkerPool`].
+///
+/// This is the service-mode driver: the pool's fleet was spawned once and
+/// is reused across jobs, so per-job cost is task execution plus one
+/// wake/park round trip — no thread spawns, no scheduler reconstruction.
+pub fn run_on_pool<W>(workload: &W, pool: &WorkerPool) -> EngineRun<W::Output>
+where
+    W: DecreaseKeyWorkload,
+{
+    let out = pool.run_job(&WorkloadJob(workload));
+    EngineRun {
+        output: workload.output(),
+        result: AlgoResult {
+            metrics: out.metrics,
+            useful_tasks: out.useful_tasks,
+            wasted_tasks: out.wasted_tasks,
+        },
+    }
+}
+
 /// Runs `workload` to quiescence on `scheduler` with `threads` workers.
 ///
-/// This is the only parallel driver in the crate: it owns the executor
-/// invocation, the useful/wasted counters, and the [`AlgoResult`]
-/// assembly for every workload.
+/// One-shot mode: builds a transient worker pool around the borrowed
+/// scheduler, runs the single job through [`run_on_pool`], and joins the
+/// fleet before returning.  For a stream of jobs, build a resident
+/// [`WorkerPool`] (or a `smq_pool::JobService`) and call [`run_on_pool`]
+/// directly — that is what amortizes thread spawns across jobs.
 pub fn run_parallel<W, S>(workload: &W, scheduler: &S, threads: usize) -> EngineRun<W::Output>
 where
     W: DecreaseKeyWorkload,
     S: Scheduler<Task>,
 {
-    let useful = AtomicU64::new(0);
-    let wasted = AtomicU64::new(0);
-
-    let metrics = smq_runtime::run(
-        scheduler,
-        &ExecutorConfig::new(threads),
-        workload.initial_tasks(),
-        |task, sink| {
-            let mut push = |t: Task| sink.push(t);
-            match workload.process(task, &mut push) {
-                TaskOutcome::Useful => useful.fetch_add(1, Ordering::Relaxed),
-                TaskOutcome::Wasted => wasted.fetch_add(1, Ordering::Relaxed),
-            };
-        },
-    );
-
-    EngineRun {
-        output: workload.output(),
-        result: AlgoResult {
-            metrics,
-            useful_tasks: useful.into_inner(),
-            wasted_tasks: wasted.into_inner(),
-        },
-    }
+    WorkerPool::with_borrowed(scheduler, PoolConfig::new(threads), |pool| {
+        run_on_pool(workload, pool)
+    })
 }
 
 /// Runs the parallel workload and asserts it is equivalent to its
@@ -206,7 +236,12 @@ mod tests {
             (1..=8u64).map(|k| Task::new(k, k)).collect()
         }
 
-        fn process(&self, task: Task, push: &mut dyn FnMut(Task)) -> TaskOutcome {
+        fn process(
+            &self,
+            task: Task,
+            push: &mut dyn FnMut(Task),
+            _scratch: &mut Scratch,
+        ) -> TaskOutcome {
             if task.key == 0 {
                 self.reached_zero.fetch_add(1, Ordering::Relaxed);
                 TaskOutcome::Wasted
@@ -249,5 +284,29 @@ mod tests {
         );
         assert_eq!(run.result.total_tasks(), reference.baseline_tasks);
         assert_eq!(run.result.wasted_tasks, 8);
+    }
+
+    #[test]
+    fn one_pool_serves_many_workload_runs() {
+        // The service-mode driver: one resident pool, several jobs, results
+        // identical to fresh one-shot runs.
+        let pool = WorkerPool::new(
+            HeapSmq::<Task>::new(SmqConfig::default_for_threads(2)),
+            PoolConfig::new(2),
+        );
+        for _ in 0..5 {
+            let workload = Countdown {
+                reached_zero: AtomicU64::new(0),
+            };
+            let run = run_on_pool(&workload, &pool);
+            assert_eq!(run.output, 8);
+            assert_eq!(run.result.total_tasks(), run.result.metrics.tasks_executed);
+            assert_eq!(
+                run.result.metrics.total.pushes, run.result.metrics.total.pops,
+                "per-job accounting must not leak across jobs"
+            );
+        }
+        assert_eq!(pool.stats().jobs_completed, 5);
+        assert_eq!(pool.stats().threads_spawned, 2);
     }
 }

@@ -5,8 +5,9 @@
 //! [`DecreaseKeyWorkload`] trait (initial
 //! tasks, a `process` step classifying each task as useful or wasted, a
 //! shared-state output view, and a sequential reference) and
-//! [`engine::run_parallel`], which owns the executor invocation and the
-//! useful/wasted accounting for every algorithm.  The six workloads:
+//! [`engine::run_parallel`] / [`engine::run_on_pool`], which own the
+//! worker-pool invocation and the useful/wasted accounting for every
+//! algorithm.  The seven workloads:
 //!
 //! * [`sssp`] — single-source shortest paths with priority = tentative
 //!   distance (the delta-stepping-style formulation Galois uses),
@@ -18,7 +19,15 @@
 //! * [`pagerank`] — residual-prioritized PageRank-delta (largest pending
 //!   residual first),
 //! * [`kcore`] — k-core decomposition via the asynchronous h-index fixed
-//!   point (lowest candidate coreness first).
+//!   point (lowest candidate coreness first),
+//! * [`cc`] — weakly connected components via min-label propagation
+//!   (smallest label first).
+//!
+//! [`query`] is the service layer on top: a resident
+//! [`query::RouteQueryEngine`] answering thousands of
+//! independent point-to-point A* route queries over one shared road graph,
+//! each executed as a job on a resident `smq_pool::WorkerPool` with
+//! epoch-stamped g-score slots (per-query cost O(touched), not O(n)).
 //!
 //! Every parallel run reports both wall-clock metrics (via `smq-runtime`)
 //! and the algorithm-level *work* counters the paper uses to quantify
@@ -29,12 +38,17 @@
 
 pub mod astar;
 pub mod bfs;
+pub mod cc;
 pub mod engine;
 pub mod kcore;
 pub mod mst;
 pub mod pagerank;
+pub mod query;
 pub mod sssp;
 pub mod workload;
 
-pub use engine::{DecreaseKeyWorkload, EngineRun, SequentialReference, TaskOutcome};
+pub use engine::{
+    run_on_pool, run_parallel, DecreaseKeyWorkload, EngineRun, SequentialReference, TaskOutcome,
+};
+pub use query::{RouteAnswer, RouteQueryEngine};
 pub use workload::AlgoResult;

@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use parking_lot::Mutex;
 use smq_core::{Scheduler, Task};
 use smq_graph::CsrGraph;
+use smq_runtime::Scratch;
 
 use crate::engine::{self, DecreaseKeyWorkload, SequentialReference, TaskOutcome};
 use crate::workload::AlgoResult;
@@ -240,7 +241,12 @@ impl DecreaseKeyWorkload for BoruvkaWorkload<'_> {
             .collect()
     }
 
-    fn process(&self, task: Task, push: &mut dyn FnMut(Task)) -> TaskOutcome {
+    fn process(
+        &self,
+        task: Task,
+        push: &mut dyn FnMut(Task),
+        _scratch: &mut Scratch,
+    ) -> TaskOutcome {
         let state = &self.state;
         let root = state.uf.find(task.value as u32);
         if u64::from(root) != task.value {

@@ -30,6 +30,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use smq_core::{Scheduler, Task};
 use smq_graph::CsrGraph;
+use smq_runtime::Scratch;
 
 use crate::engine::{self, DecreaseKeyWorkload, SequentialReference, TaskOutcome};
 use crate::workload::AlgoResult;
@@ -219,7 +220,12 @@ impl DecreaseKeyWorkload for PagerankWorkload<'_> {
             .collect()
     }
 
-    fn process(&self, task: Task, push: &mut dyn FnMut(Task)) -> TaskOutcome {
+    fn process(
+        &self,
+        task: Task,
+        push: &mut dyn FnMut(Task),
+        _scratch: &mut Scratch,
+    ) -> TaskOutcome {
         let eps = self.config.epsilon;
         let v = task.value as usize;
         let r = f64::from_bits(self.residual[v].swap(0f64.to_bits(), Ordering::Relaxed));

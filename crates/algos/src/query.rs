@@ -1,0 +1,380 @@
+//! Point-to-point A* as a *query service* workload: thousands of
+//! independent (source, target) route queries over one shared road graph.
+//!
+//! The one-shot [`crate::astar`] workload allocates a fresh `O(n)` g-score
+//! array per run — fine for a benchmark, fatal for a query service where a
+//! single query touches a few hundred vertices of a million-vertex graph.
+//! [`RouteQueryEngine`] keeps **one** slot array for the graph's lifetime
+//! and stamps every entry with the query epoch that wrote it:
+//!
+//! ```text
+//!   slot = (epoch << DIST_BITS) | distance      (one AtomicU64 per vertex)
+//! ```
+//!
+//! A slot whose stamp differs from the current query's epoch *is*
+//! "infinity" — no reset pass ever runs.  Per query the engine pays
+//! O(touched vertices), not O(n), and the epoch bump is one store.  When
+//! the 24-bit epoch space would wrap, the engine hard-resets the array once
+//! (every ~16.7M queries) so stale stamps can never alias a live epoch.
+//!
+//! Queries execute as jobs on a resident `smq_pool::WorkerPool` via
+//! [`engine::run_on_pool`], which is what the `service_throughput`
+//! benchmark and the `JobService` acceptance tests drive: one scheduler
+//! fleet, thousands of jobs, queries/sec as the reported metric.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use smq_core::Task;
+use smq_graph::CsrGraph;
+use smq_pool::WorkerPool;
+use smq_runtime::Scratch;
+
+use crate::astar::heuristic;
+use crate::engine::{self, DecreaseKeyWorkload, SequentialReference, TaskOutcome};
+use crate::workload::AlgoResult;
+
+/// Low bits of a slot hold the tentative distance.
+const DIST_BITS: u32 = 40;
+/// In-slot "infinity": also the largest storable distance + 1.
+const UNREACHED: u64 = (1 << DIST_BITS) - 1;
+/// Epochs live in the remaining high bits.
+const MAX_EPOCH: u64 = (1 << (64 - DIST_BITS)) - 1;
+
+#[inline]
+fn slot_epoch(raw: u64) -> u64 {
+    raw >> DIST_BITS
+}
+
+#[inline]
+fn slot_distance(raw: u64) -> u64 {
+    raw & UNREACHED
+}
+
+#[inline]
+fn pack(epoch: u64, distance: u64) -> u64 {
+    (epoch << DIST_BITS) | distance
+}
+
+/// The answer to one route query.
+#[derive(Debug, Clone)]
+pub struct RouteAnswer {
+    /// Shortest source→target distance (`u64::MAX` if unreachable).
+    pub distance: u64,
+    /// Work and wall-clock accounting of the query's job.
+    pub result: AlgoResult,
+}
+
+/// A resident point-to-point shortest-path query engine over one shared
+/// road graph.
+///
+/// One engine value serves any number of sequential queries; queries racing
+/// on the same engine are serialized by an internal lock (the slot array is
+/// a single shared workspace).  Run queries on a resident pool via
+/// [`query`](Self::query) — that pairing is what turns per-query cost into
+/// "task execution only".
+pub struct RouteQueryEngine {
+    graph: Arc<CsrGraph>,
+    slots: Vec<AtomicU64>,
+    /// Current query epoch; only mutated under `run_lock`.
+    epoch: AtomicU64,
+    /// Serializes queries: the slot array is one workspace.
+    run_lock: Mutex<()>,
+    queries_served: AtomicU64,
+}
+
+impl RouteQueryEngine {
+    /// Builds an engine over `graph`.
+    ///
+    /// # Panics
+    /// Panics if the graph's total edge weight does not fit the packed
+    /// 40-bit distance field (no path can be longer than the sum of all
+    /// edge weights, so fitting the sum guarantees every distance fits).
+    pub fn new(graph: Arc<CsrGraph>) -> Self {
+        assert!(
+            graph.total_weight() < UNREACHED,
+            "graph weights overflow the packed 40-bit distance field"
+        );
+        let n = graph.num_nodes();
+        Self {
+            // Epoch 0 is never a live query epoch, so fresh slots read as
+            // unreached in every query.
+            slots: (0..n).map(|_| AtomicU64::new(pack(0, UNREACHED))).collect(),
+            graph,
+            epoch: AtomicU64::new(0),
+            run_lock: Mutex::new(()),
+            queries_served: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared graph.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Queries served so far.
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served.load(Ordering::Relaxed)
+    }
+
+    /// Runs one (source, target) query as a job on `pool`, returning the
+    /// exact shortest distance (A* with the admissible road heuristic).
+    pub fn query(&self, source: u32, target: u32, pool: &WorkerPool) -> RouteAnswer {
+        let _serialize = self.run_lock.lock().unwrap_or_else(|e| e.into_inner());
+        let epoch = self.next_epoch();
+        // Seed the source slot for this epoch before the job starts.
+        self.slots[source as usize].store(pack(epoch, 0), Ordering::Relaxed);
+        let active = ActiveQuery {
+            engine: self,
+            epoch,
+            source,
+            target,
+            best_target: AtomicU64::new(UNREACHED),
+        };
+        let run = engine::run_on_pool(&active, pool);
+        self.queries_served.fetch_add(1, Ordering::Relaxed);
+        RouteAnswer {
+            distance: if run.output >= UNREACHED {
+                u64::MAX
+            } else {
+                run.output
+            },
+            result: run.result,
+        }
+    }
+
+    /// Bumps the query epoch; hard-resets the slot array on the (rare)
+    /// epoch-space wrap so a stale stamp can never alias a live epoch.
+    /// Caller holds `run_lock`.
+    fn next_epoch(&self) -> u64 {
+        let next = self.epoch.load(Ordering::Relaxed) + 1;
+        if next > MAX_EPOCH {
+            for slot in &self.slots {
+                slot.store(pack(0, UNREACHED), Ordering::Relaxed);
+            }
+            self.epoch.store(1, Ordering::Relaxed);
+            1
+        } else {
+            self.epoch.store(next, Ordering::Relaxed);
+            next
+        }
+    }
+
+    /// This epoch's view of a slot: the stored distance if the stamp
+    /// matches, otherwise "unreached".
+    #[inline]
+    fn g_score(&self, v: u32, epoch: u64) -> u64 {
+        let raw = self.slots[v as usize].load(Ordering::Relaxed);
+        if slot_epoch(raw) == epoch {
+            slot_distance(raw)
+        } else {
+            UNREACHED
+        }
+    }
+
+    /// Epoch-aware CAS-relax: lowers `v`'s distance for `epoch` to
+    /// `proposed` if it improves on the epoch's current view (a stale-epoch
+    /// slot counts as unreached).  Returns `true` when this call performed
+    /// the decrease.
+    #[inline]
+    fn try_decrease(&self, v: u32, epoch: u64, proposed: u64) -> bool {
+        let slot = &self.slots[v as usize];
+        let mut raw = slot.load(Ordering::Relaxed);
+        loop {
+            let current = if slot_epoch(raw) == epoch {
+                slot_distance(raw)
+            } else {
+                UNREACHED
+            };
+            if proposed >= current {
+                return false;
+            }
+            match slot.compare_exchange_weak(
+                raw,
+                pack(epoch, proposed),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => raw = observed,
+            }
+        }
+    }
+}
+
+/// One in-flight query: borrows the engine, carries the query epoch.
+struct ActiveQuery<'e> {
+    engine: &'e RouteQueryEngine,
+    epoch: u64,
+    source: u32,
+    target: u32,
+    /// Best route to the target found so far (per query, for pruning).
+    best_target: AtomicU64,
+}
+
+impl DecreaseKeyWorkload for ActiveQuery<'_> {
+    type Output = u64;
+
+    fn name(&self) -> &'static str {
+        "A*-query"
+    }
+
+    fn initial_tasks(&self) -> Vec<Task> {
+        vec![Task::new(
+            heuristic(&self.engine.graph, self.source, self.target),
+            u64::from(self.source),
+        )]
+    }
+
+    fn process(
+        &self,
+        task: Task,
+        push: &mut dyn FnMut(Task),
+        _scratch: &mut Scratch,
+    ) -> TaskOutcome {
+        let graph = &*self.engine.graph;
+        let v = task.value as u32;
+        let g = self.engine.g_score(v, self.epoch);
+        // Same staleness/pruning logic as the one-shot A* workload, against
+        // the epoch-stamped slots.
+        let expected_f = g.saturating_add(heuristic(graph, v, self.target));
+        if task.key > expected_f || g == UNREACHED {
+            return TaskOutcome::Wasted;
+        }
+        if expected_f >= self.best_target.load(Ordering::Relaxed) {
+            return TaskOutcome::Wasted;
+        }
+        if v == self.target {
+            self.best_target.fetch_min(g, Ordering::Relaxed);
+            return TaskOutcome::Useful;
+        }
+        for (u, w) in graph.neighbors(v) {
+            let ng = g + u64::from(w);
+            if self.engine.try_decrease(u, self.epoch, ng) {
+                if u == self.target {
+                    self.best_target.fetch_min(ng, Ordering::Relaxed);
+                }
+                push(Task::new(
+                    ng + heuristic(graph, u, self.target),
+                    u64::from(u),
+                ));
+            }
+        }
+        TaskOutcome::Useful
+    }
+
+    fn output(&self) -> u64 {
+        self.engine.g_score(self.target, self.epoch)
+    }
+
+    fn sequential_reference(&self) -> SequentialReference<u64> {
+        let (distance, baseline_tasks) =
+            crate::astar::sequential(&self.engine.graph, self.source, self.target);
+        SequentialReference {
+            // Map the one-shot sentinel onto the packed one.
+            output: if distance == u64::MAX {
+                UNREACHED
+            } else {
+                distance
+            },
+            baseline_tasks,
+        }
+    }
+
+    fn outputs_equivalent(&self, a: &u64, b: &u64) -> bool {
+        a == b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::astar;
+    use smq_graph::generators::{road_network, RoadNetworkParams};
+    use smq_graph::GraphBuilder;
+    use smq_pool::PoolConfig;
+    use smq_scheduler::{HeapSmq, SmqConfig};
+
+    fn road() -> Arc<CsrGraph> {
+        Arc::new(road_network(RoadNetworkParams {
+            width: 18,
+            height: 18,
+            removal_percent: 12,
+            seed: 33,
+        }))
+    }
+
+    fn pool(threads: usize) -> WorkerPool {
+        WorkerPool::new(
+            HeapSmq::<Task>::new(SmqConfig::default_for_threads(threads).with_seed(4)),
+            PoolConfig::new(threads),
+        )
+    }
+
+    #[test]
+    fn packing_round_trips() {
+        let raw = pack(12, 99);
+        assert_eq!(slot_epoch(raw), 12);
+        assert_eq!(slot_distance(raw), 99);
+        assert_eq!(slot_distance(pack(MAX_EPOCH, UNREACHED)), UNREACHED);
+        assert_eq!(slot_epoch(pack(MAX_EPOCH, UNREACHED)), MAX_EPOCH);
+    }
+
+    #[test]
+    fn queries_match_one_shot_astar() {
+        let graph = road();
+        let engine = RouteQueryEngine::new(Arc::clone(&graph));
+        let pool = pool(2);
+        let n = graph.num_nodes() as u32;
+        for i in 0..40u32 {
+            let source = (i * 13) % n;
+            let target = (i * 29 + 7) % n;
+            let answer = engine.query(source, target, &pool);
+            let (expected, _) = astar::sequential(&graph, source, target);
+            assert_eq!(answer.distance, expected, "query {source}->{target}");
+        }
+        assert_eq!(engine.queries_served(), 40);
+        assert_eq!(pool.stats().threads_spawned, 2);
+    }
+
+    #[test]
+    fn stale_epoch_slots_read_as_unreached() {
+        let graph = road();
+        let engine = RouteQueryEngine::new(graph);
+        // Write a distance under epoch 1, then read it under epoch 2.
+        engine.slots[5].store(pack(1, 42), Ordering::Relaxed);
+        assert_eq!(engine.g_score(5, 1), 42);
+        assert_eq!(engine.g_score(5, 2), UNREACHED);
+        // try_decrease under epoch 2 treats the stale slot as unreached.
+        assert!(engine.try_decrease(5, 2, 100));
+        assert_eq!(engine.g_score(5, 2), 100);
+        assert!(!engine.try_decrease(5, 2, 100), "equal is not a decrease");
+        assert!(engine.try_decrease(5, 2, 7));
+    }
+
+    #[test]
+    fn unreachable_target_reports_max() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 5);
+        let graph = Arc::new(b.build());
+        let engine = RouteQueryEngine::new(graph);
+        let pool = pool(1);
+        let answer = engine.query(0, 2, &pool);
+        assert_eq!(answer.distance, u64::MAX);
+    }
+
+    #[test]
+    fn epoch_wrap_resets_slots() {
+        let graph = road();
+        let engine = RouteQueryEngine::new(Arc::clone(&graph));
+        // Force the engine to the edge of the epoch space.
+        engine.epoch.store(MAX_EPOCH, Ordering::Relaxed);
+        engine.slots[3].store(pack(1, 13), Ordering::Relaxed);
+        let pool = pool(1);
+        let answer = engine.query(0, (graph.num_nodes() - 1) as u32, &pool);
+        let (expected, _) = astar::sequential(&graph, 0, (graph.num_nodes() - 1) as u32);
+        assert_eq!(answer.distance, expected);
+        // The engine wrapped to epoch 1 and the stale slot was wiped.
+        assert_eq!(engine.epoch.load(Ordering::Relaxed), 1);
+    }
+}

@@ -15,6 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use smq_core::{Scheduler, Task};
 use smq_graph::CsrGraph;
+use smq_runtime::Scratch;
 
 use crate::engine::{self, DecreaseKeyWorkload, SequentialReference, TaskOutcome};
 use crate::workload::AlgoResult;
@@ -131,7 +132,12 @@ where
         vec![Task::new(0, u64::from(self.source))]
     }
 
-    fn process(&self, task: Task, push: &mut dyn FnMut(Task)) -> TaskOutcome {
+    fn process(
+        &self,
+        task: Task,
+        push: &mut dyn FnMut(Task),
+        _scratch: &mut Scratch,
+    ) -> TaskOutcome {
         let v = task.value as usize;
         let d = task.key;
         if d > self.distances[v].load(Ordering::Relaxed) {

@@ -55,6 +55,7 @@ mod tests {
                 elapsed: Duration::from_millis(10),
                 threads: 1,
                 tasks_executed: useful + wasted,
+                quiescence_scans: 0,
                 per_thread: vec![OpStats::default()],
                 total: OpStats::default(),
             },

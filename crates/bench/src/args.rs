@@ -2,14 +2,24 @@
 
 use crate::schedulers::Workload;
 
+/// Sweep size selected with `--scale`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke-test size for CI: seconds, not minutes, on two cores.
+    Ci,
+    /// The default laptop-class size.
+    Small,
+    /// Closer to the paper's configuration (needs a big machine).
+    Full,
+}
+
 /// Common knobs accepted by every figure binary.
 #[derive(Debug, Clone)]
 pub struct BenchArgs {
     /// Worker thread count for parallel runs.
     pub threads: usize,
-    /// `true` when `--scale full` was passed: larger graphs and finer
-    /// parameter grids (closer to the paper's sweeps).
-    pub full_scale: bool,
+    /// The selected sweep size (`--scale ci|small|full`).
+    pub scale: Scale,
     /// Repetitions per configuration (results are averaged).
     pub repetitions: usize,
     /// Base PRNG seed.
@@ -23,7 +33,7 @@ impl Default for BenchArgs {
     fn default() -> Self {
         Self {
             threads: 4,
-            full_scale: false,
+            scale: Scale::Small,
             repetitions: 3,
             seed: 0xBE7C,
             workloads: None,
@@ -48,11 +58,12 @@ impl BenchArgs {
                         .expect("--threads needs a positive integer");
                 }
                 "--scale" => {
-                    let v = iter.next().expect("--scale needs small|full");
-                    out.full_scale = match v.as_str() {
-                        "full" => true,
-                        "small" => false,
-                        other => panic!("unknown scale '{other}', expected small|full"),
+                    let v = iter.next().expect("--scale needs ci|small|full");
+                    out.scale = match v.as_str() {
+                        "full" => Scale::Full,
+                        "small" => Scale::Small,
+                        "ci" => Scale::Ci,
+                        other => panic!("unknown scale '{other}', expected ci|small|full"),
                     };
                 }
                 "--reps" => {
@@ -89,8 +100,15 @@ impl BenchArgs {
         (out, rest)
     }
 
+    /// `true` when `--scale full` was passed: larger graphs and finer
+    /// parameter grids (closer to the paper's sweeps).  Derived from
+    /// [`BenchArgs::scale`] so the two can never disagree.
+    pub fn full_scale(&self) -> bool {
+        self.scale == Scale::Full
+    }
+
     /// The workloads a sweep should run: the `--workloads` selection, or
-    /// all six when the flag was absent.
+    /// all seven when the flag was absent.
     pub fn selected_workloads(&self) -> Vec<Workload> {
         self.workloads
             .clone()
@@ -115,7 +133,7 @@ mod tests {
     fn defaults_without_args() {
         let (args, rest) = parse(&[]);
         assert_eq!(args.threads, 4);
-        assert!(!args.full_scale);
+        assert!(!args.full_scale());
         assert!(rest.is_empty());
         assert_eq!(args.selected_workloads(), Workload::ALL.to_vec());
     }
@@ -149,7 +167,7 @@ mod tests {
             "5",
         ]);
         assert_eq!(args.threads, 8);
-        assert!(args.full_scale);
+        assert!(args.full_scale());
         assert_eq!(args.repetitions, 5);
         assert_eq!(rest, vec!["--queue".to_string(), "heap".to_string()]);
     }
@@ -158,5 +176,16 @@ mod tests {
     #[should_panic(expected = "unknown scale")]
     fn bad_scale_value_panics() {
         let _ = parse(&["--scale", "medium"]);
+    }
+
+    #[test]
+    fn ci_scale_is_parsed() {
+        let (args, rest) = parse(&["--scale", "ci"]);
+        assert!(rest.is_empty());
+        assert_eq!(args.scale, Scale::Ci);
+        assert!(!args.full_scale());
+        let (args, _) = parse(&["--scale", "full"]);
+        assert_eq!(args.scale, Scale::Full);
+        assert!(args.full_scale());
     }
 }

@@ -12,7 +12,7 @@ use smq_multiqueue::{DeletePolicy, InsertPolicy};
 
 fn main() {
     let (args, _rest) = BenchArgs::from_env();
-    let specs = standard_graphs(args.full_scale, args.seed);
+    let specs = standard_graphs(args.full_scale(), args.seed);
 
     let variants: Vec<(&str, SchedulerSpec)> = vec![
         ("classic", SchedulerSpec::ClassicMq { c: 4 }),

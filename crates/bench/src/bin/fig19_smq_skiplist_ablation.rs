@@ -9,13 +9,13 @@ use smq_core::Probability;
 
 fn main() {
     let (args, _rest) = BenchArgs::from_env();
-    let specs = standard_graphs(args.full_scale, args.seed);
-    let p_steals: Vec<u32> = if args.full_scale {
+    let specs = standard_graphs(args.full_scale(), args.seed);
+    let p_steals: Vec<u32> = if args.full_scale() {
         vec![1, 2, 4, 8, 16, 32, 64, 128]
     } else {
         vec![1, 4, 16, 64]
     };
-    let steal_sizes: Vec<usize> = if args.full_scale {
+    let steal_sizes: Vec<usize> = if args.full_scale() {
         vec![1, 2, 4, 8, 16, 32, 64]
     } else {
         vec![1, 4, 16]

@@ -70,7 +70,7 @@ fn competitors(threads: usize) -> Vec<(&'static str, SchedulerSpec)> {
 
 fn main() {
     let (args, _rest) = BenchArgs::from_env();
-    let specs = standard_graphs(args.full_scale, args.seed);
+    let specs = standard_graphs(args.full_scale(), args.seed);
     let schedulers = competitors(args.threads);
 
     let mut results = Vec::new();

@@ -18,13 +18,13 @@ fn main() {
         }
     }
 
-    let specs = standard_graphs(args.full_scale, args.seed);
-    let deltas: Vec<u32> = if args.full_scale {
+    let specs = standard_graphs(args.full_scale(), args.seed);
+    let deltas: Vec<u32> = if args.full_scale() {
         vec![0, 2, 4, 6, 8, 10, 12, 14, 16]
     } else {
         vec![0, 4, 8, 12]
     };
-    let chunks: Vec<usize> = if args.full_scale {
+    let chunks: Vec<usize> = if args.full_scale() {
         vec![1, 4, 16, 64, 256, 512]
     } else {
         vec![4, 32, 128]

@@ -41,12 +41,12 @@ fn main() {
         }
     }
 
-    let grid: Vec<u32> = if args.full_scale {
+    let grid: Vec<u32> = if args.full_scale() {
         vec![1, 2, 8, 32, 128, 512, 1024]
     } else {
         vec![1, 8, 64, 512]
     };
-    let specs = standard_graphs(args.full_scale, args.seed);
+    let specs = standard_graphs(args.full_scale(), args.seed);
     let workload = Workload::Sssp;
 
     let make_insert = |v: u32| match insert_side {

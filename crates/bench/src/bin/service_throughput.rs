@@ -1,0 +1,278 @@
+//! Serving throughput of the resident job service: one scheduler fleet,
+//! thousands of point-to-point A* route queries, **queries/sec and job
+//! latency** as the reported metrics.
+//!
+//! This is the service-mode companion to the paper's figures: instead of
+//! one algorithm run per fleet, a `JobService` (bounded FIFO queue + one
+//! resident `WorkerPool`) executes a stream of independent route queries
+//! over one shared road graph, submitted by several closed-loop client
+//! threads.  For every scheduler family the binary reports jobs/sec,
+//! p50/p99 job latency (queue wait + service time), mean tasks per query,
+//! and the pool's thread-spawn counter (which must equal the worker count:
+//! workers are parked between jobs, never respawned).  Every answer is
+//! checked against sequential A*, so the numbers are for *correct* serving.
+//!
+//! ```sh
+//! cargo run --release -p smq-bench --bin service_throughput -- --threads 4
+//! cargo run --release -p smq-bench --bin service_throughput -- --scale ci   # CI smoke
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use smq_algos::{astar, RouteQueryEngine};
+use smq_bench::report::f2;
+use smq_bench::{BenchArgs, Scale, Table};
+use smq_core::{Scheduler, Task};
+use smq_graph::generators::{road_network, RoadNetworkParams};
+use smq_multiqueue::{MultiQueue, MultiQueueConfig};
+use smq_obim::{Obim, ObimConfig};
+use smq_pool::{JobService, PoolConfig, ServiceConfig, WorkerPool};
+use smq_scheduler::{HeapSmq, SkipListSmq, SmqConfig};
+
+/// Per-scale sizing: (road grid side, total queries, client threads).
+fn sizing(scale: Scale) -> (u32, usize, usize) {
+    match scale {
+        Scale::Ci => (20, 300, 2),
+        Scale::Small => (48, 2_000, 4),
+        Scale::Full => (120, 10_000, 8),
+    }
+}
+
+/// Deterministic (source, target) pairs from the base seed.
+fn query_pairs(count: usize, nodes: u32, seed: u64) -> Vec<(u32, u32)> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    (0..count)
+        .map(|_| {
+            let source = next() % nodes;
+            let mut target = next() % nodes;
+            if target == source {
+                target = (target + 1) % nodes;
+            }
+            (source, target)
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+struct ServiceRow {
+    label: String,
+    jobs: usize,
+    jobs_per_sec: f64,
+    p50: Duration,
+    p99: Duration,
+    mean_tasks: f64,
+    threads_spawned: u64,
+}
+
+/// Runs `queries` through a fresh `JobService` over `scheduler`, with
+/// `clients` closed-loop submitter threads, verifying every answer.
+fn run_service<S>(
+    label: &str,
+    scheduler: S,
+    engine: &Arc<RouteQueryEngine>,
+    queries: &Arc<Vec<(u32, u32)>>,
+    expected: &Arc<Vec<u64>>,
+    threads: usize,
+    clients: usize,
+) -> ServiceRow
+where
+    S: Scheduler<Task> + Send + Sync + 'static,
+{
+    let service = Arc::new(JobService::new(
+        WorkerPool::new(scheduler, PoolConfig::new(threads)),
+        ServiceConfig { queue_capacity: 32 },
+    ));
+
+    let wall = Instant::now();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(queries.len());
+    let mut total_tasks = 0u64;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client in 0..clients {
+            let service = Arc::clone(&service);
+            let engine = Arc::clone(engine);
+            let queries = Arc::clone(queries);
+            let expected = Arc::clone(expected);
+            handles.push(scope.spawn(move || {
+                let mut latencies = Vec::new();
+                let mut tasks = 0u64;
+                // Client `c` owns every `clients`-th query (FIFO per client,
+                // interleaved across clients — a multi-tenant query stream).
+                for i in (client..queries.len()).step_by(clients) {
+                    let (source, target) = queries[i];
+                    let engine = Arc::clone(&engine);
+                    let ticket = service
+                        .submit(move |pool| engine.query(source, target, pool))
+                        .expect("service accepts while clients run");
+                    let done = ticket.wait();
+                    assert_eq!(
+                        done.output.distance, expected[i],
+                        "query {source}->{target} diverged from sequential A*"
+                    );
+                    tasks += done.output.result.metrics.tasks_executed;
+                    latencies.push(done.total_latency());
+                }
+                (latencies, tasks)
+            }));
+        }
+        for handle in handles {
+            let (mut client_latencies, tasks) = handle.join().expect("client thread");
+            latencies.append(&mut client_latencies);
+            total_tasks += tasks;
+        }
+    });
+    let elapsed = wall.elapsed();
+
+    let service = Arc::into_inner(service).expect("clients joined");
+    let pool_stats = service.pool_stats();
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, queries.len() as u64);
+    assert_eq!(
+        pool_stats.threads_spawned, threads as u64,
+        "resident pool must never respawn workers"
+    );
+
+    latencies.sort_unstable();
+    ServiceRow {
+        label: label.to_string(),
+        jobs: queries.len(),
+        jobs_per_sec: queries.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+        mean_tasks: total_tasks as f64 / queries.len() as f64,
+        threads_spawned: pool_stats.threads_spawned,
+    }
+}
+
+fn main() {
+    let (args, _rest) = BenchArgs::from_env();
+    let (grid, query_count, clients) = sizing(args.scale);
+    let threads = args.threads;
+
+    let graph = Arc::new(road_network(RoadNetworkParams {
+        width: grid,
+        height: grid,
+        removal_percent: 10,
+        seed: args.seed,
+    }));
+    let nodes = graph.num_nodes() as u32;
+    let queries = Arc::new(query_pairs(query_count, nodes, args.seed ^ 0x51));
+    // Ground truth once per query set: the service must serve *correct*
+    // routes at whatever throughput it reports.
+    let expected: Arc<Vec<u64>> = Arc::new(
+        queries
+            .iter()
+            .map(|&(s, t)| astar::sequential(&graph, s, t).0)
+            .collect(),
+    );
+    let engine = Arc::new(RouteQueryEngine::new(Arc::clone(&graph)));
+
+    let mut rows: Vec<ServiceRow> = Vec::new();
+    let seed = args.seed;
+    rows.push(run_service(
+        "SMQ (Default)",
+        HeapSmq::<Task>::new(SmqConfig::default_for_threads(threads).with_seed(seed)),
+        &engine,
+        &queries,
+        &expected,
+        threads,
+        clients,
+    ));
+    rows.push(run_service(
+        "MQ classic (C=4)",
+        MultiQueue::<Task>::new(
+            MultiQueueConfig::classic(threads)
+                .with_c_factor(4)
+                .with_seed(seed),
+        ),
+        &engine,
+        &queries,
+        &expected,
+        threads,
+        clients,
+    ));
+    rows.push(run_service(
+        "OBIM",
+        Obim::<Task>::new(ObimConfig::obim(threads, 10, 32)),
+        &engine,
+        &queries,
+        &expected,
+        threads,
+        clients,
+    ));
+    if args.scale != Scale::Ci {
+        rows.push(run_service(
+            "PMOD",
+            Obim::<Task>::new(ObimConfig::pmod(threads, 10, 32)),
+            &engine,
+            &queries,
+            &expected,
+            threads,
+            clients,
+        ));
+        rows.push(run_service(
+            "SMQ skip-list",
+            SkipListSmq::<Task>::new(SmqConfig::default_for_threads(threads).with_seed(seed)),
+            &engine,
+            &queries,
+            &expected,
+            threads,
+            clients,
+        ));
+    }
+
+    let mut table = Table::new(
+        format!(
+            "Service throughput — {query_count} A* route queries over a {grid}x{grid} road grid \
+             ({threads} workers, {clients} clients, queue 32)"
+        ),
+        &[
+            "Scheduler",
+            "Jobs",
+            "Jobs/sec",
+            "p50 (ms)",
+            "p99 (ms)",
+            "Tasks/job",
+            "Threads spawned",
+        ],
+    );
+    let mut json = Vec::new();
+    for row in &rows {
+        table.add_row(vec![
+            row.label.clone(),
+            row.jobs.to_string(),
+            f2(row.jobs_per_sec),
+            f2(row.p50.as_secs_f64() * 1e3),
+            f2(row.p99.as_secs_f64() * 1e3),
+            f2(row.mean_tasks),
+            row.threads_spawned.to_string(),
+        ]);
+        json.push((
+            row.label.clone(),
+            row.jobs_per_sec,
+            row.p50.as_secs_f64(),
+            row.p99.as_secs_f64(),
+            row.mean_tasks,
+        ));
+    }
+    table.print();
+    println!(
+        "(every answer verified against sequential A*; engine served {} queries total)",
+        engine.queries_served()
+    );
+    smq_bench::report::print_json("service_throughput", &json);
+}

@@ -19,8 +19,8 @@ fn main() {
         args.threads >= 2 && args.threads % 2 == 0,
         "the NUMA sweep simulates two sockets and needs an even thread count >= 2"
     );
-    let specs = standard_graphs(args.full_scale, args.seed);
-    let ks: Vec<u32> = if args.full_scale {
+    let specs = standard_graphs(args.full_scale(), args.seed);
+    let ks: Vec<u32> = if args.full_scale() {
         vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
     } else {
         vec![1, 4, 16, 64, 256]

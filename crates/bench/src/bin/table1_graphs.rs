@@ -6,7 +6,7 @@
 //! task count of every workload on every graph it suits, the denominator of
 //! every work-increase number the other binaries report.
 
-use smq_algos::{astar, bfs, kcore, mst, pagerank, sssp};
+use smq_algos::{astar, bfs, cc, kcore, mst, pagerank, sssp};
 use smq_bench::{standard_graphs, BenchArgs, GraphSpec, Table, Workload};
 
 /// The sequential reference's task count for `workload` on `spec`.
@@ -20,12 +20,13 @@ fn baseline_tasks(workload: Workload, spec: &GraphSpec) -> u64 {
             pagerank::sequential(&spec.graph, pagerank::PagerankConfig::default()).1
         }
         Workload::KCore => kcore::sequential(&spec.graph).1,
+        Workload::Cc => cc::sequential(&spec.graph).1,
     }
 }
 
 fn main() {
     let (args, _rest) = BenchArgs::from_env();
-    let specs = standard_graphs(args.full_scale, args.seed);
+    let specs = standard_graphs(args.full_scale(), args.seed);
 
     let mut table = Table::new(
         "Table 1 — input graphs (synthetic stand-ins for the paper's datasets)",

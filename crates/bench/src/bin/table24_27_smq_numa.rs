@@ -20,8 +20,8 @@ fn main() {
             queue = it.next().expect("--queue needs heap|skiplist");
         }
     }
-    let specs = standard_graphs(args.full_scale, args.seed);
-    let ks: Vec<u32> = if args.full_scale {
+    let specs = standard_graphs(args.full_scale(), args.seed);
+    let ks: Vec<u32> = if args.full_scale() {
         vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
     } else {
         vec![1, 4, 16, 64, 256]

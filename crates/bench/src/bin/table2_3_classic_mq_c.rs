@@ -11,8 +11,8 @@ use smq_bench::{
 
 fn main() {
     let (args, _rest) = BenchArgs::from_env();
-    let specs = standard_graphs(args.full_scale, args.seed);
-    let c_values: Vec<usize> = if args.full_scale {
+    let specs = standard_graphs(args.full_scale(), args.seed);
+    let c_values: Vec<usize> = if args.full_scale() {
         (2..=8).collect()
     } else {
         vec![2, 4, 6, 8]

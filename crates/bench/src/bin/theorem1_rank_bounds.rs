@@ -13,12 +13,12 @@ use smq_rank::{simulate, RankSimConfig};
 
 fn main() {
     let (args, _rest) = BenchArgs::from_env();
-    let queue_counts: Vec<usize> = if args.full_scale {
+    let queue_counts: Vec<usize> = if args.full_scale() {
         vec![4, 8, 16, 32, 64, 128]
     } else {
         vec![4, 8, 16, 32]
     };
-    let p_steals: Vec<u32> = if args.full_scale {
+    let p_steals: Vec<u32> = if args.full_scale() {
         vec![1, 2, 4, 8, 16, 32]
     } else {
         vec![1, 4, 16]
@@ -49,7 +49,7 @@ fn main() {
                         batch: b,
                         p_steal: Probability::new(p),
                         gamma,
-                        steps: if args.full_scale { 40_000 } else { 8_000 },
+                        steps: if args.full_scale() { 40_000 } else { 8_000 },
                         seed: args.seed,
                     };
                     let r = simulate(&config);

@@ -18,7 +18,7 @@ pub mod graphs;
 pub mod report;
 pub mod schedulers;
 
-pub use args::BenchArgs;
+pub use args::{BenchArgs, Scale};
 pub use graphs::{standard_graphs, GraphSpec};
 pub use report::Table;
 pub use schedulers::{run_workload, SchedulerSpec, Workload, WorkloadResult};

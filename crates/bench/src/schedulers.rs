@@ -3,6 +3,7 @@
 //! engine (`smq_algos::engine`).
 
 use smq_algos::astar::AstarWorkload;
+use smq_algos::cc::CcWorkload;
 use smq_algos::engine::{self, DecreaseKeyWorkload};
 use smq_algos::kcore::KCoreWorkload;
 use smq_algos::mst::BoruvkaWorkload;
@@ -32,18 +33,21 @@ pub enum Workload {
     PagerankDelta,
     /// k-core decomposition (h-index fixed point).
     KCore,
+    /// Weakly connected components (min-label propagation).
+    Cc,
 }
 
 impl Workload {
-    /// All six workloads: the paper's four plus the two Galois-lineage
+    /// All seven workloads: the paper's four plus the three Galois-lineage
     /// benchmarks the engine added.
-    pub const ALL: [Workload; 6] = [
+    pub const ALL: [Workload; 7] = [
         Workload::Sssp,
         Workload::Bfs,
         Workload::Astar,
         Workload::Mst,
         Workload::PagerankDelta,
         Workload::KCore,
+        Workload::Cc,
     ];
 
     /// Short display name.
@@ -55,6 +59,7 @@ impl Workload {
             Workload::Mst => "MST",
             Workload::PagerankDelta => "PR-delta",
             Workload::KCore => "k-core",
+            Workload::Cc => "CC",
         }
     }
 
@@ -67,6 +72,7 @@ impl Workload {
             "mst" => Some(Workload::Mst),
             "pagerank" | "pr-delta" | "prdelta" => Some(Workload::PagerankDelta),
             "kcore" | "k-core" => Some(Workload::KCore),
+            "cc" | "components" | "wcc" => Some(Workload::Cc),
             _ => None,
         }
     }
@@ -74,10 +80,11 @@ impl Workload {
     /// Whether `spec` is a sensible input for this workload, mirroring the
     /// paper's (and the Galois lineage's) pairings: A* needs coordinates,
     /// MST runs on the road graphs, PageRank-delta and k-core on the
-    /// power-law (social/web) graphs.
+    /// power-law (social/web) graphs.  CC runs everywhere (it is the
+    /// cheapest per-task workload, used as a scheduler-overhead canary).
     pub fn suits(&self, spec: &GraphSpec) -> bool {
         match self {
-            Workload::Sssp | Workload::Bfs => true,
+            Workload::Sssp | Workload::Bfs | Workload::Cc => true,
             Workload::Astar => spec.graph.has_coordinates(),
             Workload::Mst => spec.graph.avg_degree() <= 10.0,
             Workload::PagerankDelta | Workload::KCore => spec.graph.avg_degree() > 10.0,
@@ -289,6 +296,7 @@ fn run_on<S: Scheduler<Task>>(
             threads,
         ),
         Workload::KCore => engine_run(&KCoreWorkload::new(&spec.graph), scheduler, threads),
+        Workload::Cc => engine_run(&CcWorkload::new(&spec.graph), scheduler, threads),
     }
 }
 
@@ -454,7 +462,7 @@ mod tests {
     #[test]
     fn workload_names_and_spec_names_are_stable() {
         assert_eq!(Workload::Sssp.name(), "SSSP");
-        assert_eq!(Workload::ALL.len(), 6);
+        assert_eq!(Workload::ALL.len(), 7);
         assert!(SchedulerSpec::smq_default().name().starts_with("SMQ-heap"));
         assert_eq!(SchedulerSpec::SprayList.name(), "SprayList");
     }
@@ -466,6 +474,8 @@ mod tests {
         assert_eq!(Workload::parse("a*"), Some(Workload::Astar));
         assert_eq!(Workload::parse("pagerank"), Some(Workload::PagerankDelta));
         assert_eq!(Workload::parse("k-core"), Some(Workload::KCore));
+        assert_eq!(Workload::parse("cc"), Some(Workload::Cc));
+        assert_eq!(Workload::parse("WCC"), Some(Workload::Cc));
         assert_eq!(Workload::parse("nope"), None);
     }
 
@@ -507,5 +517,10 @@ mod tests {
                 result.useful_tasks + result.wasted_tasks
             );
         }
+        // CC runs on every graph class (cheapest workload, overhead canary).
+        assert!(Workload::Cc.suits(&full[0]));
+        assert!(Workload::Cc.suits(&full[2]));
+        let cc = run_workload(&SchedulerSpec::smq_default(), Workload::Cc, &spec, 2, 3);
+        assert!(cc.useful_tasks > 0, "CC did no useful work");
     }
 }

@@ -64,6 +64,38 @@ impl OpStats {
         self.remote_node_accesses += other.remote_node_accesses;
     }
 
+    /// The per-field difference `self - baseline`, saturating at zero.
+    ///
+    /// Counters are monotone within one handle, so on a persistent handle
+    /// (the resident worker pool keeps one per worker across jobs) the
+    /// delta between two snapshots is exactly the activity in between —
+    /// this is how per-job `OpStats` are carved out of long-lived handles.
+    pub fn delta_since(&self, baseline: &OpStats) -> OpStats {
+        OpStats {
+            pushes: self.pushes.saturating_sub(baseline.pushes),
+            pops: self.pops.saturating_sub(baseline.pops),
+            empty_pops: self.empty_pops.saturating_sub(baseline.empty_pops),
+            steal_attempts: self.steal_attempts.saturating_sub(baseline.steal_attempts),
+            steal_successes: self
+                .steal_successes
+                .saturating_sub(baseline.steal_successes),
+            steal_failed_claims: self
+                .steal_failed_claims
+                .saturating_sub(baseline.steal_failed_claims),
+            stolen_tasks: self.stolen_tasks.saturating_sub(baseline.stolen_tasks),
+            contention_retries: self
+                .contention_retries
+                .saturating_sub(baseline.contention_retries),
+            locks_acquired: self.locks_acquired.saturating_sub(baseline.locks_acquired),
+            local_node_accesses: self
+                .local_node_accesses
+                .saturating_sub(baseline.local_node_accesses),
+            remote_node_accesses: self
+                .remote_node_accesses
+                .saturating_sub(baseline.remote_node_accesses),
+        }
+    }
+
     /// Sums a collection of per-thread statistics.
     pub fn merged<'a>(stats: impl IntoIterator<Item = &'a OpStats>) -> OpStats {
         let mut total = OpStats::default();
@@ -155,6 +187,28 @@ mod tests {
         assert_eq!(a.locks_acquired, 128);
         assert_eq!(a.local_node_accesses, 124);
         assert_eq!(a.remote_node_accesses, 126);
+    }
+
+    #[test]
+    fn delta_since_subtracts_every_field() {
+        let later = sample(100);
+        let earlier = sample(40);
+        let delta = later.delta_since(&earlier);
+        assert_eq!(delta.pushes, 60);
+        assert_eq!(delta.pops, 60);
+        assert_eq!(delta.empty_pops, 60);
+        assert_eq!(delta.steal_attempts, 60);
+        assert_eq!(delta.steal_successes, 60);
+        assert_eq!(delta.steal_failed_claims, 60);
+        assert_eq!(delta.stolen_tasks, 60);
+        assert_eq!(delta.contention_retries, 60);
+        assert_eq!(delta.locks_acquired, 60);
+        assert_eq!(delta.local_node_accesses, 60);
+        assert_eq!(delta.remote_node_accesses, 60);
+        // Round trip: baseline + delta == later.
+        let mut rebuilt = earlier.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt, later);
     }
 
     #[test]

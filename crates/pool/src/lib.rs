@@ -1,0 +1,746 @@
+//! A *resident* worker pool for the relaxed priority schedulers.
+//!
+//! The one-shot executor (`smq_runtime::run`) spawns and joins a fresh
+//! thread fleet for every invocation, so thread-spawn latency and cold
+//! scheduler state dominate any short job.  A [`WorkerPool`] instead spawns
+//! its fleet **once**, parks the workers on a condvar between jobs, and
+//! executes a stream of jobs against one long-lived scheduler: each job
+//! seeds the scheduler, runs the shared worker loop
+//! (`smq_runtime::executor::worker_loop`) to quiescence under a fresh
+//! termination-detection *generation*, and hands back per-job
+//! [`RunMetrics`].  Generations (see `smq_runtime::termination`) are what
+//! make detector reuse sound: counters are zeroed between jobs while every
+//! worker is parked, scans that straddle a generation boundary invalidate
+//! themselves, and a tally leaked across jobs asserts in debug builds.
+//!
+//! On top of the pool, [`JobService`] adds a bounded multi-producer
+//! submission queue with FIFO admission, completion tickets carrying
+//! queue-wait and service-time measurements, and graceful shutdown — the
+//! front door of a routing/analytics service built on these schedulers.
+//!
+//! # Scheduler ownership
+//!
+//! Worker threads are OS threads, so the scheduler they share must outlive
+//! them.  Two constructions guarantee that:
+//!
+//! * [`WorkerPool::new`] takes the scheduler **by value** and keeps it
+//!   alive until the workers are joined — the resident-service mode;
+//! * [`WorkerPool::with_borrowed`] runs a closure against a pool built on a
+//!   *borrowed* scheduler and joins every worker before returning — the
+//!   scoped mode backing `smq_algos::engine::run_parallel`'s transient
+//!   pools.
+//!
+//! Both funnel into one erased representation (a raw pointer to a small
+//! object-safe scheduler vtable); the join-before-invalidation discipline
+//! is what makes the erasure sound, and it is enforced structurally (the
+//! scoped constructor joins on every path, including unwinds, and the
+//! owning constructor joins in `Drop` before the box is released).
+
+#![warn(missing_docs)]
+
+pub mod service;
+
+pub use service::{JobCompletion, JobService, JobTicket, ServiceConfig, ServiceStats, SubmitError};
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use smq_core::{OpStats, Scheduler, SchedulerHandle, Task};
+use smq_runtime::executor::{worker_loop, WorkerLoopConfig};
+use smq_runtime::{RunMetrics, Scratch, TerminationDetector};
+
+/// Pool tuning knobs.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Number of resident worker threads.  Must match the scheduler's
+    /// configured thread count.
+    pub threads: usize,
+    /// The per-worker loop knobs (backoff, scan gating) — the same
+    /// [`WorkerLoopConfig`] the one-shot executor uses, so defaults live in
+    /// one place.
+    pub worker: WorkerLoopConfig,
+}
+
+impl PoolConfig {
+    /// A configuration with `threads` workers and default backoff/gating.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads,
+            worker: WorkerLoopConfig::default(),
+        }
+    }
+}
+
+/// One job executable on a [`WorkerPool`]: the object-safe core of
+/// `smq_algos::engine::DecreaseKeyWorkload`.
+///
+/// The contract is the same as the engine's: `process` must be correct for
+/// any order of task execution, and the job's shared state must make stale
+/// tasks detectable (return `false`).
+pub trait PoolJob: Sync {
+    /// The tasks seeding this job.
+    fn seed_tasks(&self) -> Vec<Task>;
+
+    /// Executes one task, pushing follow-up tasks through `push`.  Returns
+    /// `true` when the task advanced the job (was *useful*), `false` when
+    /// it was stale on arrival (*wasted*).
+    fn process(&self, task: Task, push: &mut dyn FnMut(Task), scratch: &mut Scratch) -> bool;
+}
+
+/// Accounting from one pool job.
+#[derive(Debug, Clone)]
+pub struct JobOutput {
+    /// Wall-clock and scheduler-operation metrics, carved per-job out of
+    /// the persistent worker handles via `OpStats::delta_since`.
+    pub metrics: RunMetrics,
+    /// Tasks whose execution advanced the job.
+    pub useful_tasks: u64,
+    /// Stale tasks (wasted work caused by priority relaxation).
+    pub wasted_tasks: u64,
+}
+
+/// Point-in-time pool counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads spawned over the pool's entire lifetime.  Stays equal
+    /// to the configured thread count — workers are never respawned; this
+    /// is the metric service tests assert "zero thread respawns" with.
+    pub threads_spawned: u64,
+    /// Jobs fully executed so far.
+    pub jobs_completed: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler erasure: a minimal object-safe mirror of `Scheduler<Task>`, so
+// the pool (and its spawned threads) need no generic scheduler parameter.
+// ---------------------------------------------------------------------------
+
+trait DynScheduler: Sync {
+    fn dyn_handle(&self, tid: usize) -> Box<dyn DynHandle + '_>;
+    fn num_threads(&self) -> usize;
+}
+
+trait DynHandle {
+    fn push(&mut self, task: Task);
+    fn pop(&mut self) -> Option<Task>;
+    fn flush(&mut self);
+    fn stats(&self) -> OpStats;
+}
+
+impl<S: Scheduler<Task>> DynScheduler for S {
+    fn dyn_handle(&self, tid: usize) -> Box<dyn DynHandle + '_> {
+        Box::new(Scheduler::handle(self, tid))
+    }
+
+    fn num_threads(&self) -> usize {
+        Scheduler::num_threads(self)
+    }
+}
+
+impl<H: SchedulerHandle<Task>> DynHandle for H {
+    fn push(&mut self, task: Task) {
+        SchedulerHandle::push(self, task);
+    }
+
+    fn pop(&mut self) -> Option<Task> {
+        SchedulerHandle::pop(self)
+    }
+
+    fn flush(&mut self) {
+        SchedulerHandle::flush(self);
+    }
+
+    fn stats(&self) -> OpStats {
+        SchedulerHandle::stats(self)
+    }
+}
+
+/// `SchedulerHandle` for the boxed erased handle, so the shared
+/// `worker_loop` (generic over `H: SchedulerHandle<T>`) drives it directly.
+impl SchedulerHandle<Task> for Box<dyn DynHandle + '_> {
+    #[inline]
+    fn push(&mut self, task: Task) {
+        (**self).push(task);
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Task> {
+        (**self).pop()
+    }
+
+    #[inline]
+    fn flush(&mut self) {
+        (**self).flush();
+    }
+
+    #[inline]
+    fn stats(&self) -> OpStats {
+        (**self).stats()
+    }
+}
+
+/// Lifetime-erased pointer to the pool's scheduler.
+///
+/// # Safety invariant
+/// The pointee must stay alive and unmoved until every worker thread has
+/// been joined.  `WorkerPool::new` guarantees this by boxing the scheduler
+/// and joining in `Drop` before the box is released;
+/// `WorkerPool::with_borrowed` by joining before the borrow ends.
+#[derive(Clone, Copy)]
+struct SchedulerRef(*const (dyn DynScheduler + 'static));
+// SAFETY: the pointee is `Sync` (required by `Scheduler`) and the pointer
+// is only dereferenced while the invariant above holds.
+unsafe impl Send for SchedulerRef {}
+unsafe impl Sync for SchedulerRef {}
+
+/// Lifetime-erased pointer to the job currently being executed.
+///
+/// # Safety invariant
+/// Valid only while `JobState::remaining > 0` for the publishing job:
+/// `run_job` blocks until every worker has finished (or abandoned) the job
+/// before its `&dyn PoolJob` borrow ends.
+#[derive(Clone, Copy)]
+struct JobRef(*const (dyn PoolJob + 'static));
+// SAFETY: the pointee is `Sync` and only dereferenced under the invariant.
+unsafe impl Send for JobRef {}
+unsafe impl Sync for JobRef {}
+
+/// What one worker reports back after finishing its share of a job.
+struct WorkerResult {
+    executed: u64,
+    scans: u64,
+    useful: u64,
+    wasted: u64,
+    stats: OpStats,
+}
+
+/// The job hand-off slot workers park on.
+struct JobState {
+    /// Monotone job sequence number; workers track the last one they ran.
+    seq: u64,
+    /// The job being executed, `None` while the pool is idle.
+    job: Option<JobRef>,
+    /// Per-worker seed slices for the current job, taken once each.
+    seeds: Vec<Option<Vec<Task>>>,
+    /// Workers still running the current job.
+    remaining: usize,
+    /// Per-worker results of the current job.
+    results: Vec<Option<WorkerResult>>,
+    /// Set when a worker panicked mid-job; the pool refuses further jobs.
+    poisoned: bool,
+    /// Set once; parked workers exit instead of waiting for the next job.
+    shutdown: bool,
+}
+
+struct Inner {
+    threads: usize,
+    scheduler: SchedulerRef,
+    detector: TerminationDetector,
+    loop_config: WorkerLoopConfig,
+    state: Mutex<JobState>,
+    /// Workers wait here for `seq` to advance (or `shutdown`).
+    job_ready: Condvar,
+    /// The coordinator waits here for `remaining` to hit zero.
+    job_done: Condvar,
+    /// Set when a worker dies mid-job.  A dead worker's thread-local
+    /// queues can strand tasks nobody else may serve, so quiescence would
+    /// never be reached — survivors poll this in the worker loop's
+    /// empty-pop path and bail out instead of spinning forever.
+    aborted: AtomicBool,
+}
+
+/// Ignore `std` mutex poisoning: the pool has its own `poisoned` flag with
+/// precise semantics, and state reads are safe after a panic.
+fn lock(state: &Mutex<JobState>) -> MutexGuard<'_, JobState> {
+    state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A resident fleet of worker threads executing a stream of [`PoolJob`]s
+/// against one long-lived scheduler.
+///
+/// Workers are spawned once at construction and parked between jobs;
+/// [`run_job`](Self::run_job) wakes them, runs the job to quiescence, and
+/// returns its metrics.  Jobs are serialized (one at a time) — queueing and
+/// multi-client admission live in [`JobService`].
+pub struct WorkerPool {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+    /// Serializes `run_job` callers.
+    admission: Mutex<()>,
+    jobs_completed: AtomicU64,
+    threads_spawned: u64,
+    /// Keeps an owned scheduler alive; dropped only after `Drop` joined the
+    /// workers (field drop runs after `drop(&mut self)`).
+    _owned_scheduler: Option<Box<dyn std::any::Any + Send + Sync>>,
+}
+
+impl WorkerPool {
+    /// Spawns a resident pool owning `scheduler`.
+    ///
+    /// The scheduler lives as long as the pool; this is the constructor for
+    /// long-lived services (see [`JobService`]).
+    pub fn new<S>(scheduler: S, config: PoolConfig) -> WorkerPool
+    where
+        S: Scheduler<Task> + Send + Sync + 'static,
+    {
+        let boxed: Box<S> = Box::new(scheduler);
+        let erased: &(dyn DynScheduler + 'static) = &*boxed;
+        let ptr: *const (dyn DynScheduler + 'static) = erased;
+        Self::spawn(SchedulerRef(ptr), Some(boxed), config)
+    }
+
+    /// Runs `f` against a transient pool built on a *borrowed* scheduler,
+    /// joining every worker before returning (also on unwind).
+    ///
+    /// This is the scoped mode behind one-shot `engine::run_parallel` calls:
+    /// same worker-loop semantics as the resident pool, without requiring
+    /// `'static` ownership of the scheduler.
+    pub fn with_borrowed<S, R>(
+        scheduler: &S,
+        config: PoolConfig,
+        f: impl FnOnce(&WorkerPool) -> R,
+    ) -> R
+    where
+        S: Scheduler<Task>,
+    {
+        let erased: &dyn DynScheduler = scheduler;
+        // SAFETY: the erased pointer outlives every dereference because the
+        // pool joins all workers before this function returns: on the happy
+        // path via the explicit `shutdown`, on unwind via `Drop`.  `f` only
+        // receives `&WorkerPool`, so the pool cannot escape or be leaked.
+        let ptr: *const (dyn DynScheduler + 'static) =
+            unsafe { std::mem::transmute(erased as *const dyn DynScheduler) };
+        let mut pool = Self::spawn(SchedulerRef(ptr), None, config);
+        let result = f(&pool);
+        pool.shutdown();
+        result
+    }
+
+    fn spawn(
+        scheduler: SchedulerRef,
+        keeper: Option<Box<dyn std::any::Any + Send + Sync>>,
+        config: PoolConfig,
+    ) -> WorkerPool {
+        let threads = config.threads;
+        assert!(threads >= 1, "need at least one worker thread");
+        // SAFETY: the pointee is alive for the whole constructor.
+        let scheduler_threads = unsafe { (*scheduler.0).num_threads() };
+        assert_eq!(
+            threads, scheduler_threads,
+            "pool thread count must match the scheduler's configuration"
+        );
+
+        let inner = Arc::new(Inner {
+            threads,
+            scheduler,
+            detector: TerminationDetector::new(threads),
+            loop_config: config.worker.clone(),
+            state: Mutex::new(JobState {
+                seq: 0,
+                job: None,
+                seeds: Vec::new(),
+                remaining: 0,
+                results: (0..threads).map(|_| None).collect(),
+                poisoned: false,
+                shutdown: false,
+            }),
+            job_ready: Condvar::new(),
+            job_done: Condvar::new(),
+            aborted: AtomicBool::new(false),
+        });
+
+        let mut workers = Vec::with_capacity(threads);
+        for tid in 0..threads {
+            let worker_inner = Arc::clone(&inner);
+            match std::thread::Builder::new()
+                .name(format!("smq-pool-{tid}"))
+                .spawn(move || worker_main(&worker_inner, tid))
+            {
+                Ok(handle) => workers.push(handle),
+                Err(error) => {
+                    // Join the partial fleet before unwinding: without this,
+                    // already-running workers would outlive the (possibly
+                    // borrowed) erased scheduler pointer — a use-after-free,
+                    // not just a leak.
+                    {
+                        let mut st = lock(&inner.state);
+                        st.shutdown = true;
+                        inner.job_ready.notify_all();
+                    }
+                    for worker in workers {
+                        let _ = worker.join();
+                    }
+                    panic!("failed to spawn pool worker {tid}: {error}");
+                }
+            }
+        }
+
+        WorkerPool {
+            inner,
+            workers,
+            admission: Mutex::new(()),
+            jobs_completed: AtomicU64::new(0),
+            threads_spawned: threads as u64,
+            _owned_scheduler: keeper,
+        }
+    }
+
+    /// Number of resident worker threads.
+    pub fn threads(&self) -> usize {
+        self.inner.threads
+    }
+
+    /// Lifetime counters: threads spawned (never grows after construction —
+    /// workers are parked between jobs, not respawned) and jobs completed.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads_spawned: self.threads_spawned,
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Executes one job on the resident fleet and returns its accounting.
+    ///
+    /// Blocks until the job is quiescent.  Concurrent callers are admitted
+    /// one at a time (FIFO per the admission mutex); a panicking job
+    /// poisons the pool and `run_job` panics for it and every later caller.
+    pub fn run_job(&self, job: &dyn PoolJob) -> JobOutput {
+        let _admission = self.admission.lock().unwrap_or_else(|e| e.into_inner());
+        let threads = self.inner.threads;
+
+        // Split the seeds round-robin so each worker seeds its own queues,
+        // exactly like the one-shot executor.
+        let mut seeds: Vec<Vec<Task>> = (0..threads).map(|_| Vec::new()).collect();
+        for (i, task) in job.seed_tasks().into_iter().enumerate() {
+            seeds[i % threads].push(task);
+        }
+
+        // Fresh termination generation for this job: all workers are parked
+        // (the previous job fully completed before `run_job` returned), so
+        // zeroing the counters races nothing; stale tallies from the
+        // previous job cannot leak in (they assert in debug builds, and a
+        // scan spanning the reset invalidates itself).
+        self.inner.detector.advance_generation();
+        for (tid, seed) in seeds.iter().enumerate() {
+            self.inner.detector.preload(tid, seed.len() as u64);
+        }
+
+        // SAFETY: `run_job` does not return before every worker finished
+        // (or abandoned) this job, so the erased borrow outlives all uses.
+        let job_ref = JobRef(unsafe {
+            std::mem::transmute::<*const dyn PoolJob, *const (dyn PoolJob + 'static)>(
+                job as *const dyn PoolJob,
+            )
+        });
+
+        let start = Instant::now();
+        let results: Vec<WorkerResult> = {
+            let mut st = lock(&self.inner.state);
+            assert!(
+                !st.poisoned,
+                "worker pool poisoned by a panic in an earlier job"
+            );
+            assert!(!st.shutdown, "worker pool is shut down");
+            st.seq += 1;
+            st.job = Some(job_ref);
+            st.seeds = seeds.into_iter().map(Some).collect();
+            st.remaining = threads;
+            st.results = (0..threads).map(|_| None).collect();
+            self.inner.job_ready.notify_all();
+            while st.remaining > 0 {
+                st = self
+                    .inner
+                    .job_done
+                    .wait(st)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+            assert!(!st.poisoned, "a worker panicked while executing a pool job");
+            st.results
+                .iter_mut()
+                .map(|slot| slot.take().expect("worker finished without a result"))
+                .collect()
+        };
+        let elapsed = start.elapsed();
+        self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+
+        let per_thread: Vec<OpStats> = results.iter().map(|r| r.stats.clone()).collect();
+        let total = OpStats::merged(per_thread.iter());
+        JobOutput {
+            metrics: RunMetrics {
+                elapsed,
+                threads,
+                tasks_executed: results.iter().map(|r| r.executed).sum(),
+                quiescence_scans: results.iter().map(|r| r.scans).sum(),
+                per_thread,
+                total,
+            },
+            useful_tasks: results.iter().map(|r| r.useful).sum(),
+            wasted_tasks: results.iter().map(|r| r.wasted).sum(),
+        }
+    }
+
+    /// Stops accepting jobs and joins every worker thread.  Called
+    /// automatically on drop; idempotent.
+    pub fn shutdown(&mut self) {
+        {
+            let mut st = lock(&self.inner.state);
+            st.shutdown = true;
+            self.inner.job_ready.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            // A worker that panicked mid-job reports `Err` here; the pool is
+            // already marked poisoned, so just reap the thread.
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+        // `_owned_scheduler` drops after this body: workers are joined
+        // first, so no erased pointer can dangle.
+    }
+}
+
+/// Decrements `remaining` when the worker leaves the job for any reason; a
+/// missing result means the job's `process` panicked, which poisons the
+/// pool instead of deadlocking the coordinator.  (The other half of the
+/// no-deadlock guarantee lives in `worker_loop`: the in-flight task's
+/// completion is recorded even on unwind, so surviving workers can still
+/// reach quiescence and publish their results.)
+struct CompletionGuard<'a> {
+    inner: &'a Inner,
+    tid: usize,
+    result: Option<WorkerResult>,
+}
+
+impl Drop for CompletionGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = lock(&self.inner.state);
+        if self.result.is_none() {
+            st.poisoned = true;
+            // Tell surviving workers to stop waiting for a quiescence that
+            // may now be unreachable (tasks stranded in our local queues).
+            self.inner.aborted.store(true, Ordering::Release);
+        }
+        st.results[self.tid] = self.result.take();
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            st.job = None;
+            self.inner.job_done.notify_all();
+        }
+    }
+}
+
+fn worker_main(inner: &Arc<Inner>, tid: usize) {
+    // SAFETY: the pool joins this thread before invalidating the pointer
+    // (see `SchedulerRef`).
+    let scheduler: &dyn DynScheduler = unsafe { &*inner.scheduler.0 };
+    // One handle and one scratch arena for the thread's whole life: local
+    // queues, insert buffers, and scratch capacity all persist across jobs.
+    let mut handle = scheduler.dyn_handle(tid);
+    let mut scratch = Scratch::new();
+    let mut last_seq = 0u64;
+
+    loop {
+        // Park until a new job (or shutdown) arrives.
+        let (job_ref, seeds, seq) = {
+            let mut st = lock(&inner.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.seq > last_seq {
+                    let job_ref = st.job.expect("job published without a body");
+                    let seeds = st.seeds[tid].take().expect("seed slice taken twice");
+                    break (job_ref, seeds, st.seq);
+                }
+                st = inner.job_ready.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        last_seq = seq;
+
+        let mut guard = CompletionGuard {
+            inner,
+            tid,
+            result: None,
+        };
+
+        // SAFETY: valid until this worker's guard decrements `remaining`
+        // (see `JobRef`).
+        let job: &dyn PoolJob = unsafe { &*job_ref.0 };
+        // `Box<dyn DynHandle>` sees both trait surfaces; pin the calls to
+        // the `SchedulerHandle` view the worker loop uses.
+        let stats_before = SchedulerHandle::stats(&handle);
+        let mut tally = inner.detector.tally(tid);
+        // Seeds were pre-credited by the coordinator; pushing them needs no
+        // recording.
+        for task in seeds {
+            SchedulerHandle::push(&mut handle, task);
+        }
+        SchedulerHandle::flush(&mut handle);
+
+        let mut useful = 0u64;
+        let mut wasted = 0u64;
+        let outcome = worker_loop(
+            &mut handle,
+            &inner.detector,
+            &mut tally,
+            &mut scratch,
+            &inner.loop_config,
+            Some(&inner.aborted),
+            |task, sink, scratch| {
+                let mut push = |t: Task| sink.push(t);
+                if job.process(task, &mut push, scratch) {
+                    useful += 1;
+                } else {
+                    wasted += 1;
+                }
+            },
+        );
+
+        guard.result = Some(WorkerResult {
+            executed: outcome.executed,
+            scans: outcome.scans,
+            useful,
+            wasted,
+            stats: SchedulerHandle::stats(&handle).delta_since(&stats_before),
+        });
+        drop(guard); // publishes the result and wakes the coordinator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smq_scheduler::{HeapSmq, SmqConfig};
+    use std::sync::atomic::AtomicU64;
+
+    /// A toy job: every seed task below `fanout_below` pushes two children;
+    /// output = number of processed tasks, tracked in shared state.
+    struct FanoutJob {
+        seeds: u64,
+        fanout_below: u64,
+        processed: AtomicU64,
+    }
+
+    impl FanoutJob {
+        fn new(seeds: u64, fanout_below: u64) -> Self {
+            Self {
+                seeds,
+                fanout_below,
+                processed: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl PoolJob for FanoutJob {
+        fn seed_tasks(&self) -> Vec<Task> {
+            (0..self.seeds).map(|i| Task::new(i, i)).collect()
+        }
+
+        fn process(&self, task: Task, push: &mut dyn FnMut(Task), _scratch: &mut Scratch) -> bool {
+            self.processed.fetch_add(1, Ordering::Relaxed);
+            if task.key < self.fanout_below {
+                push(Task::new(task.key + self.fanout_below, task.value));
+                push(Task::new(task.key + 2 * self.fanout_below, task.value));
+            }
+            true
+        }
+    }
+
+    fn smq(threads: usize) -> HeapSmq<Task> {
+        HeapSmq::new(SmqConfig::default_for_threads(threads).with_seed(7))
+    }
+
+    #[test]
+    fn resident_pool_runs_many_jobs_without_respawning() {
+        let mut pool = WorkerPool::new(smq(2), PoolConfig::new(2));
+        for round in 0..50 {
+            let job = FanoutJob::new(100, 100);
+            let out = pool.run_job(&job);
+            assert_eq!(out.metrics.tasks_executed, 300, "round {round}");
+            assert_eq!(job.processed.load(Ordering::Relaxed), 300);
+            assert_eq!(out.useful_tasks, 300);
+            assert_eq!(out.wasted_tasks, 0);
+            // Per-job stats deltas: every pushed task popped exactly once.
+            assert_eq!(out.metrics.total.pushes, out.metrics.total.pops);
+            assert_eq!(out.metrics.total.pops, 300);
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.threads_spawned, 2, "workers must never respawn");
+        assert_eq!(stats.jobs_completed, 50);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn empty_job_terminates() {
+        let pool = WorkerPool::new(smq(2), PoolConfig::new(2));
+        let job = FanoutJob::new(0, 0);
+        let out = pool.run_job(&job);
+        assert_eq!(out.metrics.tasks_executed, 0);
+    }
+
+    #[test]
+    fn borrowed_scheduler_scoped_pool() {
+        let scheduler = smq(3);
+        let executed = WorkerPool::with_borrowed(&scheduler, PoolConfig::new(3), |pool| {
+            let job = FanoutJob::new(500, 500);
+            let out = pool.run_job(&job);
+            out.metrics.tasks_executed
+        });
+        assert_eq!(executed, 1_500);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count")]
+    fn mismatched_thread_count_is_rejected() {
+        let _pool = WorkerPool::new(smq(2), PoolConfig::new(3));
+    }
+
+    #[test]
+    fn single_worker_pool_works() {
+        let pool = WorkerPool::new(smq(1), PoolConfig::new(1));
+        for _ in 0..10 {
+            let job = FanoutJob::new(50, 50);
+            assert_eq!(pool.run_job(&job).metrics.tasks_executed, 150);
+        }
+        assert_eq!(pool.stats().threads_spawned, 1);
+    }
+
+    /// A job that panics on one specific task.
+    struct PanickingJob;
+
+    impl PoolJob for PanickingJob {
+        fn seed_tasks(&self) -> Vec<Task> {
+            (0..64u64).map(|i| Task::new(i, i)).collect()
+        }
+
+        fn process(&self, task: Task, _push: &mut dyn FnMut(Task), _s: &mut Scratch) -> bool {
+            assert!(task.key != 17, "intentional job panic");
+            true
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn panicking_job_poisons_the_pool_instead_of_deadlocking() {
+        // The regression this guards: on a multi-worker pool, a panicking
+        // task used to leave the detector permanently unbalanced, so the
+        // surviving worker spun forever and `run_job` never returned.
+        let pool = WorkerPool::new(smq(2), PoolConfig::new(2));
+        pool.run_job(&PanickingJob);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drop_safe() {
+        let mut pool = WorkerPool::new(smq(2), PoolConfig::new(2));
+        pool.run_job(&FanoutJob::new(10, 10));
+        pool.shutdown();
+        pool.shutdown();
+        // Drop after explicit shutdown must not double-join.
+    }
+}

@@ -1,0 +1,449 @@
+//! The job service: a bounded, multi-producer front door for a
+//! [`WorkerPool`].
+//!
+//! Client threads [`submit`](JobService::submit) jobs — closures that run
+//! against the pool and return an output — into a bounded FIFO queue; a
+//! dispatcher thread drains the queue and executes each job on the resident
+//! worker fleet.  Every submission returns a [`JobTicket`] the client can
+//! block on; completion carries the job's output plus the measured queue
+//! wait and service time, which is what the `service_throughput` benchmark
+//! reports as p50/p99 job latency.
+//!
+//! Back-pressure: `submit` blocks while the queue is full;
+//! [`try_submit`](JobService::try_submit) fails fast instead (the
+//! shed-load policy of an overloaded service).
+//! [`shutdown`](JobService::shutdown) stops admission, drains every
+//! already-accepted job, then joins the dispatcher and the pool — no
+//! accepted job is ever dropped.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::WorkerPool;
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Maximum number of accepted-but-not-started jobs.  `submit` blocks
+    /// and `try_submit` rejects while the queue holds this many.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 128,
+        }
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity (only `try_submit` reports this).
+    QueueFull,
+    /// The service is shutting down and admits no new jobs.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "job queue is full"),
+            SubmitError::ShuttingDown => write!(f, "job service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A completed job's output plus its measured latencies.
+#[derive(Debug)]
+pub struct JobCompletion<R> {
+    /// Whatever the submitted closure returned.
+    pub output: R,
+    /// Time spent queued before the dispatcher picked the job up.
+    pub queue_wait: Duration,
+    /// Time spent executing on the worker pool.
+    pub service_time: Duration,
+}
+
+impl<R> JobCompletion<R> {
+    /// Queue wait plus service time: the client-visible job latency
+    /// (excluding only the submit call itself).
+    pub fn total_latency(&self) -> Duration {
+        self.queue_wait + self.service_time
+    }
+}
+
+/// A one-shot handle to a submitted job's completion.
+#[derive(Debug)]
+pub struct JobTicket<R> {
+    rx: mpsc::Receiver<JobCompletion<R>>,
+}
+
+impl<R> JobTicket<R> {
+    /// Blocks until the job completes.
+    ///
+    /// # Panics
+    /// Panics if the service was torn down without running the job — which
+    /// cannot happen through the public API ([`JobService::shutdown`]
+    /// drains all accepted jobs) unless the dispatcher died to a panicking
+    /// job.
+    pub fn wait(self) -> JobCompletion<R> {
+        self.rx
+            .recv()
+            .expect("job service dropped the job before completing it")
+    }
+
+    /// Non-blocking poll: the completion if the job already finished.
+    pub fn try_wait(&self) -> Option<JobCompletion<R>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Point-in-time service counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs fully executed.
+    pub completed: u64,
+    /// `try_submit` calls rejected with [`SubmitError::QueueFull`].
+    pub rejected: u64,
+}
+
+type QueuedJob = Box<dyn FnOnce(&WorkerPool) + Send + 'static>;
+
+struct QueueState {
+    jobs: VecDeque<QueuedJob>,
+    closed: bool,
+}
+
+struct ServiceInner {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+}
+
+fn lock(state: &Mutex<QueueState>) -> MutexGuard<'_, QueueState> {
+    state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A resident job service: bounded FIFO admission from many client threads
+/// onto one [`WorkerPool`].
+pub struct JobService {
+    inner: Arc<ServiceInner>,
+    pool: Arc<WorkerPool>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl JobService {
+    /// Starts the service on `pool` (the pool must own its scheduler, i.e.
+    /// come from [`WorkerPool::new`]).
+    pub fn new(pool: WorkerPool, config: ServiceConfig) -> JobService {
+        assert!(config.queue_capacity >= 1, "queue capacity must be >= 1");
+        let inner = Arc::new(ServiceInner {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: config.queue_capacity,
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        });
+        let pool = Arc::new(pool);
+        let dispatcher = {
+            let inner = Arc::clone(&inner);
+            let pool = Arc::clone(&pool);
+            std::thread::Builder::new()
+                .name("smq-job-dispatcher".into())
+                .spawn(move || dispatcher_main(&inner, &pool))
+                .expect("failed to spawn job dispatcher")
+        };
+        JobService {
+            inner,
+            pool,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Submits a job, blocking while the queue is full.  FIFO: jobs execute
+    /// in acceptance order.
+    pub fn submit<F, R>(&self, job: F) -> Result<JobTicket<R>, SubmitError>
+    where
+        F: FnOnce(&WorkerPool) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        let mut st = lock(&self.inner.state);
+        loop {
+            if st.closed {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if st.jobs.len() < self.inner.capacity {
+                return Ok(self.enqueue(st, job));
+            }
+            st = self
+                .inner
+                .not_full
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Submits a job without blocking; fails with
+    /// [`SubmitError::QueueFull`] when at capacity.
+    pub fn try_submit<F, R>(&self, job: F) -> Result<JobTicket<R>, SubmitError>
+    where
+        F: FnOnce(&WorkerPool) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        let st = lock(&self.inner.state);
+        if st.closed {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if st.jobs.len() >= self.inner.capacity {
+            self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::QueueFull);
+        }
+        Ok(self.enqueue(st, job))
+    }
+
+    fn enqueue<F, R>(&self, mut st: MutexGuard<'_, QueueState>, job: F) -> JobTicket<R>
+    where
+        F: FnOnce(&WorkerPool) -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        let (tx, rx) = mpsc::sync_channel(1);
+        let accepted_at = Instant::now();
+        st.jobs.push_back(Box::new(move |pool: &WorkerPool| {
+            let started = Instant::now();
+            let output = job(pool);
+            // The client may have dropped its ticket; that is fine.
+            let _ = tx.send(JobCompletion {
+                output,
+                queue_wait: started.duration_since(accepted_at),
+                service_time: started.elapsed(),
+            });
+        }));
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.not_empty.notify_one();
+        JobTicket { rx }
+    }
+
+    /// Admission / completion / rejection counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.inner.submitted.load(Ordering::Relaxed),
+            completed: self.inner.completed.load(Ordering::Relaxed),
+            rejected: self.inner.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The underlying pool's lifetime counters (thread spawns, jobs run).
+    pub fn pool_stats(&self) -> crate::PoolStats {
+        self.pool.stats()
+    }
+
+    /// Graceful shutdown: stops admission, drains every accepted job, joins
+    /// the dispatcher and (once the last `Arc` reference dies here) the
+    /// worker pool.  Returns the final counters.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.close_and_join();
+        self.stats()
+    }
+
+    fn close_and_join(&mut self) {
+        {
+            let mut st = lock(&self.inner.state);
+            st.closed = true;
+            self.inner.not_empty.notify_all();
+            self.inner.not_full.notify_all();
+        }
+        if let Some(dispatcher) = self.dispatcher.take() {
+            let _ = dispatcher.join();
+        }
+    }
+}
+
+impl Drop for JobService {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+fn dispatcher_main(inner: &ServiceInner, pool: &WorkerPool) {
+    loop {
+        let job = {
+            let mut st = lock(&inner.state);
+            loop {
+                if let Some(job) = st.jobs.pop_front() {
+                    // A queue slot opened up; wake one blocked submitter.
+                    inner.not_full.notify_one();
+                    break job;
+                }
+                if st.closed {
+                    return; // drained and closed: clean exit
+                }
+                st = inner.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        job(pool);
+        inner.completed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PoolConfig, PoolJob};
+    use smq_core::Task;
+    use smq_multiqueue::{MultiQueue, MultiQueueConfig};
+    use smq_runtime::Scratch;
+    use std::sync::atomic::AtomicU64;
+
+    struct CountJob {
+        seeds: u64,
+        counter: Arc<AtomicU64>,
+    }
+
+    impl PoolJob for CountJob {
+        fn seed_tasks(&self) -> Vec<Task> {
+            (0..self.seeds).map(|i| Task::new(i, i)).collect()
+        }
+
+        fn process(&self, _t: Task, _push: &mut dyn FnMut(Task), _s: &mut Scratch) -> bool {
+            self.counter.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+    }
+
+    fn service(capacity: usize) -> JobService {
+        let mq: MultiQueue<Task> = MultiQueue::new(MultiQueueConfig::classic(2).with_seed(3));
+        JobService::new(
+            WorkerPool::new(mq, PoolConfig::new(2)),
+            ServiceConfig {
+                queue_capacity: capacity,
+            },
+        )
+    }
+
+    #[test]
+    fn jobs_from_many_clients_all_complete() {
+        let service = Arc::new(service(4));
+        let counter = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for client in 0..4 {
+                let service = Arc::clone(&service);
+                let counter = Arc::clone(&counter);
+                scope.spawn(move || {
+                    for _ in 0..5 {
+                        let counter = Arc::clone(&counter);
+                        let ticket = service
+                            .submit(move |pool| {
+                                let job = CountJob {
+                                    seeds: 10 + client,
+                                    counter,
+                                };
+                                pool.run_job(&job).metrics.tasks_executed
+                            })
+                            .expect("submit");
+                        let done = ticket.wait();
+                        assert_eq!(done.output, 10 + client);
+                    }
+                });
+            }
+        });
+        let service = Arc::into_inner(service).expect("sole owner");
+        let stats = service.shutdown();
+        assert_eq!(stats.submitted, 20);
+        assert_eq!(stats.completed, 20);
+        // 4 clients × 5 jobs × 10 base seeds, plus `client` extra seeds per
+        // job for clients 0..4.
+        assert_eq!(counter.load(Ordering::Relaxed), 4 * 5 * 10 + 5 * 6);
+    }
+
+    #[test]
+    fn try_submit_sheds_load_when_full() {
+        // Block the dispatcher with a slow job, then overfill the queue.
+        let service = service(1);
+        let gate = Arc::new(AtomicU64::new(0));
+        let slow_gate = Arc::clone(&gate);
+        let _slow = service
+            .submit(move |_pool| {
+                while slow_gate.load(Ordering::Acquire) == 0 {
+                    std::thread::yield_now();
+                }
+            })
+            .expect("first job accepted");
+        // Queue capacity 1: one more is queued, then rejections start.
+        let _queued = service.submit(|_pool| ()).expect("queued job accepted");
+        let mut rejected = 0;
+        while rejected == 0 {
+            match service.try_submit(|_pool| ()) {
+                Err(SubmitError::QueueFull) => rejected += 1,
+                Ok(_) => {} // dispatcher drained a slot between calls
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+        gate.store(1, Ordering::Release);
+        let stats = service.shutdown();
+        assert!(stats.rejected >= 1);
+        assert_eq!(stats.completed, stats.submitted);
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_jobs() {
+        let service = service(8);
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut tickets = Vec::new();
+        for _ in 0..6 {
+            let counter = Arc::clone(&counter);
+            tickets.push(
+                service
+                    .submit(move |pool| {
+                        let job = CountJob { seeds: 5, counter };
+                        pool.run_job(&job);
+                    })
+                    .expect("submit"),
+            );
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 6, "shutdown must drain accepted jobs");
+        assert_eq!(counter.load(Ordering::Relaxed), 30);
+        for ticket in tickets {
+            let done = ticket.wait();
+            assert!(done.service_time >= Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_rejected() {
+        let service = service(2);
+        // Close via an internal clone of the closed flag: emulate by racing
+        // shutdown on another thread is overkill — use drop + rebuild path:
+        // here we just verify ShuttingDown surfaces through submit.
+        {
+            let mut st = lock(&service.inner.state);
+            st.closed = true;
+        }
+        assert_eq!(
+            service.submit(|_pool| ()).map(|_| ()),
+            Err(SubmitError::ShuttingDown)
+        );
+        assert_eq!(
+            service.try_submit(|_pool| ()).map(|_| ()),
+            Err(SubmitError::ShuttingDown)
+        );
+    }
+}

@@ -11,6 +11,15 @@
 //! for schedulers that buffer tasks thread-locally (those are flushed
 //! whenever a thread observes an empty pop) — without any shared `SeqCst`
 //! counter on the per-task hot path.
+//!
+//! The per-worker loop body lives in [`worker_loop`], shared between two
+//! drivers: [`run`] (spawn a scoped fleet, run one workload, join — the
+//! original one-shot mode) and the resident `smq-pool` worker pool, whose
+//! workers park between jobs and re-enter the same loop for every job.
+//! The quiescence scan is *epoch-gated*: a worker only pays the O(threads)
+//! counter scan after [`WorkerLoopConfig::scan_gate`] consecutive empty pops
+//! during which the detector's activity epoch did not move (see
+//! [`crate::termination`] for the liveness argument).
 
 use std::time::Instant;
 
@@ -18,6 +27,7 @@ use crossbeam_utils::Backoff;
 use smq_core::{OpStats, Scheduler, SchedulerHandle};
 
 use crate::metrics::RunMetrics;
+use crate::scratch::Scratch;
 use crate::termination::{TerminationDetector, WorkerTally};
 
 /// Executor tuning knobs.
@@ -26,20 +36,50 @@ pub struct ExecutorConfig {
     /// Number of worker threads to spawn.  Must match the scheduler's
     /// configured thread count.
     pub threads: usize,
+    /// The per-worker loop knobs (shared with the resident worker pool, so
+    /// the defaults and their meaning live in exactly one place).
+    pub worker: WorkerLoopConfig,
+}
+
+impl ExecutorConfig {
+    /// A configuration with `threads` workers and default backoff/gating.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads,
+            worker: WorkerLoopConfig::default(),
+        }
+    }
+}
+
+/// The per-worker knobs of [`worker_loop`].
+#[derive(Debug, Clone)]
+pub struct WorkerLoopConfig {
     /// How many consecutive empty pops a thread tolerates before it starts
     /// yielding to the OS scheduler (important on machines with fewer
     /// hardware threads than workers).
     pub spins_before_yield: u32,
+    /// How many consecutive empty pops (with a stable activity epoch) a
+    /// worker accumulates before paying for one O(threads) quiescence scan
+    /// (clamped to at least 1 by the loop).
+    pub scan_gate: u32,
 }
 
-impl ExecutorConfig {
-    /// A configuration with `threads` workers and default backoff.
-    pub fn new(threads: usize) -> Self {
+impl Default for WorkerLoopConfig {
+    fn default() -> Self {
         Self {
-            threads,
             spins_before_yield: 64,
+            scan_gate: 8,
         }
     }
+}
+
+/// What one worker did during one trip through [`worker_loop`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerLoopOutcome {
+    /// Tasks popped and processed by this worker.
+    pub executed: u64,
+    /// Quiescence scans this worker performed (each is O(threads)).
+    pub scans: u64,
 }
 
 /// A handle through which task processors push newly created tasks.
@@ -72,12 +112,126 @@ where
     }
 }
 
+/// One worker's pop/process/quiesce loop, shared by the one-shot executor
+/// and the resident worker pool.
+///
+/// The caller must have pushed (and pre-credited, via
+/// [`TerminationDetector::preload`]) its seed tasks before entering the
+/// loop.  Returns once this worker has observed global quiescence for the
+/// detector's current generation — or, if `abort` is `Some` and becomes
+/// `true`, as soon as the worker next finds the scheduler empty.  The
+/// abort escape exists for the worker pool's panic path: a dead worker's
+/// thread-local queues can strand published-but-unreachable tasks, making
+/// quiescence impossible, so survivors must be told to stop waiting for
+/// it.
+pub fn worker_loop<T, H, F>(
+    handle: &mut H,
+    detector: &TerminationDetector,
+    tally: &mut WorkerTally<'_>,
+    scratch: &mut Scratch,
+    config: &WorkerLoopConfig,
+    abort: Option<&std::sync::atomic::AtomicBool>,
+    mut process: F,
+) -> WorkerLoopOutcome
+where
+    H: SchedulerHandle<T>,
+    F: for<'h, 'd> FnMut(T, &mut TaskSink<'h, 'd, H, T>, &mut Scratch),
+{
+    let scan_gate = config.scan_gate.max(1);
+    let mut outcome = WorkerLoopOutcome::default();
+    let backoff = Backoff::new();
+    // Empty pops observed since the last scan (or since the last activity
+    // epoch move); `was_idle` tracks idle→busy transitions for the epoch,
+    // and `idle_spins` (reset only by a successful pop) drives OS yielding.
+    let mut empty_streak = 0u32;
+    let mut idle_spins = 0u32;
+    let mut was_idle = false;
+    let mut seen_epoch = detector.activity_epoch();
+    loop {
+        match handle.pop() {
+            Some(task) => {
+                if was_idle {
+                    // Off the common hot path: only the first pop after a
+                    // barren stretch tells the scanners the system moved.
+                    detector.note_activity();
+                    was_idle = false;
+                }
+                empty_streak = 0;
+                idle_spins = 0;
+                backoff.reset();
+                let mut sink = TaskSink {
+                    handle,
+                    tally,
+                    _marker: std::marker::PhantomData,
+                };
+                // The completion below must be recorded even if `process`
+                // unwinds: the popped task was already counted `published`,
+                // and skipping its completion would leave the detector
+                // permanently unbalanced — surviving pool workers would
+                // spin forever in a never-quiescent scan while the
+                // coordinator waits for them (deadlock instead of the
+                // intended pool poisoning).  `catch_unwind` is free on the
+                // non-panic path.
+                let panic_payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    process(task, &mut sink, scratch)
+                }))
+                .err();
+                outcome.executed += 1;
+                // One completion update per processed task, on this
+                // worker's own counter line.
+                tally.record_completion();
+                if let Some(payload) = panic_payload {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+            None => {
+                // Anything buffered locally must become visible before we
+                // conclude the system might be done.
+                handle.flush();
+                if let Some(flag) = abort {
+                    if flag.load(std::sync::atomic::Ordering::Acquire) {
+                        break;
+                    }
+                }
+                was_idle = true;
+                idle_spins = idle_spins.saturating_add(1);
+                let epoch = detector.activity_epoch();
+                if epoch != seen_epoch {
+                    // Work appeared somewhere since we last looked: the
+                    // system is churning, a scan now would likely fail.
+                    seen_epoch = epoch;
+                    empty_streak = 1;
+                } else {
+                    empty_streak += 1;
+                }
+                if empty_streak >= scan_gate {
+                    // Looked stable for `scan_gate` empty pops: pay for one
+                    // O(threads) scan, then require a fresh streak before
+                    // the next one.
+                    empty_streak = 0;
+                    outcome.scans += 1;
+                    if detector.quiescent() {
+                        break;
+                    }
+                }
+                if idle_spins > config.spins_before_yield {
+                    std::thread::yield_now();
+                } else {
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+    outcome
+}
+
 /// Runs `process` over every task reachable from `initial` using the given
 /// scheduler and `config.threads` worker threads.
 ///
-/// `process(task, sink)` executes one task and pushes follow-up tasks into
-/// the [`TaskSink`].  The function returns once every pushed task has been
-/// processed and all threads have observed a globally empty scheduler.
+/// `process(task, sink, scratch)` executes one task, pushing follow-up
+/// tasks into the [`TaskSink`]; `scratch` is this worker's reusable
+/// [`Scratch`] memory.  The function returns once every pushed task has
+/// been processed and all threads have observed a globally empty scheduler.
 ///
 /// Initial tasks are distributed round-robin across the workers and pushed
 /// through each worker's own handle, which matters for schedulers with
@@ -91,7 +245,7 @@ pub fn run<S, T, F>(
 where
     S: Scheduler<T>,
     T: Send,
-    F: for<'h, 'd> Fn(T, &mut TaskSink<'h, 'd, S::Handle<'_>, T>) + Sync,
+    F: for<'h, 'd> Fn(T, &mut TaskSink<'h, 'd, S::Handle<'_>, T>, &mut Scratch) + Sync,
 {
     let threads = config.threads;
     assert!(threads >= 1, "need at least one worker thread");
@@ -114,59 +268,34 @@ where
         detector.preload(tid, seed.len() as u64);
     }
 
+    let loop_config = config.worker.clone();
     let start = Instant::now();
-    let results: Vec<(u64, OpStats)> = std::thread::scope(|scope| {
+    let results: Vec<(WorkerLoopOutcome, OpStats)> = std::thread::scope(|scope| {
         let mut join_handles = Vec::with_capacity(threads);
         for (tid, seed) in seeds.into_iter().enumerate() {
             let detector = &detector;
             let process = &process;
-            let config = &config;
+            let loop_config = &loop_config;
             join_handles.push(scope.spawn(move || {
                 let mut handle = scheduler.handle(tid);
                 let mut tally = detector.tally(tid);
+                let mut scratch = Scratch::new();
                 // Seeds were pre-credited; pushing them needs no recording.
                 for task in seed {
                     handle.push(task);
                 }
                 // Make seed tasks visible before anyone starts spinning.
                 handle.flush();
-
-                let mut executed = 0u64;
-                let backoff = Backoff::new();
-                let mut empty_streak = 0u32;
-                loop {
-                    match handle.pop() {
-                        Some(task) => {
-                            empty_streak = 0;
-                            backoff.reset();
-                            let mut sink = TaskSink {
-                                handle: &mut handle,
-                                tally: &mut tally,
-                                _marker: std::marker::PhantomData,
-                            };
-                            process(task, &mut sink);
-                            executed += 1;
-                            // One completion update per processed task, on
-                            // this worker's own counter line.
-                            tally.record_completion();
-                        }
-                        None => {
-                            // Anything buffered locally must become visible
-                            // before we conclude the system might be done.
-                            handle.flush();
-                            if detector.quiescent() {
-                                break;
-                            }
-                            empty_streak += 1;
-                            if empty_streak > config.spins_before_yield {
-                                std::thread::yield_now();
-                            } else {
-                                backoff.snooze();
-                            }
-                        }
-                    }
-                }
-                (executed, handle.stats())
+                let outcome = worker_loop(
+                    &mut handle,
+                    detector,
+                    &mut tally,
+                    &mut scratch,
+                    loop_config,
+                    None,
+                    |task, sink, scratch| process(task, sink, scratch),
+                );
+                (outcome, handle.stats())
             }));
         }
         join_handles
@@ -181,7 +310,8 @@ where
     RunMetrics {
         elapsed,
         threads,
-        tasks_executed: results.iter().map(|(n, _)| *n).sum(),
+        tasks_executed: results.iter().map(|(o, _)| o.executed).sum(),
+        quiescence_scans: results.iter().map(|(o, _)| o.scans).sum(),
         per_thread,
         total,
     }
@@ -263,7 +393,7 @@ mod tests {
             &sched,
             &ExecutorConfig::new(2),
             (0..1_000u64).collect(),
-            |_task, _sink| {
+            |_task, _sink, _scratch| {
                 executed.fetch_add(1, Ordering::Relaxed);
             },
         );
@@ -284,7 +414,7 @@ mod tests {
             &sched,
             &ExecutorConfig::new(3),
             (0..1_000u64).collect(),
-            |task, sink| {
+            |task, sink, _scratch| {
                 executed.fetch_add(1, Ordering::Relaxed);
                 if task < 1_000 {
                     sink.push(task + 1_000);
@@ -299,8 +429,9 @@ mod tests {
     #[test]
     fn empty_initial_set_terminates_immediately() {
         let sched = LockedHeap::new(2);
-        let metrics = run(&sched, &ExecutorConfig::new(2), Vec::new(), |_t, _s| {});
+        let metrics = run(&sched, &ExecutorConfig::new(2), Vec::new(), |_t, _s, _c| {});
         assert_eq!(metrics.tasks_executed, 0);
+        assert!(metrics.quiescence_scans >= 2, "each worker scans to exit");
     }
 
     #[test]
@@ -311,7 +442,7 @@ mod tests {
             &sched,
             &ExecutorConfig::new(1),
             vec![5u64, 10, 15],
-            |task, _sink| {
+            |task, _sink, _scratch| {
                 sum.fetch_add(task, Ordering::Relaxed);
             },
         );
@@ -323,7 +454,7 @@ mod tests {
     #[should_panic(expected = "thread count")]
     fn mismatched_thread_count_is_rejected() {
         let sched = LockedHeap::new(2);
-        let _ = run(&sched, &ExecutorConfig::new(3), vec![1u64], |_t, _s| {});
+        let _ = run(&sched, &ExecutorConfig::new(3), vec![1u64], |_t, _s, _c| {});
     }
 
     #[test]
@@ -332,13 +463,60 @@ mod tests {
         // most threads spin on an empty scheduler while one works.
         let sched = LockedHeap::new(4);
         let executed = Counter::new(0);
-        let metrics = run(&sched, &ExecutorConfig::new(4), vec![0u64], |task, sink| {
-            executed.fetch_add(1, Ordering::Relaxed);
-            if task < 10_000 {
+        let metrics = run(
+            &sched,
+            &ExecutorConfig::new(4),
+            vec![0u64],
+            |task, sink, _scratch| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                if task < 10_000 {
+                    sink.push(task + 1);
+                }
+            },
+        );
+        assert_eq!(executed.load(Ordering::Relaxed), 10_001);
+        assert_eq!(metrics.tasks_executed, 10_001);
+    }
+
+    #[test]
+    fn scan_gate_bounds_scan_traffic() {
+        // Every quiescence scan must be "paid for" with at least `scan_gate`
+        // empty pops, so scans * gate never exceeds total empty pops — the
+        // executor-level guarantee behind the epoch-gated scan.
+        let config = ExecutorConfig::new(4);
+        let sched = LockedHeap::new(4);
+        let metrics = run(&sched, &config, vec![0u64], |task, sink, _scratch| {
+            if task < 5_000 {
                 sink.push(task + 1);
             }
         });
-        assert_eq!(executed.load(Ordering::Relaxed), 10_001);
-        assert_eq!(metrics.tasks_executed, 10_001);
+        assert!(
+            metrics.quiescence_scans * u64::from(config.worker.scan_gate)
+                <= metrics.total.empty_pops,
+            "scans={} gate={} empty_pops={}",
+            metrics.quiescence_scans,
+            config.worker.scan_gate,
+            metrics.total.empty_pops
+        );
+        // Liveness: every worker still exits via at least one scan.
+        assert!(metrics.quiescence_scans >= 4);
+    }
+
+    #[test]
+    fn scratch_is_usable_from_the_processing_closure() {
+        let sched = LockedHeap::new(2);
+        let checked = Counter::new(0);
+        run(
+            &sched,
+            &ExecutorConfig::new(2),
+            (1..=64u64).collect(),
+            |task, _sink, scratch| {
+                let buf = scratch.counting_u32(task as usize);
+                assert!(buf.iter().all(|&c| c == 0), "scratch must be zeroed");
+                buf[(task - 1) as usize] = 1;
+                checked.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(checked.load(Ordering::Relaxed), 64);
     }
 }

@@ -15,6 +15,10 @@ pub struct RunMetrics {
     pub threads: usize,
     /// Total tasks executed (popped and processed) across all threads.
     pub tasks_executed: u64,
+    /// O(threads) quiescence scans performed across all workers.  The
+    /// epoch-gated scan keeps `quiescence_scans * scan_gate <=
+    /// total.empty_pops`; before the gate every empty pop scanned.
+    pub quiescence_scans: u64,
     /// Per-thread scheduler operation counters.
     pub per_thread: Vec<OpStats>,
     /// Sum of `per_thread`.
@@ -68,6 +72,7 @@ mod tests {
             elapsed: Duration::from_millis(ms),
             threads: 4,
             tasks_executed: tasks,
+            quiescence_scans: 0,
             per_thread: vec![OpStats::default(); 4],
             total: OpStats::default(),
         }

@@ -41,6 +41,37 @@
 //! processed, and counted `completed` by *another* worker, making the sums
 //! transiently equal while that task's children are live — the scan would
 //! then terminate the run with work outstanding.
+//!
+//! # Generations: one detector, many jobs
+//!
+//! The resident worker pool (`smq-pool`) reuses one detector for a whole
+//! stream of jobs.  Between jobs — while every worker is parked — the
+//! coordinator calls [`TerminationDetector::advance_generation`], which
+//! zeroes all counters and bumps a generation number.  Two mechanisms keep
+//! a tally from job N from leaking into job N+1:
+//!
+//! * a [`WorkerTally`] snapshots the generation it was created under and
+//!   `debug_assert`s it on every counter update, so a handle held across a
+//!   job boundary is caught in tests rather than silently corrupting the
+//!   next job's accounting;
+//! * [`TerminationDetector::quiescent`] re-reads the generation after the
+//!   two-phase scan and reports "not quiescent" if it moved — a scan that
+//!   straddles a generation boundary mixes counters from two jobs and its
+//!   sums mean nothing.
+//!
+//! # The activity epoch
+//!
+//! The quiescence scan is O(threads); running it on *every* empty pop makes
+//! idle workers hammer every worker's counter line exactly when the system
+//! is busiest elsewhere.  The detector therefore also keeps an *activity
+//! epoch*: a counter bumped (off the hot path) whenever a previously idle
+//! worker finds a task again.  The executor's worker loop only scans after
+//! it has seen a configurable number of consecutive empty pops during which
+//! the epoch did not move — i.e. when the system has looked stable for a
+//! while.  Gating only delays scans; it cannot make a scan lie, so
+//! termination soundness is untouched, and liveness holds because after
+//! true quiescence nothing can bump the epoch, so every worker's streak
+//! reaches the gate and its scan succeeds.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -54,19 +85,61 @@ struct WorkerCounter {
     completed: AtomicU64,
 }
 
-/// Per-worker termination counters for one run of the executor.
+/// Per-worker termination counters, reusable across jobs via generations.
 #[derive(Debug)]
 pub struct TerminationDetector {
     workers: Vec<CachePadded<WorkerCounter>>,
+    /// Bumped by [`advance_generation`](Self::advance_generation) between
+    /// jobs; validates tallies and in-flight scans against job boundaries.
+    generation: AtomicU64,
+    /// Bumped when a previously idle worker finds work again; the executor
+    /// uses it to gate the O(threads) quiescence scan (see module docs).
+    activity: AtomicU64,
 }
 
 impl TerminationDetector {
-    /// Creates counters for `threads` workers, all zero.
+    /// Creates counters for `threads` workers, all zero, at generation 0.
     pub fn new(threads: usize) -> Self {
         assert!(threads >= 1, "need at least one worker");
         Self {
             workers: (0..threads).map(|_| CachePadded::default()).collect(),
+            generation: AtomicU64::new(0),
+            activity: AtomicU64::new(0),
         }
+    }
+
+    /// Starts a fresh accounting generation: zeroes every counter and bumps
+    /// the generation number.
+    ///
+    /// # Precondition
+    /// No [`WorkerTally`] from the previous generation may still be used for
+    /// recording — the worker pool guarantees this by only advancing while
+    /// every worker is parked between jobs.  Tallies from the old
+    /// generation `debug_assert` if used afterwards.
+    pub fn advance_generation(&self) {
+        for w in &self.workers {
+            w.published.store(0, Ordering::Relaxed);
+            w.completed.store(0, Ordering::Relaxed);
+        }
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    /// The current accounting generation.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// The current activity epoch (see the module docs).
+    #[inline]
+    pub fn activity_epoch(&self) -> u64 {
+        self.activity.load(Ordering::Relaxed)
+    }
+
+    /// Notes that a previously idle worker found work again.  Called on
+    /// idle→busy transitions only, never on the per-task hot path.
+    #[inline]
+    pub fn note_activity(&self) {
+        self.activity.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Pre-credits `count` published tasks to worker `tid`.
@@ -88,13 +161,19 @@ impl TerminationDetector {
         WorkerTally {
             published: counter.published.load(Ordering::Relaxed),
             completed: counter.completed.load(Ordering::Relaxed),
+            generation: self.generation.load(Ordering::Acquire),
+            generation_cell: &self.generation,
             counter,
         }
     }
 
     /// The two-phase quiescence scan: `true` iff every published task has
     /// been processed (see the module docs for why the phase order matters).
+    ///
+    /// A scan that races a generation boundary (the worker pool resetting
+    /// the counters between jobs) conservatively reports `false`.
     pub fn quiescent(&self) -> bool {
+        let generation = self.generation.load(Ordering::Acquire);
         let completed: u64 = self
             .workers
             .iter()
@@ -105,7 +184,7 @@ impl TerminationDetector {
             .iter()
             .map(|w| w.published.load(Ordering::Acquire))
             .sum();
-        completed == published
+        completed == published && self.generation.load(Ordering::Acquire) == generation
     }
 
     /// Best-effort count of tasks pushed but not yet processed
@@ -130,16 +209,30 @@ impl TerminationDetector {
 #[derive(Debug)]
 pub struct WorkerTally<'a> {
     counter: &'a WorkerCounter,
+    /// Generation this tally was created under; recording against a newer
+    /// generation is a cross-job leak and asserts in debug builds.
+    generation: u64,
+    generation_cell: &'a AtomicU64,
     published: u64,
     completed: u64,
 }
 
 impl WorkerTally<'_> {
+    #[inline]
+    fn assert_generation(&self) {
+        debug_assert_eq!(
+            self.generation,
+            self.generation_cell.load(Ordering::Relaxed),
+            "WorkerTally used across a generation boundary (job-to-job leak)"
+        );
+    }
+
     /// Counts one task as published.  **Must be called before the task
     /// becomes visible to the scheduler** — the soundness of the quiescence
     /// scan depends on it (see the module docs).
     #[inline]
     pub fn record_push(&mut self) {
+        self.assert_generation();
         self.published += 1;
         // Release pairs with the Acquire scan loads: a scanner that sees
         // this value also sees every earlier scheduler write by this worker.
@@ -153,6 +246,7 @@ impl WorkerTally<'_> {
     /// task" half of the delta-batching scheme.
     #[inline]
     pub fn record_completion(&mut self) {
+        self.assert_generation();
         self.completed += 1;
         self.counter
             .completed
@@ -207,6 +301,48 @@ mod tests {
         assert!(!det.quiescent());
         tally.record_completion();
         assert!(det.quiescent());
+    }
+
+    #[test]
+    fn generation_advance_resets_counters() {
+        let det = TerminationDetector::new(2);
+        assert_eq!(det.generation(), 0);
+        det.preload(0, 3);
+        {
+            // Generation-0 tally; must not outlive the advance below.
+            let mut tally = det.tally(0);
+            tally.record_completion();
+        }
+        assert!(!det.quiescent());
+        det.advance_generation();
+        assert_eq!(det.generation(), 1);
+        assert!(det.quiescent(), "fresh generation starts balanced");
+        assert_eq!(det.pending_estimate(), 0);
+        // A tally from the new generation works normally.
+        let mut tally = det.tally(0);
+        tally.record_push();
+        assert!(!det.quiescent());
+        tally.record_completion();
+        assert!(det.quiescent());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "generation boundary")]
+    fn stale_tally_is_caught_in_debug_builds() {
+        let det = TerminationDetector::new(1);
+        let mut tally = det.tally(0);
+        det.advance_generation();
+        tally.record_push(); // must assert: tally belongs to generation 0
+    }
+
+    #[test]
+    fn activity_epoch_counts_notes() {
+        let det = TerminationDetector::new(1);
+        let before = det.activity_epoch();
+        det.note_activity();
+        det.note_activity();
+        assert_eq!(det.activity_epoch(), before + 2);
     }
 
     #[test]

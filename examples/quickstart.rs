@@ -31,7 +31,7 @@ fn main() {
         &smq,
         &ExecutorConfig::new(threads),
         (0..1_000u64).map(|i| Task::new(i, i)).collect(),
-        |task, sink| {
+        |task, sink, _scratch| {
             processed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             if task.key < 1_000 {
                 sink.push(Task::new(task.key + 1_000, task.value));

@@ -1,0 +1,85 @@
+//! A miniature route-planning service: one resident scheduler fleet
+//! serving a stream of point-to-point queries from several clients.
+//!
+//! Run with: `cargo run --release --example route_service`
+//!
+//! The pieces, bottom to top:
+//! * a shared road graph (`Arc<CsrGraph>`),
+//! * a [`RouteQueryEngine`] with epoch-stamped g-score slots (per-query
+//!   cost is O(touched vertices), no per-query allocation or reset pass),
+//! * a [`WorkerPool`] that spawned its SMQ worker fleet exactly once,
+//! * a [`JobService`] bounded FIFO queue that many client threads submit
+//!   into, each getting a ticket with per-job latency measurements.
+
+use std::sync::Arc;
+
+use smq_repro::algos::RouteQueryEngine;
+use smq_repro::core::Task;
+use smq_repro::graph::generators::{road_network, RoadNetworkParams};
+use smq_repro::pool::{JobService, PoolConfig, ServiceConfig, WorkerPool};
+use smq_repro::smq::{HeapSmq, SmqConfig};
+
+fn main() {
+    let threads = 4;
+    let clients = 3;
+    let queries_per_client = 200;
+
+    let graph = Arc::new(road_network(RoadNetworkParams {
+        width: 64,
+        height: 64,
+        removal_percent: 10,
+        seed: 2026,
+    }));
+    let n = graph.num_nodes() as u32;
+    println!(
+        "road graph: {} vertices, {} edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    let engine = Arc::new(RouteQueryEngine::new(Arc::clone(&graph)));
+    let scheduler: HeapSmq<Task> = HeapSmq::new(SmqConfig::default_for_threads(threads));
+    let service = Arc::new(JobService::new(
+        WorkerPool::new(scheduler, PoolConfig::new(threads)),
+        ServiceConfig { queue_capacity: 16 },
+    ));
+
+    let started = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let service = Arc::clone(&service);
+            let engine = Arc::clone(&engine);
+            scope.spawn(move || {
+                let mut worst = std::time::Duration::ZERO;
+                for i in 0..queries_per_client {
+                    let source = (client * 7919 + i * 131) as u32 % n;
+                    let target = (client * 104729 + i * 337 + 1) as u32 % n;
+                    let engine = Arc::clone(&engine);
+                    let ticket = service
+                        .submit(move |pool| engine.query(source, target, pool))
+                        .expect("service open");
+                    let done = ticket.wait();
+                    worst = worst.max(done.total_latency());
+                }
+                println!("client {client}: {queries_per_client} routes, worst latency {worst:?}");
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+
+    let service = Arc::into_inner(service).expect("clients joined");
+    let pool_stats = service.pool_stats();
+    let stats = service.shutdown();
+    let total = clients * queries_per_client;
+    println!(
+        "served {} queries in {:.2?} ({:.0} queries/sec) on {} resident workers \
+         (threads spawned: {} — parked between jobs, never respawned)",
+        stats.completed,
+        elapsed,
+        total as f64 / elapsed.as_secs_f64(),
+        threads,
+        pool_stats.threads_spawned,
+    );
+    assert_eq!(stats.completed, total as u64);
+    assert_eq!(pool_stats.threads_spawned, threads as u64);
+}

@@ -14,6 +14,7 @@
 use proptest::prelude::*;
 
 use smq_repro::algos::astar::AstarWorkload;
+use smq_repro::algos::cc::CcWorkload;
 use smq_repro::algos::engine::{self, DecreaseKeyWorkload, EngineRun};
 use smq_repro::algos::kcore::KCoreWorkload;
 use smq_repro::algos::mst::BoruvkaWorkload;
@@ -66,7 +67,7 @@ fn symmetrized(directed: &CsrGraph) -> CsrGraph {
     b.build()
 }
 
-/// Runs all six workloads over the graph on fresh schedulers from `make`.
+/// Runs all seven workloads over the graph on fresh schedulers from `make`.
 fn check_all_workloads<S, F>(graph: &CsrGraph, make: F, threads: usize)
 where
     S: Scheduler<Task>,
@@ -83,6 +84,7 @@ where
     };
     check(&PagerankWorkload::new(graph, pr_config), &make(), threads);
     check(&KCoreWorkload::new(graph), &make(), threads);
+    check(&CcWorkload::new(graph), &make(), threads);
 }
 
 /// Dispatches over every scheduler family by index.

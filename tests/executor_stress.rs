@@ -44,7 +44,7 @@ fn run_irregular<S: smq_repro::core::Scheduler<Task>>(scheduler: &S, threads: us
         scheduler,
         &ExecutorConfig::new(threads),
         (0..SEEDS).map(|i| Task::new(0, i)).collect(),
-        |task, sink| {
+        |task, sink, _scratch| {
             executed.fetch_add(1, Ordering::Relaxed);
             let depth = task.key;
             let id = task.value;
@@ -57,6 +57,21 @@ fn run_irregular<S: smq_repro::core::Scheduler<Task>>(scheduler: &S, threads: us
         },
     );
     assert_eq!(metrics.tasks_executed, executed.load(Ordering::Relaxed));
+    // The epoch-gated quiescence scan: every scan costs at least `scan_gate`
+    // empty pops, so the scan count is bounded by empty_pops / gate — before
+    // the gate, every empty pop ran a scan (scans == empty_pops).
+    let gate = u64::from(ExecutorConfig::new(threads).worker.scan_gate);
+    assert!(
+        metrics.quiescence_scans * gate <= metrics.total.empty_pops,
+        "scan traffic not gated: {} scans, {} empty pops, gate {}",
+        metrics.quiescence_scans,
+        metrics.total.empty_pops,
+        gate
+    );
+    assert!(
+        metrics.quiescence_scans >= threads as u64,
+        "every worker exits through at least one successful scan"
+    );
     metrics.tasks_executed
 }
 
@@ -143,7 +158,7 @@ fn run_unique_id_stress<S: smq_repro::core::Scheduler<Task>>(scheduler: &S, thre
         scheduler,
         &smq_repro::runtime::ExecutorConfig::new(threads),
         (0..SEEDS).map(|i| Task::new(0, i)).collect(),
-        |task, sink| {
+        |task, sink, _scratch| {
             let depth = task.key;
             let id = task.value;
             executions[id as usize].fetch_add(1, Ordering::Relaxed);
@@ -202,6 +217,36 @@ fn distributed_termination_loses_nothing_under_always_steal() {
 }
 
 #[test]
+fn epoch_gated_scan_cuts_scan_traffic_on_idle_heavy_runs() {
+    // A single deep chain on 8 workers: seven threads idle-spin for the
+    // whole run, the worst case for scan traffic.  Pre-gate, every empty
+    // pop ran one O(threads) scan (scans == empty_pops); the gate must cut
+    // that by at least the gate factor.
+    let threads = 8;
+    let smq: HeapSmq<Task> = HeapSmq::new(SmqConfig::default_for_threads(threads).with_seed(41));
+    let config = ExecutorConfig::new(threads);
+    let metrics = run(
+        &smq,
+        &config,
+        vec![Task::new(0, 0)],
+        |task, sink, _scratch| {
+            if task.key < 20_000 {
+                sink.push(Task::new(task.key + 1, task.value));
+            }
+        },
+    );
+    assert_eq!(metrics.tasks_executed, 20_001);
+    let gate = u64::from(config.worker.scan_gate);
+    assert!(
+        metrics.quiescence_scans * gate <= metrics.total.empty_pops,
+        "idle-heavy run not gated: {} scans for {} empty pops",
+        metrics.quiescence_scans,
+        metrics.total.empty_pops
+    );
+    assert!(metrics.quiescence_scans >= threads as u64);
+}
+
+#[test]
 fn snapshot_delete_locks_at_most_once_per_pop_in_the_common_case() {
     // End-to-end acceptance check for the single-lock two-choice delete:
     // across a full irregular run the Multi-Queue must average at most ~1
@@ -214,7 +259,7 @@ fn snapshot_delete_locks_at_most_once_per_pop_in_the_common_case() {
         &mq,
         &smq_repro::runtime::ExecutorConfig::new(4),
         (0..500).map(|i| Task::new(0, i)).collect(),
-        |task, sink| {
+        |task, sink, _scratch| {
             executed.fetch_add(1, Ordering::Relaxed);
             let (depth, id) = (task.key, task.value);
             if depth < 12 {

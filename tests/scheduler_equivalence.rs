@@ -3,13 +3,14 @@
 //! the sequential references — relaxation may change *how much* work is
 //! done, never *what* is computed.
 //!
-//! All six workloads go through the generic engine
+//! All seven workloads go through the generic engine
 //! (`smq_algos::engine::run_and_check`), which runs the parallel workload,
 //! runs its sequential reference, and asserts the workload's own
-//! equivalence notion (exact for SSSP/BFS/A*/MST/k-core, the
+//! equivalence notion (exact for SSSP/BFS/A*/MST/k-core/CC, the
 //! epsilon-derived tolerance bound for PageRank-delta).
 
 use smq_repro::algos::astar::AstarWorkload;
+use smq_repro::algos::cc::CcWorkload;
 use smq_repro::algos::engine;
 use smq_repro::algos::kcore::KCoreWorkload;
 use smq_repro::algos::mst::BoruvkaWorkload;
@@ -58,7 +59,7 @@ fn small_social() -> CsrGraph {
     })
 }
 
-/// Runs all six workloads on fresh schedulers from `make`, each checked
+/// Runs all seven workloads on fresh schedulers from `make`, each checked
 /// against its sequential reference by the engine.
 fn verify_all_workloads<S, F>(make: F, threads: usize)
 where
@@ -89,6 +90,7 @@ where
         threads,
     );
     engine::run_and_check(&KCoreWorkload::new(&small_social), &make(), threads);
+    engine::run_and_check(&CcWorkload::new(&social), &make(), threads);
 }
 
 #[test]
