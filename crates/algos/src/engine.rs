@@ -123,16 +123,36 @@ impl<W: DecreaseKeyWorkload> PoolJob for WorkloadJob<'_, W> {
     }
 }
 
-/// Runs `workload` to quiescence as one job on a resident [`WorkerPool`].
+/// Runs `workload` to quiescence as one **whole-fleet** job on a resident
+/// [`WorkerPool`] (every live gang participates).
 ///
 /// This is the service-mode driver: the pool's fleet was spawned once and
 /// is reused across jobs, so per-job cost is task execution plus one
 /// wake/park round trip — no thread spawns, no scheduler reconstruction.
+/// Small jobs that should share the fleet with concurrent jobs go through
+/// [`run_on_gangs`] instead.
 pub fn run_on_pool<W>(workload: &W, pool: &WorkerPool) -> EngineRun<W::Output>
 where
     W: DecreaseKeyWorkload,
 {
-    let out = pool.run_job(&WorkloadJob(workload));
+    finish(workload, pool.run_job(&WorkloadJob(workload)))
+}
+
+/// Runs `workload` to quiescence on up to `gangs` gangs of a resident
+/// [`WorkerPool`], leaving the other gangs free for concurrent jobs.
+///
+/// `run_on_gangs(w, pool, 1)` is the high-throughput mode for small jobs
+/// (e.g. route queries): each occupies one gang, so a pool with G gangs
+/// executes G jobs at once.  On a single-gang pool this is identical to
+/// [`run_on_pool`].
+pub fn run_on_gangs<W>(workload: &W, pool: &WorkerPool, gangs: usize) -> EngineRun<W::Output>
+where
+    W: DecreaseKeyWorkload,
+{
+    finish(workload, pool.run_job_on(&WorkloadJob(workload), gangs))
+}
+
+fn finish<W: DecreaseKeyWorkload>(workload: &W, out: smq_pool::JobOutput) -> EngineRun<W::Output> {
     EngineRun {
         output: workload.output(),
         result: AlgoResult {

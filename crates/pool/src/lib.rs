@@ -1,46 +1,90 @@
-//! A *resident* worker pool for the relaxed priority schedulers.
+//! A *resident* worker pool for the relaxed priority schedulers, partitioned
+//! into **gangs** that execute jobs concurrently.
 //!
 //! The one-shot executor (`smq_runtime::run`) spawns and joins a fresh
 //! thread fleet for every invocation, so thread-spawn latency and cold
 //! scheduler state dominate any short job.  A [`WorkerPool`] instead spawns
 //! its fleet **once**, parks the workers on a condvar between jobs, and
-//! executes a stream of jobs against one long-lived scheduler: each job
-//! seeds the scheduler, runs the shared worker loop
+//! executes a stream of jobs against long-lived schedulers: each job seeds a
+//! scheduler, runs the shared worker loop
 //! (`smq_runtime::executor::worker_loop`) to quiescence under a fresh
 //! termination-detection *generation*, and hands back per-job
-//! [`RunMetrics`].  Generations (see `smq_runtime::termination`) are what
-//! make detector reuse sound: counters are zeroed between jobs while every
-//! worker is parked, scans that straddle a generation boundary invalidate
-//! themselves, and a tally leaked across jobs asserts in debug builds.
+//! [`RunMetrics`].
+//!
+//! # Gangs: job-level parallelism
+//!
+//! The fleet is partitioned into `gangs` gangs of `gang_size` workers each
+//! (see [`PoolConfig`]).  Every gang owns its **own scheduler instance, its
+//! own [`TerminationDetector`], and its own job hand-off state**, so gangs
+//! are fully independent: one gang's quiescence scan can only ever observe
+//! its own workers' counters, and a job running on gang A shares nothing
+//! with a job on gang B except the pool's lifetime counters.  Jobs claim
+//! gangs through a FIFO allocator:
+//!
+//! * [`run_job`](WorkerPool::run_job) claims **every** live gang — the
+//!   whole-fleet mode, and exactly the historical behaviour on a
+//!   single-gang pool (`PoolConfig::new`);
+//! * [`run_job_on`](WorkerPool::run_job_on) claims up to `n` gangs, so
+//!   small jobs (tiny route queries whose quiescence phase would idle most
+//!   of a big fleet) each occupy one gang and run **concurrently**.
+//!
+//! A job spanning multiple gangs splits its seed tasks round-robin across
+//! all participating workers; follow-up tasks stay inside the gang that
+//! created them.  The workload contract (correct under any execution order,
+//! monotone shared state) makes that partitioned execution equivalent to a
+//! whole-fleet run — only load balance, never the answer, depends on the
+//! partitioning.
+//!
+//! Generations (see `smq_runtime::termination`) are what make detector
+//! reuse sound: each gang's counters are zeroed between jobs while that
+//! gang's workers are parked, scans that straddle a generation boundary
+//! invalidate themselves, and a tally leaked across jobs asserts in debug
+//! builds.
+//!
+//! # Panic containment
+//!
+//! A job whose `process` panics kills the worker it ran on, which strands
+//! that worker's thread-local queues; the gang it happened on is therefore
+//! **poisoned** and permanently retired from the allocator (its surviving
+//! workers bail out via an abort flag instead of spinning on an unreachable
+//! quiescence, and are joined at shutdown).  The `run_job*` call that owned
+//! the gang panics; *other* gangs — and their in-flight jobs — are
+//! untouched, so a long-lived service survives a bad job with one gang's
+//! capacity lost.  Only when every gang has been poisoned do further claims
+//! panic.
 //!
 //! On top of the pool, [`JobService`] adds a bounded multi-producer
-//! submission queue with FIFO admission, completion tickets carrying
-//! queue-wait and service-time measurements, and graceful shutdown — the
-//! front door of a routing/analytics service built on these schedulers.
+//! submission queue with FIFO admission, a configurable number of
+//! dispatcher threads (default: one per gang, so up to `gangs` jobs are in
+//! flight), completion tickets carrying queue-wait and service-time
+//! measurements, and graceful drain-then-join shutdown.
 //!
 //! # Scheduler ownership
 //!
-//! Worker threads are OS threads, so the scheduler they share must outlive
-//! them.  Two constructions guarantee that:
+//! Worker threads are OS threads, so the schedulers they share must outlive
+//! them.  Three constructions guarantee that:
 //!
-//! * [`WorkerPool::new`] takes the scheduler **by value** and keeps it
-//!   alive until the workers are joined — the resident-service mode;
-//! * [`WorkerPool::with_borrowed`] runs a closure against a pool built on a
-//!   *borrowed* scheduler and joins every worker before returning — the
-//!   scoped mode backing `smq_algos::engine::run_parallel`'s transient
-//!   pools.
+//! * [`WorkerPool::new`] takes a single-gang scheduler **by value** and
+//!   keeps it alive until the workers are joined;
+//! * [`WorkerPool::new_partitioned`] builds one scheduler per gang from a
+//!   factory closure and owns all of them the same way;
+//! * [`WorkerPool::with_borrowed`] runs a closure against a single-gang
+//!   pool built on a *borrowed* scheduler and joins every worker before
+//!   returning — the scoped mode backing `smq_algos::engine::run_parallel`.
 //!
-//! Both funnel into one erased representation (a raw pointer to a small
+//! All funnel into one erased representation (a raw pointer to a small
 //! object-safe scheduler vtable); the join-before-invalidation discipline
 //! is what makes the erasure sound, and it is enforced structurally (the
 //! scoped constructor joins on every path, including unwinds, and the
-//! owning constructor joins in `Drop` before the box is released).
+//! owning constructors join in `Drop` before the boxes are released).
 
 #![warn(missing_docs)]
 
 pub mod service;
 
-pub use service::{JobCompletion, JobService, JobTicket, ServiceConfig, ServiceStats, SubmitError};
+pub use service::{
+    JobCompletion, JobLost, JobService, JobTicket, ServiceConfig, ServiceStats, SubmitError,
+};
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -52,11 +96,29 @@ use smq_runtime::executor::{worker_loop, WorkerLoopConfig};
 use smq_runtime::{RunMetrics, Scratch, TerminationDetector};
 
 /// Pool tuning knobs.
+///
+/// The fleet is `gangs * gang_size` worker threads.  `PoolConfig::new(n)`
+/// is the single-gang configuration (one scheduler, whole-fleet jobs —
+/// the historical behaviour); [`PoolConfig::partitioned`] enables
+/// job-level parallelism.
+///
+/// **Choosing a gang size:** a gang is the unit a job occupies, so
+/// `gang_size` should match the parallelism one job can actually use.
+/// Tiny jobs (point-to-point route queries touching a few hundred
+/// vertices) saturate one or two workers and spend the rest of the fleet
+/// idling through the quiescence phase — many small gangs serve them at
+/// far higher jobs/sec.  Big jobs (whole-graph SSSP) want one gang as wide
+/// as the machine.  A job larger than one gang may claim several via
+/// [`WorkerPool::run_job_on`], or the whole fleet via
+/// [`WorkerPool::run_job`].
 #[derive(Debug, Clone)]
 pub struct PoolConfig {
-    /// Number of resident worker threads.  Must match the scheduler's
+    /// Number of independent worker gangs (each with its own scheduler
+    /// instance and termination detector).
+    pub gangs: usize,
+    /// Worker threads per gang.  Must match each gang scheduler's
     /// configured thread count.
-    pub threads: usize,
+    pub gang_size: usize,
     /// The per-worker loop knobs (backoff, scan gating) — the same
     /// [`WorkerLoopConfig`] the one-shot executor uses, so defaults live in
     /// one place.
@@ -64,12 +126,29 @@ pub struct PoolConfig {
 }
 
 impl PoolConfig {
-    /// A configuration with `threads` workers and default backoff/gating.
+    /// A single-gang configuration with `threads` workers and default
+    /// backoff/gating: every job occupies the whole fleet, one at a time.
     pub fn new(threads: usize) -> Self {
         Self {
-            threads,
+            gangs: 1,
+            gang_size: threads,
             worker: WorkerLoopConfig::default(),
         }
+    }
+
+    /// A configuration with `gangs` gangs of `gang_size` workers each, so
+    /// up to `gangs` jobs execute concurrently.
+    pub fn partitioned(gangs: usize, gang_size: usize) -> Self {
+        Self {
+            gangs,
+            gang_size,
+            worker: WorkerLoopConfig::default(),
+        }
+    }
+
+    /// Total worker threads across all gangs.
+    pub fn total_threads(&self) -> usize {
+        self.gangs * self.gang_size
     }
 }
 
@@ -93,7 +172,9 @@ pub trait PoolJob: Sync {
 #[derive(Debug, Clone)]
 pub struct JobOutput {
     /// Wall-clock and scheduler-operation metrics, carved per-job out of
-    /// the persistent worker handles via `OpStats::delta_since`.
+    /// the persistent worker handles via `OpStats::delta_since`.  Covers
+    /// exactly the workers of the gangs this job claimed — the job's
+    /// metrics slice.
     pub metrics: RunMetrics,
     /// Tasks whose execution advanced the job.
     pub useful_tasks: u64,
@@ -105,11 +186,13 @@ pub struct JobOutput {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolStats {
     /// Worker threads spawned over the pool's entire lifetime.  Stays equal
-    /// to the configured thread count — workers are never respawned; this
-    /// is the metric service tests assert "zero thread respawns" with.
+    /// to the configured fleet size — workers are never respawned; this is
+    /// the metric service tests assert "zero thread respawns" with.
     pub threads_spawned: u64,
-    /// Jobs fully executed so far.
+    /// Jobs fully executed so far (across all gangs).
     pub jobs_completed: u64,
+    /// Gangs permanently retired because a job panicked on them.
+    pub gangs_poisoned: u64,
 }
 
 // ---------------------------------------------------------------------------
@@ -181,12 +264,13 @@ impl SchedulerHandle<Task> for Box<dyn DynHandle + '_> {
     }
 }
 
-/// Lifetime-erased pointer to the pool's scheduler.
+/// Lifetime-erased pointer to one gang's scheduler.
 ///
 /// # Safety invariant
-/// The pointee must stay alive and unmoved until every worker thread has
-/// been joined.  `WorkerPool::new` guarantees this by boxing the scheduler
-/// and joining in `Drop` before the box is released;
+/// The pointee must stay alive and unmoved until every worker thread of the
+/// owning gang has been joined.  `WorkerPool::new` /
+/// `WorkerPool::new_partitioned` guarantee this by boxing the schedulers
+/// and joining in `Drop` before the boxes are released;
 /// `WorkerPool::with_borrowed` by joining before the borrow ends.
 #[derive(Clone, Copy)]
 struct SchedulerRef(*const (dyn DynScheduler + 'static));
@@ -195,12 +279,12 @@ struct SchedulerRef(*const (dyn DynScheduler + 'static));
 unsafe impl Send for SchedulerRef {}
 unsafe impl Sync for SchedulerRef {}
 
-/// Lifetime-erased pointer to the job currently being executed.
+/// Lifetime-erased pointer to a job currently being executed.
 ///
 /// # Safety invariant
-/// Valid only while `JobState::remaining > 0` for the publishing job:
-/// `run_job` blocks until every worker has finished (or abandoned) the job
-/// before its `&dyn PoolJob` borrow ends.
+/// Valid only while some claimed gang still runs the publishing job:
+/// `execute` blocks until every worker of every claimed gang has finished
+/// (or abandoned) the job before its `&dyn PoolJob` borrow ends.
 #[derive(Clone, Copy)]
 struct JobRef(*const (dyn PoolJob + 'static));
 // SAFETY: the pointee is `Sync` and only dereferenced under the invariant.
@@ -216,83 +300,153 @@ struct WorkerResult {
     stats: OpStats,
 }
 
-/// The job hand-off slot workers park on.
+/// One gang's job hand-off slot; its workers park on it.
 struct JobState {
     /// Monotone job sequence number; workers track the last one they ran.
     seq: u64,
-    /// The job being executed, `None` while the pool is idle.
+    /// The job being executed, `None` while the gang is idle.
     job: Option<JobRef>,
-    /// Per-worker seed slices for the current job, taken once each.
+    /// Per-worker (local tid) seed slices for the current job, taken once.
     seeds: Vec<Option<Vec<Task>>>,
     /// Workers still running the current job.
     remaining: usize,
     /// Per-worker results of the current job.
     results: Vec<Option<WorkerResult>>,
-    /// Set when a worker panicked mid-job; the pool refuses further jobs.
+    /// Set when a worker panicked mid-job; the gang is retired.
     poisoned: bool,
     /// Set once; parked workers exit instead of waiting for the next job.
     shutdown: bool,
 }
 
-struct Inner {
-    threads: usize,
+/// One independent worker gang: scheduler, detector, and hand-off state.
+struct Gang {
+    size: usize,
     scheduler: SchedulerRef,
     detector: TerminationDetector,
-    loop_config: WorkerLoopConfig,
     state: Mutex<JobState>,
     /// Workers wait here for `seq` to advance (or `shutdown`).
     job_ready: Condvar,
     /// The coordinator waits here for `remaining` to hit zero.
     job_done: Condvar,
-    /// Set when a worker dies mid-job.  A dead worker's thread-local
-    /// queues can strand tasks nobody else may serve, so quiescence would
-    /// never be reached — survivors poll this in the worker loop's
-    /// empty-pop path and bail out instead of spinning forever.
+    /// Set when a worker of this gang dies mid-job.  A dead worker's
+    /// thread-local queues can strand tasks nobody else may serve, so
+    /// quiescence would never be reached — survivors poll this in the
+    /// worker loop's empty-pop path and bail out instead of spinning
+    /// forever.
     aborted: AtomicBool,
 }
 
-/// Ignore `std` mutex poisoning: the pool has its own `poisoned` flag with
+/// The FIFO gang allocator's shared state.
+struct ClaimState {
+    /// Indices of idle, live gangs.
+    free: Vec<usize>,
+    /// Gangs permanently retired by a job panic.
+    dead: usize,
+    /// FIFO admission: tickets are served strictly in issue order, so a
+    /// whole-fleet job cannot be starved by a stream of one-gang jobs.
+    next_ticket: u64,
+    now_serving: u64,
+}
+
+struct Inner {
+    gangs: Vec<Gang>,
+    loop_config: WorkerLoopConfig,
+    claims: Mutex<ClaimState>,
+    /// Claimers wait here for their turn and for enough free gangs.
+    claim_ready: Condvar,
+}
+
+/// Ignore `std` mutex poisoning: the pool has its own `poisoned` flags with
 /// precise semantics, and state reads are safe after a panic.
-fn lock(state: &Mutex<JobState>) -> MutexGuard<'_, JobState> {
+fn lock<T>(state: &Mutex<T>) -> MutexGuard<'_, T> {
     state.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-/// A resident fleet of worker threads executing a stream of [`PoolJob`]s
-/// against one long-lived scheduler.
+/// Gangs held by one job; returns live gangs to the allocator on drop (also
+/// on unwind) and retires poisoned ones.
+struct GangClaim<'p> {
+    inner: &'p Inner,
+    gangs: Vec<usize>,
+}
+
+impl Drop for GangClaim<'_> {
+    fn drop(&mut self) {
+        let mut st = lock(&self.inner.claims);
+        for &g in &self.gangs {
+            if lock(&self.inner.gangs[g].state).poisoned {
+                st.dead += 1;
+            } else {
+                st.free.push(g);
+            }
+        }
+        // Wake every waiter: the head ticket re-checks its gang count, and
+        // if all gangs just died, everyone gets to observe that and fail.
+        self.inner.claim_ready.notify_all();
+    }
+}
+
+/// A resident fleet of worker threads, partitioned into gangs, executing a
+/// stream of [`PoolJob`]s against long-lived schedulers.
 ///
 /// Workers are spawned once at construction and parked between jobs;
-/// [`run_job`](Self::run_job) wakes them, runs the job to quiescence, and
-/// returns its metrics.  Jobs are serialized (one at a time) — queueing and
-/// multi-client admission live in [`JobService`].
+/// [`run_job`](Self::run_job) wakes the whole fleet for one job, while
+/// [`run_job_on`](Self::run_job_on) occupies only a few gangs so that up to
+/// `gangs` jobs run concurrently.  Queueing and multi-client admission live
+/// in [`JobService`].
 pub struct WorkerPool {
     inner: Arc<Inner>,
     workers: Vec<JoinHandle<()>>,
-    /// Serializes `run_job` callers.
-    admission: Mutex<()>,
     jobs_completed: AtomicU64,
     threads_spawned: u64,
-    /// Keeps an owned scheduler alive; dropped only after `Drop` joined the
-    /// workers (field drop runs after `drop(&mut self)`).
-    _owned_scheduler: Option<Box<dyn std::any::Any + Send + Sync>>,
+    /// Keeps the owned schedulers alive; dropped only after `Drop` joined
+    /// the workers (field drop runs after `drop(&mut self)`).
+    _owned_schedulers: Option<Box<dyn std::any::Any + Send + Sync>>,
 }
 
 impl WorkerPool {
-    /// Spawns a resident pool owning `scheduler`.
+    /// Spawns a single-gang resident pool owning `scheduler`.
     ///
-    /// The scheduler lives as long as the pool; this is the constructor for
-    /// long-lived services (see [`JobService`]).
+    /// The scheduler lives as long as the pool.  Requires
+    /// `config.gangs == 1` (one scheduler serves exactly one gang) — build
+    /// multi-gang pools with [`new_partitioned`](Self::new_partitioned).
     pub fn new<S>(scheduler: S, config: PoolConfig) -> WorkerPool
     where
         S: Scheduler<Task> + Send + Sync + 'static,
     {
+        assert_eq!(
+            config.gangs, 1,
+            "WorkerPool::new builds a single-gang pool; use new_partitioned for {} gangs",
+            config.gangs
+        );
         let boxed: Box<S> = Box::new(scheduler);
         let erased: &(dyn DynScheduler + 'static) = &*boxed;
         let ptr: *const (dyn DynScheduler + 'static) = erased;
-        Self::spawn(SchedulerRef(ptr), Some(boxed), config)
+        Self::spawn(vec![SchedulerRef(ptr)], Some(Box::new(boxed)), config)
     }
 
-    /// Runs `f` against a transient pool built on a *borrowed* scheduler,
-    /// joining every worker before returning (also on unwind).
+    /// Spawns a pool of `config.gangs` gangs, building each gang's
+    /// scheduler with `factory(gang_index)`.
+    ///
+    /// Every scheduler must be configured for `config.gang_size` threads —
+    /// a gang is an independent scheduler universe sized to its workers.
+    pub fn new_partitioned<S, F>(mut factory: F, config: PoolConfig) -> WorkerPool
+    where
+        S: Scheduler<Task> + Send + Sync + 'static,
+        F: FnMut(usize) -> S,
+    {
+        let boxes: Vec<Box<S>> = (0..config.gangs).map(|g| Box::new(factory(g))).collect();
+        let refs: Vec<SchedulerRef> = boxes
+            .iter()
+            .map(|b| {
+                let erased: &(dyn DynScheduler + 'static) = &**b;
+                SchedulerRef(erased as *const _)
+            })
+            .collect();
+        Self::spawn(refs, Some(Box::new(boxes)), config)
+    }
+
+    /// Runs `f` against a transient single-gang pool built on a *borrowed*
+    /// scheduler, joining every worker before returning (also on unwind).
     ///
     /// This is the scoped mode behind one-shot `engine::run_parallel` calls:
     /// same worker-loop semantics as the resident pool, without requiring
@@ -305,6 +459,7 @@ impl WorkerPool {
     where
         S: Scheduler<Task>,
     {
+        assert_eq!(config.gangs, 1, "with_borrowed builds a single-gang pool");
         let erased: &dyn DynScheduler = scheduler;
         // SAFETY: the erased pointer outlives every dereference because the
         // pool joins all workers before this function returns: on the happy
@@ -312,67 +467,87 @@ impl WorkerPool {
         // receives `&WorkerPool`, so the pool cannot escape or be leaked.
         let ptr: *const (dyn DynScheduler + 'static) =
             unsafe { std::mem::transmute(erased as *const dyn DynScheduler) };
-        let mut pool = Self::spawn(SchedulerRef(ptr), None, config);
+        let mut pool = Self::spawn(vec![SchedulerRef(ptr)], None, config);
         let result = f(&pool);
         pool.shutdown();
         result
     }
 
     fn spawn(
-        scheduler: SchedulerRef,
+        schedulers: Vec<SchedulerRef>,
         keeper: Option<Box<dyn std::any::Any + Send + Sync>>,
         config: PoolConfig,
     ) -> WorkerPool {
-        let threads = config.threads;
-        assert!(threads >= 1, "need at least one worker thread");
-        // SAFETY: the pointee is alive for the whole constructor.
-        let scheduler_threads = unsafe { (*scheduler.0).num_threads() };
-        assert_eq!(
-            threads, scheduler_threads,
-            "pool thread count must match the scheduler's configuration"
-        );
+        assert!(config.gangs >= 1, "need at least one gang");
+        assert!(config.gang_size >= 1, "need at least one worker per gang");
+        assert_eq!(schedulers.len(), config.gangs, "one scheduler per gang");
+        for (g, scheduler) in schedulers.iter().enumerate() {
+            // SAFETY: the pointees are alive for the whole constructor.
+            let scheduler_threads = unsafe { (*scheduler.0).num_threads() };
+            assert_eq!(
+                config.gang_size, scheduler_threads,
+                "gang {g}: pool gang size must match the scheduler's thread count"
+            );
+        }
+
+        let gangs: Vec<Gang> = schedulers
+            .into_iter()
+            .map(|scheduler| Gang {
+                size: config.gang_size,
+                scheduler,
+                detector: TerminationDetector::new(config.gang_size),
+                state: Mutex::new(JobState {
+                    seq: 0,
+                    job: None,
+                    seeds: Vec::new(),
+                    remaining: 0,
+                    results: (0..config.gang_size).map(|_| None).collect(),
+                    poisoned: false,
+                    shutdown: false,
+                }),
+                job_ready: Condvar::new(),
+                job_done: Condvar::new(),
+                aborted: AtomicBool::new(false),
+            })
+            .collect();
 
         let inner = Arc::new(Inner {
-            threads,
-            scheduler,
-            detector: TerminationDetector::new(threads),
-            loop_config: config.worker.clone(),
-            state: Mutex::new(JobState {
-                seq: 0,
-                job: None,
-                seeds: Vec::new(),
-                remaining: 0,
-                results: (0..threads).map(|_| None).collect(),
-                poisoned: false,
-                shutdown: false,
+            claims: Mutex::new(ClaimState {
+                free: (0..gangs.len()).collect(),
+                dead: 0,
+                next_ticket: 0,
+                now_serving: 0,
             }),
-            job_ready: Condvar::new(),
-            job_done: Condvar::new(),
-            aborted: AtomicBool::new(false),
+            claim_ready: Condvar::new(),
+            loop_config: config.worker.clone(),
+            gangs,
         });
 
-        let mut workers = Vec::with_capacity(threads);
-        for tid in 0..threads {
-            let worker_inner = Arc::clone(&inner);
-            match std::thread::Builder::new()
-                .name(format!("smq-pool-{tid}"))
-                .spawn(move || worker_main(&worker_inner, tid))
-            {
-                Ok(handle) => workers.push(handle),
-                Err(error) => {
-                    // Join the partial fleet before unwinding: without this,
-                    // already-running workers would outlive the (possibly
-                    // borrowed) erased scheduler pointer — a use-after-free,
-                    // not just a leak.
-                    {
-                        let mut st = lock(&inner.state);
-                        st.shutdown = true;
-                        inner.job_ready.notify_all();
+        let total = config.total_threads();
+        let mut workers = Vec::with_capacity(total);
+        for gang in 0..config.gangs {
+            for local in 0..config.gang_size {
+                let worker_inner = Arc::clone(&inner);
+                match std::thread::Builder::new()
+                    .name(format!("smq-pool-{gang}-{local}"))
+                    .spawn(move || worker_main(&worker_inner, gang, local))
+                {
+                    Ok(handle) => workers.push(handle),
+                    Err(error) => {
+                        // Join the partial fleet before unwinding: without
+                        // this, already-running workers would outlive the
+                        // (possibly borrowed) erased scheduler pointers — a
+                        // use-after-free, not just a leak.
+                        for g in &inner.gangs {
+                            let mut st = lock(&g.state);
+                            st.shutdown = true;
+                            g.job_ready.notify_all();
+                        }
+                        for worker in workers {
+                            let _ = worker.join();
+                        }
+                        panic!("failed to spawn pool worker {gang}-{local}: {error}");
                     }
-                    for worker in workers {
-                        let _ = worker.join();
-                    }
-                    panic!("failed to spawn pool worker {tid}: {error}");
                 }
             }
         }
@@ -380,55 +555,126 @@ impl WorkerPool {
         WorkerPool {
             inner,
             workers,
-            admission: Mutex::new(()),
             jobs_completed: AtomicU64::new(0),
-            threads_spawned: threads as u64,
-            _owned_scheduler: keeper,
+            threads_spawned: total as u64,
+            _owned_schedulers: keeper,
         }
     }
 
-    /// Number of resident worker threads.
+    /// Total number of resident worker threads (all gangs).
     pub fn threads(&self) -> usize {
-        self.inner.threads
+        self.inner.gangs.iter().map(|g| g.size).sum()
+    }
+
+    /// Number of worker gangs (the maximum number of concurrent jobs).
+    pub fn gangs(&self) -> usize {
+        self.inner.gangs.len()
+    }
+
+    /// Workers per gang.
+    pub fn gang_size(&self) -> usize {
+        self.inner.gangs[0].size
+    }
+
+    /// Gangs not yet retired by a job panic.
+    pub fn live_gangs(&self) -> usize {
+        let st = lock(&self.inner.claims);
+        self.inner.gangs.len() - st.dead
     }
 
     /// Lifetime counters: threads spawned (never grows after construction —
-    /// workers are parked between jobs, not respawned) and jobs completed.
+    /// workers are parked between jobs, not respawned), jobs completed, and
+    /// gangs lost to job panics.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
             threads_spawned: self.threads_spawned,
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            gangs_poisoned: lock(&self.inner.claims).dead as u64,
         }
     }
 
-    /// Executes one job on the resident fleet and returns its accounting.
+    /// Claims `want` gangs (capped to the live gang count) in strict FIFO
+    /// order.  Blocks until this caller is at the head of the queue *and*
+    /// enough gangs are idle.
+    ///
+    /// # Panics
+    /// Panics when every gang has been poisoned — the pool has no capacity
+    /// left to serve any job.
+    fn claim(&self, want: usize) -> GangClaim<'_> {
+        let inner = &*self.inner;
+        let mut st = lock(&inner.claims);
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        loop {
+            let live = inner.gangs.len() - st.dead;
+            assert!(
+                live > 0,
+                "worker pool has no live gangs left (all poisoned by panicking jobs)"
+            );
+            let need = want.clamp(1, live);
+            if st.now_serving == ticket && st.free.len() >= need {
+                let at = st.free.len() - need;
+                let taken = st.free.split_off(at);
+                st.now_serving += 1;
+                // The next ticket may already be satisfiable (enough gangs
+                // still free): let it through without waiting for a release.
+                inner.claim_ready.notify_all();
+                return GangClaim {
+                    inner,
+                    gangs: taken,
+                };
+            }
+            st = inner
+                .claim_ready
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Executes one job on the **whole fleet** (every live gang) and
+    /// returns its accounting.
     ///
     /// Blocks until the job is quiescent.  Concurrent callers are admitted
-    /// one at a time (FIFO per the admission mutex); a panicking job
-    /// poisons the pool and `run_job` panics for it and every later caller.
+    /// in FIFO order; on a single-gang pool this is exactly the historical
+    /// one-job-at-a-time behaviour.  A panicking job poisons the gangs it
+    /// ran on and `run_job` panics for it (see the module docs — other
+    /// gangs and callers are unaffected unless none are left).
     pub fn run_job(&self, job: &dyn PoolJob) -> JobOutput {
-        let _admission = self.admission.lock().unwrap_or_else(|e| e.into_inner());
-        let threads = self.inner.threads;
+        let claim = self.claim(self.inner.gangs.len());
+        self.execute(job, &claim)
+    }
 
-        // Split the seeds round-robin so each worker seeds its own queues,
-        // exactly like the one-shot executor.
-        let mut seeds: Vec<Vec<Task>> = (0..threads).map(|_| Vec::new()).collect();
+    /// Executes one job on up to `gangs` gangs (at least one; capped to the
+    /// live gang count), leaving the rest of the fleet free for concurrent
+    /// jobs.
+    ///
+    /// `run_job_on(job, 1)` is the service mode for small jobs: each
+    /// occupies one gang, so a pool with G gangs serves G jobs at once.
+    pub fn run_job_on(&self, job: &dyn PoolJob, gangs: usize) -> JobOutput {
+        assert!(gangs >= 1, "a job needs at least one gang");
+        let claim = self.claim(gangs);
+        self.execute(job, &claim)
+    }
+
+    /// Runs `job` on the claimed gangs: seeds split round-robin across all
+    /// participating workers, every gang runs to quiescence under a fresh
+    /// detector generation, results are merged into one metrics slice.
+    fn execute(&self, job: &dyn PoolJob, claim: &GangClaim<'_>) -> JobOutput {
+        let inner = &*self.inner;
+        let gang_idxs = &claim.gangs;
+        let total_workers: usize = gang_idxs.iter().map(|&g| inner.gangs[g].size).sum();
+
+        // Split the seeds round-robin over every participating worker so
+        // each seeds its own queues, exactly like the one-shot executor.
+        // (gang, local tid) pairs in a fixed order define the mapping.
+        let mut seeds: Vec<Vec<Task>> = (0..total_workers).map(|_| Vec::new()).collect();
         for (i, task) in job.seed_tasks().into_iter().enumerate() {
-            seeds[i % threads].push(task);
+            seeds[i % total_workers].push(task);
         }
 
-        // Fresh termination generation for this job: all workers are parked
-        // (the previous job fully completed before `run_job` returned), so
-        // zeroing the counters races nothing; stale tallies from the
-        // previous job cannot leak in (they assert in debug builds, and a
-        // scan spanning the reset invalidates itself).
-        self.inner.detector.advance_generation();
-        for (tid, seed) in seeds.iter().enumerate() {
-            self.inner.detector.preload(tid, seed.len() as u64);
-        }
-
-        // SAFETY: `run_job` does not return before every worker finished
-        // (or abandoned) this job, so the erased borrow outlives all uses.
+        // SAFETY: `execute` does not return before every worker of every
+        // claimed gang finished (or abandoned) this job, so the erased
+        // borrow outlives all uses.
         let job_ref = JobRef(unsafe {
             std::mem::transmute::<*const dyn PoolJob, *const (dyn PoolJob + 'static)>(
                 job as *const dyn PoolJob,
@@ -436,32 +682,56 @@ impl WorkerPool {
         });
 
         let start = Instant::now();
-        let results: Vec<WorkerResult> = {
-            let mut st = lock(&self.inner.state);
-            assert!(
-                !st.poisoned,
-                "worker pool poisoned by a panic in an earlier job"
-            );
+        let mut seeds = seeds.into_iter();
+        for &g in gang_idxs {
+            let gang = &inner.gangs[g];
+            // Fresh termination generation for this job: the gang was idle
+            // (it came off the free list), so all its workers are parked
+            // and zeroing the counters races nothing; stale tallies from
+            // the previous job cannot leak in (they assert in debug builds,
+            // and a scan spanning the reset invalidates itself).
+            gang.detector.advance_generation();
+            let gang_seeds: Vec<Vec<Task>> = (0..gang.size)
+                .map(|_| seeds.next().expect("seed split covers every worker"))
+                .collect();
+            for (local, seed) in gang_seeds.iter().enumerate() {
+                gang.detector.preload(local, seed.len() as u64);
+            }
+            let mut st = lock(&gang.state);
+            debug_assert!(!st.poisoned, "claimed a poisoned gang");
             assert!(!st.shutdown, "worker pool is shut down");
             st.seq += 1;
             st.job = Some(job_ref);
-            st.seeds = seeds.into_iter().map(Some).collect();
-            st.remaining = threads;
-            st.results = (0..threads).map(|_| None).collect();
-            self.inner.job_ready.notify_all();
+            st.seeds = gang_seeds.into_iter().map(Some).collect();
+            st.remaining = gang.size;
+            st.results = (0..gang.size).map(|_| None).collect();
+            gang.job_ready.notify_all();
+        }
+
+        let mut results: Vec<WorkerResult> = Vec::with_capacity(total_workers);
+        let mut any_poisoned = false;
+        for &g in gang_idxs {
+            let gang = &inner.gangs[g];
+            let mut st = lock(&gang.state);
             while st.remaining > 0 {
-                st = self
-                    .inner
-                    .job_done
-                    .wait(st)
-                    .unwrap_or_else(|e| e.into_inner());
+                st = gang.job_done.wait(st).unwrap_or_else(|e| e.into_inner());
             }
-            assert!(!st.poisoned, "a worker panicked while executing a pool job");
-            st.results
-                .iter_mut()
-                .map(|slot| slot.take().expect("worker finished without a result"))
-                .collect()
-        };
+            if st.poisoned {
+                any_poisoned = true;
+            } else {
+                results.extend(
+                    st.results
+                        .iter_mut()
+                        .map(|slot| slot.take().expect("worker finished without a result")),
+                );
+            }
+        }
+        // The claim guard (dropped by our caller, also on this unwind)
+        // retires the poisoned gangs and frees the rest.
+        assert!(
+            !any_poisoned,
+            "a worker panicked while executing a pool job"
+        );
         let elapsed = start.elapsed();
         self.jobs_completed.fetch_add(1, Ordering::Relaxed);
 
@@ -470,7 +740,7 @@ impl WorkerPool {
         JobOutput {
             metrics: RunMetrics {
                 elapsed,
-                threads,
+                threads: total_workers,
                 tasks_executed: results.iter().map(|r| r.executed).sum(),
                 quiescence_scans: results.iter().map(|r| r.scans).sum(),
                 per_thread,
@@ -483,14 +753,18 @@ impl WorkerPool {
 
     /// Stops accepting jobs and joins every worker thread.  Called
     /// automatically on drop; idempotent.
+    ///
+    /// Requires `&mut self`, so no job can be in flight (every `run_job*`
+    /// caller borrows the pool shared) — accepted work always drains before
+    /// the fleet is torn down.
     pub fn shutdown(&mut self) {
-        {
-            let mut st = lock(&self.inner.state);
+        for gang in &self.inner.gangs {
+            let mut st = lock(&gang.state);
             st.shutdown = true;
-            self.inner.job_ready.notify_all();
+            gang.job_ready.notify_all();
         }
         for worker in self.workers.drain(..) {
-            // A worker that panicked mid-job reports `Err` here; the pool is
+            // A worker that panicked mid-job reports `Err` here; its gang is
             // already marked poisoned, so just reap the thread.
             let _ = worker.join();
         }
@@ -500,72 +774,74 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.shutdown();
-        // `_owned_scheduler` drops after this body: workers are joined
+        // `_owned_schedulers` drops after this body: workers are joined
         // first, so no erased pointer can dangle.
     }
 }
 
 /// Decrements `remaining` when the worker leaves the job for any reason; a
 /// missing result means the job's `process` panicked, which poisons the
-/// pool instead of deadlocking the coordinator.  (The other half of the
+/// gang instead of deadlocking the coordinator.  (The other half of the
 /// no-deadlock guarantee lives in `worker_loop`: the in-flight task's
 /// completion is recorded even on unwind, so surviving workers can still
 /// reach quiescence and publish their results.)
 struct CompletionGuard<'a> {
-    inner: &'a Inner,
-    tid: usize,
+    gang: &'a Gang,
+    local: usize,
     result: Option<WorkerResult>,
 }
 
 impl Drop for CompletionGuard<'_> {
     fn drop(&mut self) {
-        let mut st = lock(&self.inner.state);
+        let mut st = lock(&self.gang.state);
         if self.result.is_none() {
             st.poisoned = true;
-            // Tell surviving workers to stop waiting for a quiescence that
-            // may now be unreachable (tasks stranded in our local queues).
-            self.inner.aborted.store(true, Ordering::Release);
+            // Tell this gang's surviving workers to stop waiting for a
+            // quiescence that may now be unreachable (tasks stranded in our
+            // local queues).
+            self.gang.aborted.store(true, Ordering::Release);
         }
-        st.results[self.tid] = self.result.take();
+        st.results[self.local] = self.result.take();
         st.remaining -= 1;
         if st.remaining == 0 {
             st.job = None;
-            self.inner.job_done.notify_all();
+            self.gang.job_done.notify_all();
         }
     }
 }
 
-fn worker_main(inner: &Arc<Inner>, tid: usize) {
+fn worker_main(inner: &Arc<Inner>, gang_idx: usize, local: usize) {
+    let gang = &inner.gangs[gang_idx];
     // SAFETY: the pool joins this thread before invalidating the pointer
     // (see `SchedulerRef`).
-    let scheduler: &dyn DynScheduler = unsafe { &*inner.scheduler.0 };
+    let scheduler: &dyn DynScheduler = unsafe { &*gang.scheduler.0 };
     // One handle and one scratch arena for the thread's whole life: local
     // queues, insert buffers, and scratch capacity all persist across jobs.
-    let mut handle = scheduler.dyn_handle(tid);
+    let mut handle = scheduler.dyn_handle(local);
     let mut scratch = Scratch::new();
     let mut last_seq = 0u64;
 
     loop {
-        // Park until a new job (or shutdown) arrives.
+        // Park until a new job (or shutdown) arrives on this gang.
         let (job_ref, seeds, seq) = {
-            let mut st = lock(&inner.state);
+            let mut st = lock(&gang.state);
             loop {
                 if st.shutdown {
                     return;
                 }
                 if st.seq > last_seq {
                     let job_ref = st.job.expect("job published without a body");
-                    let seeds = st.seeds[tid].take().expect("seed slice taken twice");
+                    let seeds = st.seeds[local].take().expect("seed slice taken twice");
                     break (job_ref, seeds, st.seq);
                 }
-                st = inner.job_ready.wait(st).unwrap_or_else(|e| e.into_inner());
+                st = gang.job_ready.wait(st).unwrap_or_else(|e| e.into_inner());
             }
         };
         last_seq = seq;
 
         let mut guard = CompletionGuard {
-            inner,
-            tid,
+            gang,
+            local,
             result: None,
         };
 
@@ -575,7 +851,7 @@ fn worker_main(inner: &Arc<Inner>, tid: usize) {
         // `Box<dyn DynHandle>` sees both trait surfaces; pin the calls to
         // the `SchedulerHandle` view the worker loop uses.
         let stats_before = SchedulerHandle::stats(&handle);
-        let mut tally = inner.detector.tally(tid);
+        let mut tally = gang.detector.tally(local);
         // Seeds were pre-credited by the coordinator; pushing them needs no
         // recording.
         for task in seeds {
@@ -587,11 +863,11 @@ fn worker_main(inner: &Arc<Inner>, tid: usize) {
         let mut wasted = 0u64;
         let outcome = worker_loop(
             &mut handle,
-            &inner.detector,
+            &gang.detector,
             &mut tally,
             &mut scratch,
             &inner.loop_config,
-            Some(&inner.aborted),
+            Some(&gang.aborted),
             |task, sink, scratch| {
                 let mut push = |t: Task| sink.push(t);
                 if job.process(task, &mut push, scratch) {
@@ -656,6 +932,13 @@ mod tests {
         HeapSmq::new(SmqConfig::default_for_threads(threads).with_seed(7))
     }
 
+    fn partitioned(gangs: usize, gang_size: usize) -> WorkerPool {
+        WorkerPool::new_partitioned(
+            |_| smq(gang_size),
+            PoolConfig::partitioned(gangs, gang_size),
+        )
+    }
+
     #[test]
     fn resident_pool_runs_many_jobs_without_respawning() {
         let mut pool = WorkerPool::new(smq(2), PoolConfig::new(2));
@@ -673,6 +956,7 @@ mod tests {
         let stats = pool.stats();
         assert_eq!(stats.threads_spawned, 2, "workers must never respawn");
         assert_eq!(stats.jobs_completed, 50);
+        assert_eq!(stats.gangs_poisoned, 0);
         pool.shutdown();
     }
 
@@ -702,6 +986,12 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "single-gang")]
+    fn multi_gang_config_needs_partitioned_constructor() {
+        let _pool = WorkerPool::new(smq(2), PoolConfig::partitioned(2, 1));
+    }
+
+    #[test]
     fn single_worker_pool_works() {
         let pool = WorkerPool::new(smq(1), PoolConfig::new(1));
         for _ in 0..10 {
@@ -709,6 +999,92 @@ mod tests {
             assert_eq!(pool.run_job(&job).metrics.tasks_executed, 150);
         }
         assert_eq!(pool.stats().threads_spawned, 1);
+    }
+
+    #[test]
+    fn whole_fleet_job_spans_every_gang() {
+        // A whole-fleet job on a partitioned pool splits seeds across all
+        // gangs and still processes everything exactly once.
+        let pool = partitioned(2, 2);
+        assert_eq!(pool.threads(), 4);
+        assert_eq!(pool.gangs(), 2);
+        for _ in 0..20 {
+            let job = FanoutJob::new(120, 120);
+            let out = pool.run_job(&job);
+            assert_eq!(out.metrics.tasks_executed, 360);
+            assert_eq!(out.metrics.threads, 4);
+            assert_eq!(out.metrics.total.pushes, out.metrics.total.pops);
+        }
+        assert_eq!(pool.stats().threads_spawned, 4);
+        assert_eq!(pool.stats().jobs_completed, 20);
+    }
+
+    #[test]
+    fn concurrent_single_gang_jobs_run_in_parallel() {
+        // Two jobs, each claiming one gang of a two-gang pool, must be able
+        // to be in flight simultaneously: job A holds its gang hostage
+        // until job B has demonstrably started processing.
+        use std::sync::atomic::AtomicBool;
+
+        struct GateJob {
+            // Set by the partner job; this job spins until it is true.
+            partner_started: Arc<AtomicBool>,
+            // This job sets it as soon as it processes its first task.
+            started: Arc<AtomicBool>,
+        }
+
+        impl PoolJob for GateJob {
+            fn seed_tasks(&self) -> Vec<Task> {
+                vec![Task::new(1, 1)]
+            }
+
+            fn process(&self, _t: Task, _push: &mut dyn FnMut(Task), _s: &mut Scratch) -> bool {
+                self.started.store(true, Ordering::Release);
+                while !self.partner_started.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                true
+            }
+        }
+
+        let pool = partitioned(2, 1);
+        let a = Arc::new(AtomicBool::new(false));
+        let b = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            let pool = &pool;
+            let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            scope.spawn(move || {
+                pool.run_job_on(
+                    &GateJob {
+                        partner_started: b1,
+                        started: a1,
+                    },
+                    1,
+                );
+            });
+            scope.spawn(move || {
+                pool.run_job_on(
+                    &GateJob {
+                        partner_started: a2,
+                        started: b2,
+                    },
+                    1,
+                );
+            });
+        });
+        // If jobs were serialized, each would spin forever on its partner;
+        // reaching this line proves two jobs were in flight concurrently.
+        assert_eq!(pool.stats().jobs_completed, 2);
+    }
+
+    #[test]
+    fn gang_claims_are_capped_to_the_fleet() {
+        let pool = partitioned(2, 1);
+        // Asking for more gangs than exist claims what is there.
+        let out = pool.run_job_on(&FanoutJob::new(40, 40), 64);
+        assert_eq!(out.metrics.tasks_executed, 120);
+        assert_eq!(out.metrics.threads, 2);
     }
 
     /// A job that panics on one specific task.
@@ -736,11 +1112,48 @@ mod tests {
     }
 
     #[test]
+    fn panic_poisons_one_gang_and_the_rest_keep_serving() {
+        let pool = partitioned(2, 1);
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_job_on(&PanickingJob, 1);
+        }));
+        assert!(poisoned.is_err(), "the panicking job's caller must panic");
+        assert_eq!(pool.stats().gangs_poisoned, 1);
+        assert_eq!(pool.live_gangs(), 1);
+        // The surviving gang still executes jobs correctly.
+        for _ in 0..5 {
+            let out = pool.run_job(&FanoutJob::new(30, 30));
+            assert_eq!(out.metrics.tasks_executed, 90);
+            assert_eq!(out.metrics.threads, 1, "only the live gang participates");
+        }
+        assert_eq!(pool.stats().jobs_completed, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no live gangs")]
+    fn fully_poisoned_pool_rejects_jobs() {
+        let pool = partitioned(1, 1);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_job(&PanickingJob);
+        }));
+        assert_eq!(pool.live_gangs(), 0);
+        pool.run_job(&FanoutJob::new(1, 0)); // must panic: nothing can serve it
+    }
+
+    #[test]
     fn shutdown_is_idempotent_and_drop_safe() {
         let mut pool = WorkerPool::new(smq(2), PoolConfig::new(2));
         pool.run_job(&FanoutJob::new(10, 10));
         pool.shutdown();
         pool.shutdown();
         // Drop after explicit shutdown must not double-join.
+    }
+
+    #[test]
+    fn shutdown_joins_partitioned_fleet() {
+        let mut pool = partitioned(3, 2);
+        pool.run_job_on(&FanoutJob::new(10, 10), 2);
+        pool.shutdown();
+        assert_eq!(pool.stats().jobs_completed, 1);
     }
 }

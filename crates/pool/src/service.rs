@@ -3,18 +3,34 @@
 //!
 //! Client threads [`submit`](JobService::submit) jobs — closures that run
 //! against the pool and return an output — into a bounded FIFO queue; a
-//! dispatcher thread drains the queue and executes each job on the resident
-//! worker fleet.  Every submission returns a [`JobTicket`] the client can
-//! block on; completion carries the job's output plus the measured queue
-//! wait and service time, which is what the `service_throughput` benchmark
-//! reports as p50/p99 job latency.
+//! configurable number of dispatcher threads drain the queue and execute
+//! the jobs on the resident worker fleet.  With a gang-partitioned pool
+//! (see [`PoolConfig`](crate::PoolConfig)) and the default dispatcher
+//! count (one per gang), up to `gangs` jobs are **in flight at once** —
+//! dispatchers pop the queue in FIFO acceptance order, though with more
+//! than one dispatcher two just-popped jobs may reach the pool's gang
+//! allocator in either order, so exact start order is only guaranteed
+//! with a single dispatcher.  Every submission returns a [`JobTicket`] the
+//! client can block on; completion carries the job's output plus the
+//! measured queue wait and service time, which is what the
+//! `service_throughput` benchmark reports as p50/p99 job latency.
 //!
 //! Back-pressure: `submit` blocks while the queue is full;
 //! [`try_submit`](JobService::try_submit) fails fast instead (the
 //! shed-load policy of an overloaded service).
 //! [`shutdown`](JobService::shutdown) stops admission, drains every
-//! already-accepted job, then joins the dispatcher and the pool — no
+//! already-accepted job, then joins the dispatchers and the pool — no
 //! accepted job is ever dropped.
+//!
+//! # Panic safety
+//!
+//! A job that panics (or runs on a gang whose worker panics) does **not**
+//! tear the service down: the dispatcher catches the unwind, counts the
+//! job as [`failed`](ServiceStats::failed), and keeps serving.  The
+//! panicking job's own ticket — and only that ticket — resolves to
+//! [`Err(JobLost)`](JobLost) instead of a completion, so client threads of
+//! a long-lived service survive a bad job.  (The gang the panic happened
+//! on is retired by the pool; capacity shrinks but correctness doesn't.)
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -30,12 +46,18 @@ pub struct ServiceConfig {
     /// Maximum number of accepted-but-not-started jobs.  `submit` blocks
     /// and `try_submit` rejects while the queue holds this many.
     pub queue_capacity: usize,
+    /// Number of dispatcher threads, i.e. the maximum number of jobs in
+    /// flight on the pool at once.  `0` (the default) means "one per
+    /// gang", which keeps every gang of a partitioned pool busy; values
+    /// above the gang count only add claim-queue waiters.
+    pub dispatchers: usize,
 }
 
 impl Default for ServiceConfig {
     fn default() -> Self {
         Self {
             queue_capacity: 128,
+            dispatchers: 0,
         }
     }
 }
@@ -60,12 +82,26 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// The job this ticket tracked will never complete: the job itself (or the
+/// pool gang executing it) panicked.  The service and all other tickets
+/// remain live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobLost;
+
+impl std::fmt::Display for JobLost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job was lost: it panicked while executing on the pool")
+    }
+}
+
+impl std::error::Error for JobLost {}
+
 /// A completed job's output plus its measured latencies.
 #[derive(Debug)]
 pub struct JobCompletion<R> {
     /// Whatever the submitted closure returned.
     pub output: R,
-    /// Time spent queued before the dispatcher picked the job up.
+    /// Time spent queued before a dispatcher picked the job up.
     pub queue_wait: Duration,
     /// Time spent executing on the worker pool.
     pub service_time: Duration,
@@ -86,22 +122,22 @@ pub struct JobTicket<R> {
 }
 
 impl<R> JobTicket<R> {
-    /// Blocks until the job completes.
-    ///
-    /// # Panics
-    /// Panics if the service was torn down without running the job — which
-    /// cannot happen through the public API ([`JobService::shutdown`]
-    /// drains all accepted jobs) unless the dispatcher died to a panicking
-    /// job.
-    pub fn wait(self) -> JobCompletion<R> {
-        self.rx
-            .recv()
-            .expect("job service dropped the job before completing it")
+    /// Blocks until the job completes, or resolves to [`JobLost`] when the
+    /// job panicked mid-execution.  Other jobs — and the service itself —
+    /// are unaffected by one lost job.
+    pub fn wait(self) -> Result<JobCompletion<R>, JobLost> {
+        self.rx.recv().map_err(|_| JobLost)
     }
 
-    /// Non-blocking poll: the completion if the job already finished.
-    pub fn try_wait(&self) -> Option<JobCompletion<R>> {
-        self.rx.try_recv().ok()
+    /// Non-blocking poll: `None` while the job is still queued or running,
+    /// `Some(Ok(_))` once it completed, `Some(Err(JobLost))` if it
+    /// panicked.
+    pub fn try_wait(&self) -> Option<Result<JobCompletion<R>, JobLost>> {
+        match self.rx.try_recv() {
+            Ok(completion) => Some(Ok(completion)),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(JobLost)),
+        }
     }
 }
 
@@ -114,6 +150,9 @@ pub struct ServiceStats {
     pub completed: u64,
     /// `try_submit` calls rejected with [`SubmitError::QueueFull`].
     pub rejected: u64,
+    /// Jobs that panicked mid-execution (their tickets resolved to
+    /// [`JobLost`]).  `submitted == completed + failed` after shutdown.
+    pub failed: u64,
 }
 
 type QueuedJob = Box<dyn FnOnce(&WorkerPool) + Send + 'static>;
@@ -131,6 +170,7 @@ struct ServiceInner {
     submitted: AtomicU64,
     completed: AtomicU64,
     rejected: AtomicU64,
+    failed: AtomicU64,
 }
 
 fn lock(state: &Mutex<QueueState>) -> MutexGuard<'_, QueueState> {
@@ -138,18 +178,23 @@ fn lock(state: &Mutex<QueueState>) -> MutexGuard<'_, QueueState> {
 }
 
 /// A resident job service: bounded FIFO admission from many client threads
-/// onto one [`WorkerPool`].
+/// onto one [`WorkerPool`], with up to `dispatchers` jobs in flight.
 pub struct JobService {
     inner: Arc<ServiceInner>,
     pool: Arc<WorkerPool>,
-    dispatcher: Option<JoinHandle<()>>,
+    dispatchers: Vec<JoinHandle<()>>,
 }
 
 impl JobService {
-    /// Starts the service on `pool` (the pool must own its scheduler, i.e.
-    /// come from [`WorkerPool::new`]).
+    /// Starts the service on `pool` (the pool must own its schedulers, i.e.
+    /// come from [`WorkerPool::new`] or [`WorkerPool::new_partitioned`]).
     pub fn new(pool: WorkerPool, config: ServiceConfig) -> JobService {
         assert!(config.queue_capacity >= 1, "queue capacity must be >= 1");
+        let dispatcher_count = if config.dispatchers == 0 {
+            pool.gangs()
+        } else {
+            config.dispatchers
+        };
         let inner = Arc::new(ServiceInner {
             state: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
@@ -161,25 +206,30 @@ impl JobService {
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
         });
         let pool = Arc::new(pool);
-        let dispatcher = {
-            let inner = Arc::clone(&inner);
-            let pool = Arc::clone(&pool);
-            std::thread::Builder::new()
-                .name("smq-job-dispatcher".into())
-                .spawn(move || dispatcher_main(&inner, &pool))
-                .expect("failed to spawn job dispatcher")
-        };
+        let dispatchers = (0..dispatcher_count)
+            .map(|d| {
+                let inner = Arc::clone(&inner);
+                let pool = Arc::clone(&pool);
+                std::thread::Builder::new()
+                    .name(format!("smq-job-dispatcher-{d}"))
+                    .spawn(move || dispatcher_main(&inner, &pool))
+                    .expect("failed to spawn job dispatcher")
+            })
+            .collect();
         JobService {
             inner,
             pool,
-            dispatcher: Some(dispatcher),
+            dispatchers,
         }
     }
 
-    /// Submits a job, blocking while the queue is full.  FIFO: jobs execute
-    /// in acceptance order.
+    /// Submits a job, blocking while the queue is full.  FIFO: dispatchers
+    /// pick jobs up in acceptance order (with more than one dispatcher,
+    /// executions overlap and two just-dequeued jobs may begin in either
+    /// order — see the module docs).
     pub fn submit<F, R>(&self, job: F) -> Result<JobTicket<R>, SubmitError>
     where
         F: FnOnce(&WorkerPool) -> R + Send + 'static,
@@ -229,7 +279,9 @@ impl JobService {
         st.jobs.push_back(Box::new(move |pool: &WorkerPool| {
             let started = Instant::now();
             let output = job(pool);
-            // The client may have dropped its ticket; that is fine.
+            // The client may have dropped its ticket; that is fine.  If
+            // `job` panics instead, `tx` is dropped by the unwind and the
+            // ticket resolves to `JobLost`.
             let _ = tx.send(JobCompletion {
                 output,
                 queue_wait: started.duration_since(accepted_at),
@@ -241,23 +293,26 @@ impl JobService {
         JobTicket { rx }
     }
 
-    /// Admission / completion / rejection counters.
+    /// Admission / completion / rejection / failure counters.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             submitted: self.inner.submitted.load(Ordering::Relaxed),
             completed: self.inner.completed.load(Ordering::Relaxed),
             rejected: self.inner.rejected.load(Ordering::Relaxed),
+            failed: self.inner.failed.load(Ordering::Relaxed),
         }
     }
 
-    /// The underlying pool's lifetime counters (thread spawns, jobs run).
+    /// The underlying pool's lifetime counters (thread spawns, jobs run,
+    /// gangs lost to panics).
     pub fn pool_stats(&self) -> crate::PoolStats {
         self.pool.stats()
     }
 
-    /// Graceful shutdown: stops admission, drains every accepted job, joins
-    /// the dispatcher and (once the last `Arc` reference dies here) the
-    /// worker pool.  Returns the final counters.
+    /// Graceful shutdown: stops admission, drains every accepted job
+    /// (jobs already in flight on other gangs finish too), joins every
+    /// dispatcher and (once the last `Arc` reference dies here) the worker
+    /// pool.  Returns the final counters.
     pub fn shutdown(mut self) -> ServiceStats {
         self.close_and_join();
         self.stats()
@@ -270,7 +325,7 @@ impl JobService {
             self.inner.not_empty.notify_all();
             self.inner.not_full.notify_all();
         }
-        if let Some(dispatcher) = self.dispatcher.take() {
+        for dispatcher in self.dispatchers.drain(..) {
             let _ = dispatcher.join();
         }
     }
@@ -298,8 +353,17 @@ fn dispatcher_main(inner: &ServiceInner, pool: &WorkerPool) {
                 st = inner.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
             }
         };
-        job(pool);
-        inner.completed.fetch_add(1, Ordering::Relaxed);
+        // Contain job panics to the job: the unwind drops the ticket's
+        // sender (the client sees `JobLost`), the pool retires the gang the
+        // panic happened on, and this dispatcher keeps serving.
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(pool))) {
+            Ok(()) => {
+                inner.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                inner.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 
@@ -334,6 +398,20 @@ mod tests {
             WorkerPool::new(mq, PoolConfig::new(2)),
             ServiceConfig {
                 queue_capacity: capacity,
+                dispatchers: 0,
+            },
+        )
+    }
+
+    fn partitioned_service(gangs: usize, capacity: usize) -> JobService {
+        JobService::new(
+            WorkerPool::new_partitioned(
+                |g| MultiQueue::<Task>::new(MultiQueueConfig::classic(1).with_seed(3 + g as u64)),
+                PoolConfig::partitioned(gangs, 1),
+            ),
+            ServiceConfig {
+                queue_capacity: capacity,
+                dispatchers: 0,
             },
         )
     }
@@ -358,7 +436,7 @@ mod tests {
                                 pool.run_job(&job).metrics.tasks_executed
                             })
                             .expect("submit");
-                        let done = ticket.wait();
+                        let done = ticket.wait().expect("job completed");
                         assert_eq!(done.output, 10 + client);
                     }
                 });
@@ -368,9 +446,101 @@ mod tests {
         let stats = service.shutdown();
         assert_eq!(stats.submitted, 20);
         assert_eq!(stats.completed, 20);
+        assert_eq!(stats.failed, 0);
         // 4 clients × 5 jobs × 10 base seeds, plus `client` extra seeds per
         // job for clients 0..4.
         assert_eq!(counter.load(Ordering::Relaxed), 4 * 5 * 10 + 5 * 6);
+    }
+
+    #[test]
+    fn gang_service_keeps_multiple_jobs_in_flight() {
+        // Two single-worker gangs, two dispatchers: two jobs that each wait
+        // for the other can only finish if they run concurrently.
+        use std::sync::atomic::AtomicBool;
+        let service = Arc::new(partitioned_service(2, 4));
+        let a = Arc::new(AtomicBool::new(false));
+        let b = Arc::new(AtomicBool::new(false));
+
+        struct MeetJob {
+            mine: Arc<AtomicBool>,
+            partner: Arc<AtomicBool>,
+        }
+        impl PoolJob for MeetJob {
+            fn seed_tasks(&self) -> Vec<Task> {
+                vec![Task::new(0, 0)]
+            }
+            fn process(&self, _t: Task, _p: &mut dyn FnMut(Task), _s: &mut Scratch) -> bool {
+                self.mine.store(true, Ordering::Release);
+                while !self.partner.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                true
+            }
+        }
+
+        let mut tickets = Vec::new();
+        for (mine, partner) in [(&a, &b), (&b, &a)] {
+            let (mine, partner) = (Arc::clone(mine), Arc::clone(partner));
+            tickets.push(
+                service
+                    .submit(move |pool| {
+                        pool.run_job_on(&MeetJob { mine, partner }, 1);
+                    })
+                    .expect("submit"),
+            );
+        }
+        for ticket in tickets {
+            ticket.wait().expect("both jobs complete");
+        }
+        let service = Arc::into_inner(service).expect("sole owner");
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn panicking_job_yields_job_lost_not_a_client_panic() {
+        struct BadJob;
+        impl PoolJob for BadJob {
+            fn seed_tasks(&self) -> Vec<Task> {
+                vec![Task::new(0, 0)]
+            }
+            fn process(&self, _t: Task, _p: &mut dyn FnMut(Task), _s: &mut Scratch) -> bool {
+                panic!("intentional service job panic");
+            }
+        }
+
+        let counter = Arc::new(AtomicU64::new(0));
+        let service = partitioned_service(2, 4);
+        let bad = service
+            .submit(|pool| {
+                pool.run_job_on(&BadJob, 1);
+            })
+            .expect("submit");
+        assert_eq!(
+            bad.wait().map(|c| c.output),
+            Err(JobLost),
+            "lost job must resolve to Err"
+        );
+
+        // The service survives: a fresh job on the remaining gang succeeds.
+        let ok_counter = Arc::clone(&counter);
+        let good = service
+            .submit(move |pool| {
+                let job = CountJob {
+                    seeds: 7,
+                    counter: ok_counter,
+                };
+                pool.run_job_on(&job, 1).metrics.tasks_executed
+            })
+            .expect("service still accepts jobs");
+        assert_eq!(good.wait().expect("good job completes").output, 7);
+
+        let pool_stats = service.pool_stats();
+        let stats = service.shutdown();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, stats.submitted - stats.failed);
+        assert_eq!(pool_stats.gangs_poisoned, 1);
+        assert_eq!(counter.load(Ordering::Relaxed), 7);
     }
 
     #[test]
@@ -422,7 +592,7 @@ mod tests {
         assert_eq!(stats.completed, 6, "shutdown must drain accepted jobs");
         assert_eq!(counter.load(Ordering::Relaxed), 30);
         for ticket in tickets {
-            let done = ticket.wait();
+            let done = ticket.wait().expect("drained job completed");
             assert!(done.service_time >= Duration::ZERO);
         }
     }

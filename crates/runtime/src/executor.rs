@@ -15,7 +15,9 @@
 //! The per-worker loop body lives in [`worker_loop`], shared between two
 //! drivers: [`run`] (spawn a scoped fleet, run one workload, join — the
 //! original one-shot mode) and the resident `smq-pool` worker pool, whose
-//! workers park between jobs and re-enter the same loop for every job.
+//! workers park between jobs and re-enter the same loop for every job —
+//! each pool *gang* passes its own scheduler handle, detector, and abort
+//! flag, so concurrent gangs share nothing on this path.
 //! The quiescence scan is *epoch-gated*: a worker only pays the O(threads)
 //! counter scan after [`WorkerLoopConfig::scan_gate`] consecutive empty pops
 //! during which the detector's activity epoch did not move (see

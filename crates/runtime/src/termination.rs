@@ -47,8 +47,12 @@
 //! The resident worker pool (`smq-pool`) reuses one detector for a whole
 //! stream of jobs.  Between jobs — while every worker is parked — the
 //! coordinator calls [`TerminationDetector::advance_generation`], which
-//! zeroes all counters and bumps a generation number.  Two mechanisms keep
-//! a tally from job N from leaking into job N+1:
+//! zeroes all counters and bumps a generation number.  With a
+//! gang-partitioned pool there is one detector **per gang**, sized to the
+//! gang: a detector instance only ever covers workers that share a
+//! scheduler, so one gang's quiescence scan cannot observe another gang's
+//! counters and concurrent jobs advance their generations independently.
+//! Two mechanisms keep a tally from job N from leaking into job N+1:
 //!
 //! * a [`WorkerTally`] snapshots the generation it was created under and
 //!   `debug_assert`s it on every counter update, so a handle held across a

@@ -1,15 +1,21 @@
-//! A miniature route-planning service: one resident scheduler fleet
-//! serving a stream of point-to-point queries from several clients.
+//! A miniature route-planning service: one resident scheduler fleet,
+//! partitioned into gangs, serving a stream of point-to-point queries from
+//! several clients **concurrently**.
 //!
 //! Run with: `cargo run --release --example route_service`
 //!
 //! The pieces, bottom to top:
 //! * a shared road graph (`Arc<CsrGraph>`),
-//! * a [`RouteQueryEngine`] with epoch-stamped g-score slots (per-query
-//!   cost is O(touched vertices), no per-query allocation or reset pass),
+//! * a [`RouteQueryEngine`] with epoch-stamped g-score slots and one
+//!   *lane* per concurrent query (per-query cost is O(touched vertices),
+//!   no per-query allocation or reset pass),
 //! * a [`WorkerPool`] that spawned its SMQ worker fleet exactly once,
+//!   partitioned into gangs so each small query occupies one gang while
+//!   the others serve different queries,
 //! * a [`JobService`] bounded FIFO queue that many client threads submit
-//!   into, each getting a ticket with per-job latency measurements.
+//!   into, each getting a ticket with per-job latency measurements (a
+//!   `Result`: a panicking job loses only its own ticket, not the
+//!   service).
 
 use std::sync::Arc;
 
@@ -20,7 +26,9 @@ use smq_repro::pool::{JobService, PoolConfig, ServiceConfig, WorkerPool};
 use smq_repro::smq::{HeapSmq, SmqConfig};
 
 fn main() {
-    let threads = 4;
+    let gangs = 2;
+    let gang_size = 2;
+    let threads = gangs * gang_size;
     let clients = 3;
     let queries_per_client = 200;
 
@@ -37,11 +45,17 @@ fn main() {
         graph.num_edges()
     );
 
-    let engine = Arc::new(RouteQueryEngine::new(Arc::clone(&graph)));
-    let scheduler: HeapSmq<Task> = HeapSmq::new(SmqConfig::default_for_threads(threads));
+    let engine = Arc::new(RouteQueryEngine::with_lanes(Arc::clone(&graph), gangs));
+    let pool = WorkerPool::new_partitioned(
+        |g| HeapSmq::<Task>::new(SmqConfig::default_for_threads(gang_size).with_seed(g as u64 + 1)),
+        PoolConfig::partitioned(gangs, gang_size),
+    );
     let service = Arc::new(JobService::new(
-        WorkerPool::new(scheduler, PoolConfig::new(threads)),
-        ServiceConfig { queue_capacity: 16 },
+        pool,
+        ServiceConfig {
+            queue_capacity: 16,
+            dispatchers: 0, // one dispatcher per gang
+        },
     ));
 
     let started = std::time::Instant::now();
@@ -58,7 +72,7 @@ fn main() {
                     let ticket = service
                         .submit(move |pool| engine.query(source, target, pool))
                         .expect("service open");
-                    let done = ticket.wait();
+                    let done = ticket.wait().expect("query job completed");
                     worst = worst.max(done.total_latency());
                 }
                 println!("client {client}: {queries_per_client} routes, worst latency {worst:?}");
@@ -73,13 +87,15 @@ fn main() {
     let total = clients * queries_per_client;
     println!(
         "served {} queries in {:.2?} ({:.0} queries/sec) on {} resident workers \
-         (threads spawned: {} — parked between jobs, never respawned)",
+         in {} gangs (threads spawned: {} — parked between jobs, never respawned)",
         stats.completed,
         elapsed,
         total as f64 / elapsed.as_secs_f64(),
         threads,
+        gangs,
         pool_stats.threads_spawned,
     );
     assert_eq!(stats.completed, total as u64);
     assert_eq!(pool_stats.threads_spawned, threads as u64);
+    assert_eq!(pool_stats.gangs_poisoned, 0);
 }

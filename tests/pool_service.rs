@@ -11,7 +11,14 @@
 //!   respawns", asserted via `PoolStats::threads_spawned`);
 //! * **The service front door behaves** — FIFO admission from many client
 //!   threads, correct results under concurrency, graceful drain on
-//!   shutdown.
+//!   shutdown;
+//! * **Gangs are invisible except for speed** — N jobs submitted across C
+//!   client threads onto G gangs produce exactly the answers of N
+//!   sequential runs, with `submitted == completed` and per-job (hence
+//!   per-gang) `pushes == pops`: no task ever leaks across gangs;
+//! * **Panics are contained** — a deliberately panicking job resolves its
+//!   own ticket to `Err(JobLost)` and leaves other clients' jobs (and the
+//!   service) intact.
 
 use std::sync::Arc;
 
@@ -25,13 +32,25 @@ use smq_repro::core::Task;
 use smq_repro::graph::generators::{road_network, uniform_random, RoadNetworkParams};
 use smq_repro::multiqueue::{MultiQueue, MultiQueueConfig};
 use smq_repro::obim::{Obim, ObimConfig};
-use smq_repro::pool::{JobService, PoolConfig, ServiceConfig, WorkerPool};
+use smq_repro::pool::{JobLost, JobService, PoolConfig, PoolJob, ServiceConfig, WorkerPool};
+use smq_repro::runtime::Scratch;
 use smq_repro::smq::{HeapSmq, SmqConfig};
 
 fn smq_pool(threads: usize, seed: u64) -> WorkerPool {
     WorkerPool::new(
         HeapSmq::<Task>::new(SmqConfig::default_for_threads(threads).with_seed(seed)),
         PoolConfig::new(threads),
+    )
+}
+
+fn smq_gang_pool(gangs: usize, gang_size: usize, seed: u64) -> WorkerPool {
+    WorkerPool::new_partitioned(
+        |g| {
+            HeapSmq::<Task>::new(
+                SmqConfig::default_for_threads(gang_size).with_seed(seed + g as u64),
+            )
+        },
+        PoolConfig::partitioned(gangs, gang_size),
     )
 }
 
@@ -199,7 +218,10 @@ fn job_service_serves_concurrent_clients_correctly() {
             MultiQueue::<Task>::new(MultiQueueConfig::classic(2).with_seed(8)),
             PoolConfig::new(2),
         ),
-        ServiceConfig { queue_capacity: 8 },
+        ServiceConfig {
+            queue_capacity: 8,
+            dispatchers: 0,
+        },
     ));
 
     std::thread::scope(|scope| {
@@ -215,7 +237,7 @@ fn job_service_serves_concurrent_clients_correctly() {
                     let ticket = service
                         .submit(move |pool| engine.query(source, target, pool))
                         .expect("open service accepts jobs");
-                    let done = ticket.wait();
+                    let done = ticket.wait().expect("query job completed");
                     let (expected, _) = astar::sequential(&graph, source, target);
                     assert_eq!(done.output.distance, expected);
                 }
@@ -230,4 +252,182 @@ fn job_service_serves_concurrent_clients_correctly() {
     assert_eq!(stats.completed, 120);
     assert_eq!(pool_stats.jobs_completed, 120);
     assert_eq!(pool_stats.threads_spawned, 2);
+}
+
+proptest! {
+    /// The concurrent-gang property: N route queries submitted across C
+    /// client threads onto a G-gang pool produce exactly the answers N
+    /// sequential runs would, with `submitted == completed` and per-job
+    /// `pushes == pops` — since each job's metrics slice covers exactly the
+    /// gang it ran on, the balance also proves no task leaked across gangs.
+    #[test]
+    fn concurrent_gang_jobs_match_sequential_runs(
+        width in 6u32..12,
+        gangs in 1usize..4,
+        gang_size in 1usize..3,
+        clients in 1usize..4,
+        seed in 0u64..1_000_000,
+    ) {
+        let graph = Arc::new(road_network(RoadNetworkParams {
+            width,
+            height: width,
+            removal_percent: 10,
+            seed,
+        }));
+        let n = graph.num_nodes() as u32;
+        let engine = Arc::new(RouteQueryEngine::with_lanes(Arc::clone(&graph), gangs));
+        let service = Arc::new(JobService::new(
+            smq_gang_pool(gangs, gang_size, seed),
+            ServiceConfig {
+                queue_capacity: 8,
+                dispatchers: 0, // one per gang: up to G jobs in flight
+            },
+        ));
+
+        let per_client = 8u32;
+        std::thread::scope(|scope| {
+            for client in 0..clients as u32 {
+                let service = Arc::clone(&service);
+                let engine = Arc::clone(&engine);
+                let graph = Arc::clone(&graph);
+                scope.spawn(move || {
+                    for i in 0..per_client {
+                        let source = (client * 131 + i * 17 + (seed as u32 % 7)) % n;
+                        let target = (client * 37 + i * 43 + 1) % n;
+                        let engine = Arc::clone(&engine);
+                        let ticket = service
+                            .submit(move |pool| engine.query(source, target, pool))
+                            .expect("open service accepts jobs");
+                        let done = ticket.wait().expect("no job may be lost");
+                        // Same output as a sequential run of the same query.
+                        let (expected, _) = astar::sequential(&graph, source, target);
+                        assert_eq!(
+                            done.output.distance, expected,
+                            "query {source}->{target} diverged under {gangs} gangs"
+                        );
+                        // Per-gang task conservation: everything this job
+                        // pushed into its gang's scheduler was popped by it.
+                        assert_eq!(
+                            done.output.result.metrics.total.pushes,
+                            done.output.result.metrics.total.pops,
+                            "job leaked tasks across gangs"
+                        );
+                        assert_eq!(
+                            done.output.result.metrics.threads,
+                            gang_size,
+                            "a query job must occupy exactly one gang"
+                        );
+                    }
+                });
+            }
+        });
+
+        let service = Arc::into_inner(service).expect("clients joined");
+        let pool_stats = service.pool_stats();
+        let stats = service.shutdown();
+        let total = (clients as u32 * per_client) as u64;
+        prop_assert_eq!(stats.submitted, total);
+        prop_assert_eq!(stats.completed, total, "submitted == completed");
+        prop_assert_eq!(stats.failed, 0);
+        prop_assert_eq!(pool_stats.jobs_completed, total);
+        prop_assert_eq!(pool_stats.threads_spawned, (gangs * gang_size) as u64);
+        prop_assert_eq!(pool_stats.gangs_poisoned, 0);
+    }
+}
+
+/// A job whose `process` panics on its only task.
+struct PanickingJob;
+
+impl PoolJob for PanickingJob {
+    fn seed_tasks(&self) -> Vec<Task> {
+        vec![Task::new(0, 0)]
+    }
+
+    fn process(&self, _t: Task, _push: &mut dyn FnMut(Task), _s: &mut Scratch) -> bool {
+        panic!("intentional integration-test job panic");
+    }
+}
+
+/// The `JobTicket::wait` regression: a deliberately panicking job must
+/// resolve to `Err(JobLost)` for its own client — and a second client of
+/// the long-lived service must also get a `Result` (never a panic), `Ok`
+/// while live gangs remain, `Err` once the pool has none left.
+#[test]
+fn panicking_job_resolves_tickets_instead_of_panicking_clients() {
+    // Two gangs: the panic burns one, the second client's job still runs.
+    let graph = Arc::new(road_network(RoadNetworkParams {
+        width: 8,
+        height: 8,
+        removal_percent: 10,
+        seed: 11,
+    }));
+    let n = graph.num_nodes() as u32;
+    let engine = Arc::new(RouteQueryEngine::with_lanes(Arc::clone(&graph), 2));
+    let service = JobService::new(
+        smq_gang_pool(2, 1, 41),
+        ServiceConfig {
+            queue_capacity: 4,
+            dispatchers: 0,
+        },
+    );
+
+    let bad = service
+        .submit(|pool| {
+            pool.run_job_on(&PanickingJob, 1);
+        })
+        .expect("submit panicking job");
+    assert!(
+        bad.wait().is_err(),
+        "the panicking job's own ticket must be Err(JobLost), not a client panic"
+    );
+
+    // Second client on the surviving gang: plain Ok.
+    let second_engine = Arc::clone(&engine);
+    let good = service
+        .submit(move |pool| second_engine.query(0, n - 1, pool))
+        .expect("service still accepts jobs");
+    let done = good
+        .wait()
+        .expect("surviving gang serves the second client");
+    let (expected, _) = astar::sequential(&graph, 0, n - 1);
+    assert_eq!(done.output.distance, expected);
+
+    let pool_stats = service.pool_stats();
+    let stats = service.shutdown();
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.completed + stats.failed, stats.submitted);
+    assert_eq!(pool_stats.gangs_poisoned, 1);
+}
+
+/// Same regression on a single-gang pool: with no live gang left, later
+/// clients get `Err(JobLost)` — still never a panic out of `wait`.
+#[test]
+fn fully_poisoned_service_fails_jobs_gracefully() {
+    let service = JobService::new(
+        smq_pool(1, 13),
+        ServiceConfig {
+            queue_capacity: 4,
+            dispatchers: 0,
+        },
+    );
+    let bad = service
+        .submit(|pool| {
+            pool.run_job(&PanickingJob);
+        })
+        .expect("submit panicking job");
+    assert_eq!(bad.wait().map(|c| c.output), Err(JobLost));
+
+    // The only gang is gone: the second client's job cannot run, but its
+    // ticket still resolves to Err instead of panicking the client thread.
+    let second = service
+        .submit(|pool| pool.run_job(&PanickingJob))
+        .expect("admission is still open");
+    assert!(
+        second.wait().is_err(),
+        "second client must see Err, not panic"
+    );
+
+    let stats = service.shutdown();
+    assert_eq!(stats.failed, 2);
+    assert_eq!(stats.completed, 0);
 }
