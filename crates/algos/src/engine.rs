@@ -175,9 +175,33 @@ where
     W: DecreaseKeyWorkload,
     S: Scheduler<Task>,
 {
-    WorkerPool::with_borrowed(scheduler, PoolConfig::new(threads), |pool| {
-        run_on_pool(workload, pool)
-    })
+    run_parallel_batched(workload, scheduler, threads, 1)
+}
+
+/// [`run_parallel`] at an explicit hot-path batch granularity.
+///
+/// `batch_size == 1` is exactly `run_parallel` (the per-task path, stats
+/// included).  Larger batches make the workers pop up to `batch_size` tasks
+/// per scheduling decision and flush follow-ups through the scheduler's
+/// `push_batch` at task boundaries, amortizing locks and (on erased pools)
+/// virtual dispatch over the batch; relaxation semantics and the computed
+/// answer are unaffected — only the execution order within the relaxed
+/// guarantees shifts, like any other scheduling perturbation.
+pub fn run_parallel_batched<W, S>(
+    workload: &W,
+    scheduler: &S,
+    threads: usize,
+    batch_size: usize,
+) -> EngineRun<W::Output>
+where
+    W: DecreaseKeyWorkload,
+    S: Scheduler<Task>,
+{
+    WorkerPool::with_borrowed(
+        scheduler,
+        PoolConfig::new(threads).with_batch(batch_size),
+        |pool| run_on_pool(workload, pool),
+    )
 }
 
 /// Runs the parallel workload and asserts it is equivalent to its

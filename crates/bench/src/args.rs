@@ -27,6 +27,9 @@ pub struct BenchArgs {
     /// Workload filter from `--workloads` (comma-separated names); `None`
     /// means the binary's default set.
     pub workloads: Option<Vec<Workload>>,
+    /// Hot-path batch size from `--batch N`; `None` means the binary's
+    /// default sweep (typically `[1, 8, 32]`).
+    pub batch: Option<usize>,
 }
 
 impl Default for BenchArgs {
@@ -37,6 +40,7 @@ impl Default for BenchArgs {
             repetitions: 3,
             seed: 0xBE7C,
             workloads: None,
+            batch: None,
         }
     }
 }
@@ -78,6 +82,14 @@ impl BenchArgs {
                         .and_then(|v| v.parse().ok())
                         .expect("--seed needs an integer");
                 }
+                "--batch" => {
+                    let batch = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--batch needs a positive integer");
+                    assert!(batch >= 1, "--batch needs a positive integer");
+                    out.batch = Some(batch);
+                }
                 "--workloads" => {
                     let list = iter
                         .next()
@@ -113,6 +125,18 @@ impl BenchArgs {
         self.workloads
             .clone()
             .unwrap_or_else(|| Workload::ALL.to_vec())
+    }
+
+    /// The hot-path batch sizes a sweep should run: `[1, N]` for an
+    /// explicit `--batch N` (batch 1 stays in as the per-task baseline so
+    /// amortization is always reported against it), or the default
+    /// `[1, 8, 32]` sweep when the flag was absent.
+    pub fn batch_sweep(&self) -> Vec<usize> {
+        match self.batch {
+            Some(1) => vec![1],
+            Some(n) => vec![1, n],
+            None => vec![1, 8, 32],
+        }
     }
 
     /// Parses the real process arguments (skipping the program name).
@@ -176,6 +200,25 @@ mod tests {
     #[should_panic(expected = "unknown scale")]
     fn bad_scale_value_panics() {
         let _ = parse(&["--scale", "medium"]);
+    }
+
+    #[test]
+    fn batch_flag_and_sweep() {
+        let (args, rest) = parse(&[]);
+        assert!(rest.is_empty());
+        assert_eq!(args.batch, None);
+        assert_eq!(args.batch_sweep(), vec![1, 8, 32]);
+        let (args, _) = parse(&["--batch", "8"]);
+        assert_eq!(args.batch, Some(8));
+        assert_eq!(args.batch_sweep(), vec![1, 8], "baseline stays in");
+        let (args, _) = parse(&["--batch", "1"]);
+        assert_eq!(args.batch_sweep(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--batch needs a positive integer")]
+    fn zero_batch_panics() {
+        let _ = parse(&["--batch", "0"]);
     }
 
     #[test]

@@ -8,10 +8,16 @@
 //! classic Multi-Queue baseline and the work increase (total tasks executed
 //! relative to that baseline), the two quantities plotted in Figure 2.
 //! Restrict the sweep with `--workloads sssp,kcore,...`.
+//!
+//! Each configuration additionally sweeps the hot-path **batch size**
+//! (`--batch N` pins it; the default sweeps `[1, 8, 32]`): the `Batch`
+//! and `Locks/op` columns make the batch-granularity claim visible —
+//! locks (and lock-equivalent synchronization passes) per scheduler
+//! operation must fall as the batch grows, at unchanged answers.
 
 use smq_bench::{
-    report::f2, run_workload, schedulers::baseline, standard_graphs, BenchArgs, SchedulerSpec,
-    Table,
+    report::f2, run_workload_batched, schedulers::baseline, standard_graphs, BenchArgs,
+    SchedulerSpec, Table,
 };
 use smq_core::Probability;
 use smq_multiqueue::{DeletePolicy, InsertPolicy};
@@ -91,44 +97,65 @@ fn main() {
                 ),
                 &[
                     "Scheduler",
+                    "Batch",
                     "Speedup",
                     "Work increase",
                     "Wasted %",
+                    "Locks/op",
                     "NUMA locality",
                 ],
             );
             for (label, kind) in &schedulers {
-                let mut secs = 0.0;
-                let mut tasks = 0u64;
-                let mut wasted = 0u64;
-                let mut locality = None;
-                for rep in 0..args.repetitions {
-                    let r =
-                        run_workload(kind, workload, spec, args.threads, args.seed + rep as u64);
-                    secs += r.seconds;
-                    tasks += r.total_tasks();
-                    wasted += r.wasted_tasks;
-                    locality = r.node_locality.or(locality);
+                for &batch in &args.batch_sweep() {
+                    let mut secs = 0.0;
+                    let mut tasks = 0u64;
+                    let mut wasted = 0u64;
+                    let mut locality = None;
+                    // Averaged over the reps that reported it, like every
+                    // other column in the row.
+                    let mut locks_sum = 0.0;
+                    let mut locks_reps = 0u32;
+                    for rep in 0..args.repetitions {
+                        let r = run_workload_batched(
+                            kind,
+                            workload,
+                            spec,
+                            args.threads,
+                            args.seed + rep as u64,
+                            batch,
+                        );
+                        secs += r.seconds;
+                        tasks += r.total_tasks();
+                        wasted += r.wasted_tasks;
+                        locality = r.node_locality.or(locality);
+                        if let Some(l) = r.locks_per_op {
+                            locks_sum += l;
+                            locks_reps += 1;
+                        }
+                    }
+                    let locks_per_op = (locks_reps > 0).then(|| locks_sum / f64::from(locks_reps));
+                    let secs = secs / args.repetitions as f64;
+                    let tasks_avg = tasks / args.repetitions as u64;
+                    let speedup = base_secs / secs.max(1e-9);
+                    let increase = tasks_avg as f64 / base_tasks.max(1) as f64;
+                    let wasted_pct = 100.0 * wasted as f64 / tasks.max(1) as f64;
+                    table.add_row(vec![
+                        label.to_string(),
+                        batch.to_string(),
+                        f2(speedup),
+                        f2(increase),
+                        f2(wasted_pct),
+                        locks_per_op.map(f2).unwrap_or_else(|| "-".to_string()),
+                        locality.map(f2).unwrap_or_else(|| "-".to_string()),
+                    ]);
+                    results.push((
+                        workload.name(),
+                        spec.name,
+                        format!("{label} b{batch}"),
+                        speedup,
+                        increase,
+                    ));
                 }
-                let secs = secs / args.repetitions as f64;
-                let tasks_avg = tasks / args.repetitions as u64;
-                let speedup = base_secs / secs.max(1e-9);
-                let increase = tasks_avg as f64 / base_tasks.max(1) as f64;
-                let wasted_pct = 100.0 * wasted as f64 / tasks.max(1) as f64;
-                table.add_row(vec![
-                    label.to_string(),
-                    f2(speedup),
-                    f2(increase),
-                    f2(wasted_pct),
-                    locality.map(f2).unwrap_or_else(|| "-".to_string()),
-                ]);
-                results.push((
-                    workload.name(),
-                    spec.name,
-                    label.to_string(),
-                    speedup,
-                    increase,
-                ));
             }
             table.print();
         }

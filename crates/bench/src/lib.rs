@@ -21,4 +21,4 @@ pub mod schedulers;
 pub use args::{BenchArgs, Scale};
 pub use graphs::{standard_graphs, GraphSpec};
 pub use report::Table;
-pub use schedulers::{run_workload, SchedulerSpec, Workload, WorkloadResult};
+pub use schedulers::{run_workload, run_workload_batched, SchedulerSpec, Workload, WorkloadResult};

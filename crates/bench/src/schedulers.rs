@@ -104,6 +104,12 @@ pub struct WorkloadResult {
     /// Fraction of classified queue accesses that stayed on the caller's
     /// (simulated) NUMA node, when the scheduler tracks it.
     pub node_locality: Option<f64>,
+    /// Lock (or lock-equivalent synchronization) acquisitions per
+    /// scheduler operation (`smq_core::OpStats::locks_per_op`); `None` for
+    /// lock-free schedulers.  This is the column that makes the
+    /// batch-granularity claim visible: larger `--batch` values must
+    /// drive it down.
+    pub locks_per_op: Option<f64>,
 }
 
 impl WorkloadResult {
@@ -251,17 +257,18 @@ fn numa_topology(threads: usize) -> Topology {
 /// Runs one engine workload and converts its accounting.  The only place
 /// results are assembled — per-algorithm run logic lives in the workload
 /// implementations, not here.
-fn engine_run<W, S>(workload: &W, scheduler: &S, threads: usize) -> WorkloadResult
+fn engine_run<W, S>(workload: &W, scheduler: &S, threads: usize, batch: usize) -> WorkloadResult
 where
     W: DecreaseKeyWorkload,
     S: Scheduler<Task>,
 {
-    let run = engine::run_parallel(workload, scheduler, threads);
+    let run = engine::run_parallel_batched(workload, scheduler, threads, batch);
     WorkloadResult {
         seconds: run.result.metrics.elapsed.as_secs_f64(),
         useful_tasks: run.result.useful_tasks,
         wasted_tasks: run.result.wasted_tasks,
         node_locality: run.result.metrics.node_locality(),
+        locks_per_op: run.result.metrics.total.locks_per_op(),
     }
 }
 
@@ -270,6 +277,7 @@ fn run_on<S: Scheduler<Task>>(
     workload: Workload,
     spec: &GraphSpec,
     threads: usize,
+    batch: usize,
 ) -> WorkloadResult {
     // Each arm only constructs the workload value; the run itself is the
     // single generic driver behind `engine_run`.
@@ -278,36 +286,59 @@ fn run_on<S: Scheduler<Task>>(
             &SsspWorkload::new(&spec.graph, spec.source),
             scheduler,
             threads,
+            batch,
         ),
         Workload::Bfs => engine_run(
             &SsspWorkload::bfs(&spec.graph, spec.source),
             scheduler,
             threads,
+            batch,
         ),
         Workload::Astar => engine_run(
             &AstarWorkload::new(&spec.graph, spec.source, spec.target),
             scheduler,
             threads,
+            batch,
         ),
-        Workload::Mst => engine_run(&BoruvkaWorkload::new(&spec.graph), scheduler, threads),
+        Workload::Mst => engine_run(
+            &BoruvkaWorkload::new(&spec.graph),
+            scheduler,
+            threads,
+            batch,
+        ),
         Workload::PagerankDelta => engine_run(
             &PagerankWorkload::new(&spec.graph, PagerankConfig::default()),
             scheduler,
             threads,
+            batch,
         ),
-        Workload::KCore => engine_run(&KCoreWorkload::new(&spec.graph), scheduler, threads),
-        Workload::Cc => engine_run(&CcWorkload::new(&spec.graph), scheduler, threads),
+        Workload::KCore => engine_run(&KCoreWorkload::new(&spec.graph), scheduler, threads, batch),
+        Workload::Cc => engine_run(&CcWorkload::new(&spec.graph), scheduler, threads, batch),
     }
 }
 
 /// Builds the scheduler described by `spec_kind` and runs `workload` on
-/// `graph_spec` with `threads` workers.
+/// `graph_spec` with `threads` workers at batch granularity 1 (the
+/// per-task path).
 pub fn run_workload(
     spec_kind: &SchedulerSpec,
     workload: Workload,
     graph_spec: &GraphSpec,
     threads: usize,
     seed: u64,
+) -> WorkloadResult {
+    run_workload_batched(spec_kind, workload, graph_spec, threads, seed, 1)
+}
+
+/// Builds the scheduler described by `spec_kind` and runs `workload` on
+/// `graph_spec` with `threads` workers and the given hot-path batch size.
+pub fn run_workload_batched(
+    spec_kind: &SchedulerSpec,
+    workload: Workload,
+    graph_spec: &GraphSpec,
+    threads: usize,
+    seed: u64,
+    batch: usize,
 ) -> WorkloadResult {
     match spec_kind {
         SchedulerSpec::ClassicMq { c } => {
@@ -316,7 +347,7 @@ pub fn run_workload(
                     .with_c_factor(*c)
                     .with_seed(seed),
             );
-            run_on(&mq, workload, graph_spec, threads)
+            run_on(&mq, workload, graph_spec, threads, batch)
         }
         SchedulerSpec::OptimizedMq {
             c,
@@ -333,11 +364,11 @@ pub fn run_workload(
                 config = config.with_numa(numa_topology(threads), *k);
             }
             let mq: MultiQueue<Task> = MultiQueue::new(config);
-            run_on(&mq, workload, graph_spec, threads)
+            run_on(&mq, workload, graph_spec, threads, batch)
         }
         SchedulerSpec::Reld { c } => {
             let reld: Reld<Task> = Reld::new(threads, *c, seed);
-            run_on(&reld, workload, graph_spec, threads)
+            run_on(&reld, workload, graph_spec, threads, batch)
         }
         SchedulerSpec::SmqHeap {
             steal_size,
@@ -352,7 +383,7 @@ pub fn run_workload(
                 config = config.with_numa(numa_topology(threads), *k);
             }
             let smq: HeapSmq<Task> = HeapSmq::new(config);
-            run_on(&smq, workload, graph_spec, threads)
+            run_on(&smq, workload, graph_spec, threads, batch)
         }
         SchedulerSpec::SmqSkipList {
             steal_size,
@@ -367,28 +398,28 @@ pub fn run_workload(
                 config = config.with_numa(numa_topology(threads), *k);
             }
             let smq: SkipListSmq<Task> = SkipListSmq::new(config);
-            run_on(&smq, workload, graph_spec, threads)
+            run_on(&smq, workload, graph_spec, threads, batch)
         }
         SchedulerSpec::Obim {
             delta_shift,
             chunk_size,
         } => {
             let obim: Obim<Task> = Obim::new(ObimConfig::obim(threads, *delta_shift, *chunk_size));
-            run_on(&obim, workload, graph_spec, threads)
+            run_on(&obim, workload, graph_spec, threads, batch)
         }
         SchedulerSpec::Pmod {
             delta_shift,
             chunk_size,
         } => {
             let pmod: Obim<Task> = Obim::new(ObimConfig::pmod(threads, *delta_shift, *chunk_size));
-            run_on(&pmod, workload, graph_spec, threads)
+            run_on(&pmod, workload, graph_spec, threads, batch)
         }
         SchedulerSpec::SprayList => {
             let sl: SprayList<Task> = SprayList::new(SprayListConfig {
                 seed,
                 ..SprayListConfig::default_for_threads(threads)
             });
-            run_on(&sl, workload, graph_spec, threads)
+            run_on(&sl, workload, graph_spec, threads, batch)
         }
     }
 }

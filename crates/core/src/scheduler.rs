@@ -47,6 +47,51 @@ pub trait SchedulerHandle<T> {
     /// detection is the executor's job (see `smq-runtime`).
     fn pop(&mut self) -> Option<T>;
 
+    /// Inserts a whole batch of tasks, draining `tasks`.
+    ///
+    /// Semantically this is exactly `for t in tasks.drain(..) { push(t) }` —
+    /// a batch insert is N consecutive inserts, so relaxation guarantees are
+    /// untouched — but native implementations amortize the per-task
+    /// synchronization over the batch: one sub-queue/bucket lock instead of
+    /// N (Multi-Queue, OBIM), or one stealing-buffer maintenance pass
+    /// instead of N (SMQ).  The default implementation is the per-task loop,
+    /// so third-party schedulers keep working unchanged; they simply do not
+    /// see the amortization (and leave `OpStats::batch_flushes` at zero).
+    ///
+    /// `tasks` is always left empty, so callers can reuse its capacity as
+    /// their batch buffer.
+    fn push_batch(&mut self, tasks: &mut Vec<T>) {
+        for task in tasks.drain(..) {
+            self.push(task);
+        }
+    }
+
+    /// Removes up to `max` tasks of approximately minimal priority,
+    /// appending them to `out`; returns how many were moved.
+    ///
+    /// Semantically equivalent to calling [`pop`](Self::pop) up to `max`
+    /// times and stopping at the first `None` (which is exactly what the
+    /// default implementation does).  Native implementations make one
+    /// scheduling decision per batch — one two-choice lock acquisition, one
+    /// steal die roll, one bucket scan — and extract the whole run under
+    /// it, so locks and indirect calls per popped task drop by ~the batch
+    /// factor.  Returning `0` means the same as `pop()` returning `None`:
+    /// nothing was found where this handle looked, not that the scheduler
+    /// is globally empty.
+    fn pop_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut got = 0;
+        while got < max {
+            match self.pop() {
+                Some(task) => {
+                    out.push(task);
+                    got += 1;
+                }
+                None => break,
+            }
+        }
+        got
+    }
+
     /// Flushes any tasks buffered locally (insert-side batching) into the
     /// shared structure so other threads can observe them.
     ///
@@ -72,6 +117,16 @@ impl<T, H: SchedulerHandle<T> + ?Sized> SchedulerHandle<T> for &mut H {
     #[inline]
     fn pop(&mut self) -> Option<T> {
         (**self).pop()
+    }
+
+    #[inline]
+    fn push_batch(&mut self, tasks: &mut Vec<T>) {
+        (**self).push_batch(tasks);
+    }
+
+    #[inline]
+    fn pop_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        (**self).pop_batch(out, max)
     }
 
     #[inline]
@@ -161,6 +216,30 @@ mod tests {
         assert_eq!(stats.pushes, 3);
         assert_eq!(stats.pops, 3);
         assert_eq!(stats.empty_pops, 1);
+    }
+
+    #[test]
+    fn default_batch_impls_are_per_task_loops() {
+        let sched = GlobalLockScheduler {
+            heap: Mutex::new(BinaryHeap::new()),
+            threads: 1,
+        };
+        let mut h = sched.handle(0);
+        let mut batch = vec![9u64, 4, 6];
+        h.push_batch(&mut batch);
+        assert!(batch.is_empty(), "push_batch must drain its input");
+        let mut out = Vec::new();
+        assert_eq!(h.pop_batch(&mut out, 2), 2);
+        assert_eq!(out, vec![4, 6]);
+        assert_eq!(h.pop_batch(&mut out, 8), 1, "stops at empty");
+        assert_eq!(out, vec![4, 6, 9]);
+        assert_eq!(h.pop_batch(&mut out, 8), 0);
+        let stats = h.stats();
+        // The defaults route through push/pop, so counters stay exact.
+        assert_eq!(stats.pushes, 3);
+        assert_eq!(stats.pops, 3);
+        assert_eq!(stats.empty_pops, 2);
+        assert_eq!(stats.batch_flushes, 0, "defaults never count batches");
     }
 
     #[test]

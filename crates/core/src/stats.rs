@@ -41,6 +41,23 @@ pub struct OpStats {
     /// winner, so `locks_acquired / pops` ≈ 1 in the common case and only
     /// the stale-snapshot fallback pays for a second lock.
     pub locks_acquired: u64,
+    /// Shared-structure synchronization passes paid on the **insert path**:
+    /// sub-queue/bucket lock acquisitions for the lock-based schedulers, or
+    /// stealing-buffer maintenance passes (the shared state-word inspection
+    /// plus possible refill) for the SMQ.  The per-task insert path pays one
+    /// per push; a native `push_batch` pays one per *batch*, which is the
+    /// quantity [`OpStats::locks_per_push`] makes assertable.
+    pub push_locks_acquired: u64,
+    /// Non-empty **native** `push_batch` calls executed by this handle.
+    /// Zero for schedulers that fall back to the per-task default
+    /// implementation, and zero at batch size 1, where the executor pushes
+    /// per task — policy-level buffering fed by per-task `push` (e.g. the
+    /// Multi-Queue's `InsertPolicy::Batching`) is *not* counted here.
+    pub batch_flushes: u64,
+    /// Tasks inserted through the native `push_batch` calls counted in
+    /// `batch_flushes`; `tasks_batched / batch_flushes` is the achieved
+    /// insert-side amortization factor.
+    pub tasks_batched: u64,
     /// Queue choices that landed on a queue owned by the same (simulated)
     /// NUMA node as the calling thread.
     pub local_node_accesses: u64,
@@ -60,6 +77,9 @@ impl OpStats {
         self.stolen_tasks += other.stolen_tasks;
         self.contention_retries += other.contention_retries;
         self.locks_acquired += other.locks_acquired;
+        self.push_locks_acquired += other.push_locks_acquired;
+        self.batch_flushes += other.batch_flushes;
+        self.tasks_batched += other.tasks_batched;
         self.local_node_accesses += other.local_node_accesses;
         self.remote_node_accesses += other.remote_node_accesses;
     }
@@ -87,6 +107,11 @@ impl OpStats {
                 .contention_retries
                 .saturating_sub(baseline.contention_retries),
             locks_acquired: self.locks_acquired.saturating_sub(baseline.locks_acquired),
+            push_locks_acquired: self
+                .push_locks_acquired
+                .saturating_sub(baseline.push_locks_acquired),
+            batch_flushes: self.batch_flushes.saturating_sub(baseline.batch_flushes),
+            tasks_batched: self.tasks_batched.saturating_sub(baseline.tasks_batched),
             local_node_accesses: self
                 .local_node_accesses
                 .saturating_sub(baseline.local_node_accesses),
@@ -149,6 +174,45 @@ impl OpStats {
             Some(self.locks_acquired as f64 / self.pops as f64)
         }
     }
+
+    /// Insert-path synchronization passes per pushed task (mirror of
+    /// [`locks_per_pop`](Self::locks_per_pop)), or `None` when nothing was
+    /// pushed or the scheduler never counts insert-path locks.
+    ///
+    /// The per-task insert path pays ≈ 1; a native `push_batch` of B tasks
+    /// pays 1/B, which is the batch-granularity claim the stress tests
+    /// assert instead of eyeballing.
+    pub fn locks_per_push(&self) -> Option<f64> {
+        if self.pushes == 0 || self.push_locks_acquired == 0 {
+            None
+        } else {
+            Some(self.push_locks_acquired as f64 / self.pushes as f64)
+        }
+    }
+
+    /// Tasks moved per native batch operation, or `None` when the handle
+    /// never executed one (per-task default paths, batch size 1).
+    pub fn tasks_per_batch(&self) -> Option<f64> {
+        if self.batch_flushes == 0 {
+            None
+        } else {
+            Some(self.tasks_batched as f64 / self.batch_flushes as f64)
+        }
+    }
+
+    /// Total lock (or lock-equivalent) acquisitions per scheduler
+    /// operation: `(delete-path + insert-path locks) / (pushes + pops)`,
+    /// or `None` when the scheduler counts neither (lock-free).  The
+    /// combined ratio the bench tables print as `Locks/op`.
+    pub fn locks_per_op(&self) -> Option<f64> {
+        let ops = self.pushes + self.pops;
+        let locks = self.locks_acquired + self.push_locks_acquired;
+        if ops == 0 || locks == 0 {
+            None
+        } else {
+            Some(locks as f64 / ops as f64)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -166,6 +230,9 @@ mod tests {
             stolen_tasks: a + 5,
             contention_retries: a + 6,
             locks_acquired: a + 9,
+            push_locks_acquired: a + 11,
+            batch_flushes: a + 12,
+            tasks_batched: a + 13,
             local_node_accesses: a + 7,
             remote_node_accesses: a + 8,
         }
@@ -185,6 +252,9 @@ mod tests {
         assert_eq!(a.stolen_tasks, 120);
         assert_eq!(a.contention_retries, 122);
         assert_eq!(a.locks_acquired, 128);
+        assert_eq!(a.push_locks_acquired, 132);
+        assert_eq!(a.batch_flushes, 134);
+        assert_eq!(a.tasks_batched, 136);
         assert_eq!(a.local_node_accesses, 124);
         assert_eq!(a.remote_node_accesses, 126);
     }
@@ -203,6 +273,9 @@ mod tests {
         assert_eq!(delta.stolen_tasks, 60);
         assert_eq!(delta.contention_retries, 60);
         assert_eq!(delta.locks_acquired, 60);
+        assert_eq!(delta.push_locks_acquired, 60);
+        assert_eq!(delta.batch_flushes, 60);
+        assert_eq!(delta.tasks_batched, 60);
         assert_eq!(delta.local_node_accesses, 60);
         assert_eq!(delta.remote_node_accesses, 60);
         // Round trip: baseline + delta == later.
@@ -249,5 +322,36 @@ mod tests {
         assert_eq!(s.locks_per_pop(), None);
         s.locks_acquired = 10;
         assert_eq!(s.locks_per_pop(), Some(1.25));
+    }
+
+    #[test]
+    fn locks_per_push_ratio() {
+        let mut s = OpStats::default();
+        assert_eq!(s.locks_per_push(), None);
+        s.pushes = 16;
+        assert_eq!(s.locks_per_push(), None, "no insert locks counted yet");
+        s.push_locks_acquired = 4;
+        assert_eq!(s.locks_per_push(), Some(0.25));
+    }
+
+    #[test]
+    fn tasks_per_batch_ratio() {
+        let mut s = OpStats::default();
+        assert_eq!(s.tasks_per_batch(), None);
+        s.batch_flushes = 3;
+        s.tasks_batched = 24;
+        assert_eq!(s.tasks_per_batch(), Some(8.0));
+    }
+
+    #[test]
+    fn locks_per_op_combines_both_paths() {
+        let mut s = OpStats::default();
+        assert_eq!(s.locks_per_op(), None);
+        s.pushes = 10;
+        s.pops = 10;
+        assert_eq!(s.locks_per_op(), None, "lock-free schedulers report None");
+        s.locks_acquired = 3;
+        s.push_locks_acquired = 2;
+        assert_eq!(s.locks_per_op(), Some(0.25));
     }
 }

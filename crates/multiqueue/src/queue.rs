@@ -255,6 +255,7 @@ impl<T: Ord + HasKey> MultiQueueHandle<'_, T> {
         loop {
             let q = self.sample_queue();
             if attempts >= TRY_LOCK_RETRY_CAP {
+                self.stats.push_locks_acquired += 1;
                 self.parent.queues[q]
                     .lock()
                     .push(task.take().expect("task present until pushed"));
@@ -262,6 +263,7 @@ impl<T: Ord + HasKey> MultiQueueHandle<'_, T> {
             }
             match self.parent.queues[q].try_lock() {
                 Some(mut guard) => {
+                    self.stats.push_locks_acquired += 1;
                     guard.push(task.take().expect("task present until pushed"));
                     return;
                 }
@@ -284,6 +286,7 @@ impl<T: Ord + HasKey> MultiQueueHandle<'_, T> {
         // Re-acquiring a recently used, usually uncontended lock is cheap;
         // temporal locality deliberately trades contention for cache reuse.
         let mut guard = self.parent.queues[q].lock();
+        self.stats.push_locks_acquired += 1;
         guard.push(task);
     }
 
@@ -303,6 +306,10 @@ impl<T: Ord + HasKey> MultiQueueHandle<'_, T> {
             };
             match guard {
                 Some(mut guard) => {
+                    // The lock amortization is counted; `batch_flushes` is
+                    // not — that counter tracks native `push_batch` calls
+                    // only, and this flush may be fed by per-task pushes.
+                    self.stats.push_locks_acquired += 1;
                     for task in self.insert_buffer.drain(..) {
                         guard.push(task);
                     }
@@ -346,12 +353,20 @@ impl<T: Ord + HasKey> MultiQueueHandle<'_, T> {
             self.stats.locks_acquired += 1;
             // Re-check under the lock: is the winner still at least as good
             // as the loser's current snapshot?
+            let loser_key = parent.queues[loser].top_key();
             let still_winner = match guard.peek() {
-                Some(top) => top.key() <= parent.queues[loser].top_key(),
+                Some(top) => top.key() <= loser_key,
                 None => false,
             };
             if still_winner {
-                return self.extract_batch_from(guard, batch);
+                // Batch extraction is *bounded by the loser's snapshot*:
+                // the prefetch keeps taking from the winner only while its
+                // top would still win the two-choice comparison, so a batch
+                // of B costs one lock but preserves (snapshot-grade)
+                // per-task delete quality — extracting the winner's run
+                // unconditionally was measurably worse on small frontiers,
+                // where one queue's run is a big slice of the open set.
+                return self.extract_batch_from(guard, batch, loser_key);
             }
             // Stale snapshot: the winner emptied or degraded.  Fall back to
             // the classic both-locked comparison so the delete still returns
@@ -379,20 +394,27 @@ impl<T: Ord + HasKey> MultiQueueHandle<'_, T> {
     }
 
     /// Degraded delete for configurations with a single queue: lock it and
-    /// extract directly (there is nothing to compare against).
+    /// extract directly (there is nothing to compare against, so the batch
+    /// is unbounded).
     fn pop_single(&mut self, batch: usize) -> Option<T> {
         let mut guard = self.parent.queues[0].lock();
         self.stats.locks_acquired += 1;
-        self.extract_batch(&mut guard, batch)
+        self.extract_batch(&mut guard, batch, u64::MAX)
     }
 
     /// Extracts a batch from an already locked queue, consuming the guard.
-    fn extract_batch_from(&mut self, mut guard: SubQueueGuard<'_, T>, batch: usize) -> Option<T> {
-        self.extract_batch(&mut guard, batch)
+    fn extract_batch_from(
+        &mut self,
+        mut guard: SubQueueGuard<'_, T>,
+        batch: usize,
+        bound: u64,
+    ) -> Option<T> {
+        self.extract_batch(&mut guard, batch, bound)
     }
 
     /// Given both locked queues, picks the one whose top task has higher
-    /// priority and extracts a batch from it.
+    /// priority and extracts a batch from it, bounded by the other queue's
+    /// current top.
     fn extract_from_better<'g>(
         &mut self,
         mut guard1: SubQueueGuard<'g, T>,
@@ -405,17 +427,34 @@ impl<T: Ord + HasKey> MultiQueueHandle<'_, T> {
             (None, Some(_)) => false,
             (None, None) => return None,
         };
-        let source = if use_first { &mut guard1 } else { &mut guard2 };
-        self.extract_batch(source, batch)
+        let (source, other) = if use_first {
+            (&mut guard1, &guard2)
+        } else {
+            (&mut guard2, &guard1)
+        };
+        let bound = other.peek().map_or(u64::MAX, |t| t.key());
+        self.extract_batch(source, batch, bound)
     }
 
-    /// Extracts up to `batch` tasks from a locked queue, returning the first.
-    fn extract_batch(&mut self, queue: &mut SubQueueGuard<'_, T>, batch: usize) -> Option<T> {
+    /// Extracts up to `batch` tasks from a locked queue, returning the
+    /// first.  The prefetched remainder (everything past the first task)
+    /// only keeps flowing while the queue's next top is `<= bound` — the
+    /// sampled rival's key — so a batched delete never returns tasks the
+    /// per-task two-choice rule would have rejected.
+    fn extract_batch(
+        &mut self,
+        queue: &mut SubQueueGuard<'_, T>,
+        batch: usize,
+        bound: u64,
+    ) -> Option<T> {
         let first = queue.pop()?;
         for _ in 1..batch {
-            match queue.pop() {
-                Some(task) => self.delete_buffer.push_back(task),
-                None => break,
+            match queue.peek() {
+                Some(next) if next.key() <= bound => {
+                    let task = queue.pop().expect("peeked task present");
+                    self.delete_buffer.push_back(task);
+                }
+                _ => break,
             }
         }
         Some(first)
@@ -528,6 +567,119 @@ impl<T: Ord + HasKey + Send> SchedulerHandle<T> for MultiQueueHandle<'_, T> {
                 None
             }
         }
+    }
+
+    fn push_batch(&mut self, tasks: &mut Vec<T>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let n = tasks.len() as u64;
+        self.stats.pushes += n;
+        self.stats.batch_flushes += 1;
+        self.stats.tasks_batched += n;
+        match self.parent.config.insert {
+            // The policy already batches: merge into its buffer and let its
+            // own threshold decide when the lock is paid.
+            InsertPolicy::Batching(batch) => {
+                self.insert_buffer.append(tasks);
+                if self.insert_buffer.len() >= batch {
+                    self.flush_insert_buffer();
+                }
+            }
+            // One sampled queue, one lock, the whole batch.  Relaxation is
+            // untouched: a batch insert is N consecutive inserts into one
+            // lock-protected sub-queue, exactly what `InsertPolicy::
+            // Batching` already does on its own flush boundary.
+            InsertPolicy::Direct => {
+                let mut attempts = 0u32;
+                loop {
+                    let q = self.sample_queue();
+                    let guard = if attempts >= TRY_LOCK_RETRY_CAP {
+                        Some(self.parent.queues[q].lock())
+                    } else {
+                        self.parent.queues[q].try_lock()
+                    };
+                    match guard {
+                        Some(mut guard) => {
+                            self.stats.push_locks_acquired += 1;
+                            for task in tasks.drain(..) {
+                                guard.push(task);
+                            }
+                            return;
+                        }
+                        None => {
+                            self.stats.contention_retries += 1;
+                            attempts += 1;
+                        }
+                    }
+                }
+            }
+            // Temporal locality: one change-die roll and one lock on the
+            // "current" queue for the whole batch.
+            InsertPolicy::TemporalLocality(change) => {
+                let needs_new = self.tl_insert_queue.is_none() || change.sample(&mut self.rng);
+                if needs_new {
+                    self.tl_insert_queue = Some(self.sample_queue());
+                }
+                let q = self.tl_insert_queue.expect("set above");
+                let mut guard = self.parent.queues[q].lock();
+                self.stats.push_locks_acquired += 1;
+                for task in tasks.drain(..) {
+                    guard.push(task);
+                }
+            }
+        }
+    }
+
+    fn pop_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut got = 0;
+        // Drain the prefetch buffer first — tasks already paid for.
+        while got < max {
+            match self.delete_buffer.pop_front() {
+                Some(task) => {
+                    self.stats.pops += 1;
+                    out.push(task);
+                    got += 1;
+                }
+                None => break,
+            }
+        }
+        while got < max {
+            let want = max - got;
+            // One snapshot-guided delete extracts the whole remainder from
+            // the winning queue under its single lock; the temporal policy
+            // keeps its own per-task current-queue discipline (its lock is
+            // already amortized across the streak).
+            let first = match self.parent.config.delete {
+                DeletePolicy::TwoChoice => self.pop_two_choice(want),
+                DeletePolicy::TemporalLocality(p) => self.pop_temporal(p),
+                DeletePolicy::Batching(batch) => self.pop_two_choice(want.max(batch)),
+            };
+            match first {
+                Some(task) => {
+                    self.stats.pops += 1;
+                    out.push(task);
+                    got += 1;
+                    while got < max {
+                        match self.delete_buffer.pop_front() {
+                            Some(task) => {
+                                self.stats.pops += 1;
+                                out.push(task);
+                                got += 1;
+                            }
+                            None => break,
+                        }
+                    }
+                }
+                None => {
+                    if got == 0 {
+                        self.stats.empty_pops += 1;
+                    }
+                    break;
+                }
+            }
+        }
+        got
     }
 
     fn flush(&mut self) {
@@ -796,6 +948,102 @@ mod tests {
         }
         // Crossing the batch size triggered an automatic flush.
         assert!(mq.len() >= 13 - 5);
+    }
+
+    #[test]
+    fn batch_insert_pays_one_lock_per_batch() {
+        let config = MultiQueueConfig::classic(2).with_seed(5);
+        let mq: MultiQueue<u64> = MultiQueue::new(config);
+        let mut h = mq.handle(0);
+        let mut batch: Vec<u64> = (0..16u64).collect();
+        h.push_batch(&mut batch);
+        assert!(batch.is_empty());
+        let stats = h.stats();
+        assert_eq!(stats.pushes, 16);
+        assert_eq!(stats.push_locks_acquired, 1, "one lock for the batch");
+        assert_eq!(stats.batch_flushes, 1);
+        assert_eq!(stats.tasks_batched, 16);
+        assert_eq!(stats.locks_per_push(), Some(1.0 / 16.0));
+    }
+
+    #[test]
+    fn batch_delete_extracts_the_run_under_one_lock() {
+        let config = MultiQueueConfig::classic(2).with_seed(5);
+        let mq: MultiQueue<u64> = MultiQueue::new(config);
+        let mut h = mq.handle(0);
+        let mut batch: Vec<u64> = (0..16u64).collect();
+        h.push_batch(&mut batch);
+        // The whole batch landed in one sub-queue; a batched delete that
+        // samples it must extract the full run under its single lock.
+        let mut out = Vec::new();
+        let mut misses = 0;
+        while out.len() < 16 && misses < 256 {
+            let want = 16 - out.len();
+            if h.pop_batch(&mut out, want) == 0 {
+                misses += 1;
+            }
+        }
+        assert_eq!(out, (0..16u64).collect::<Vec<_>>());
+        let stats = h.stats();
+        assert_eq!(stats.pops, 16);
+        assert!(
+            stats.locks_acquired <= 2,
+            "batched delete must not pay per-task locks (got {})",
+            stats.locks_acquired
+        );
+        // Fully drained: further batch pops see all-MAX snapshots and do
+        // not lock at all.
+        let locks = h.stats().locks_acquired;
+        assert_eq!(h.pop_batch(&mut out, 8), 0);
+        assert_eq!(h.stats().locks_acquired, locks);
+    }
+
+    #[test]
+    fn batch_insert_respects_the_batching_policy_buffer() {
+        let config = MultiQueueConfig::classic(2)
+            .with_insert(InsertPolicy::Batching(32))
+            .with_seed(6);
+        let mq: MultiQueue<u64> = MultiQueue::new(config);
+        let mut h = mq.handle(0);
+        let mut batch: Vec<u64> = (0..8u64).collect();
+        h.push_batch(&mut batch);
+        // Below the policy threshold: merged into the insert buffer, not
+        // yet visible.
+        assert!(mq.is_empty());
+        assert_eq!(h.stats().pushes, 8);
+        let mut batch: Vec<u64> = (8..40u64).collect();
+        h.push_batch(&mut batch);
+        // Crossing the threshold flushed everything in one lock.
+        assert_eq!(mq.len(), 40);
+        let stats = h.stats();
+        assert_eq!(stats.push_locks_acquired, 1);
+        // Both native push_batch calls are counted, flushed or not.
+        assert_eq!(stats.batch_flushes, 2);
+        assert_eq!(stats.tasks_batched, 40);
+    }
+
+    #[test]
+    fn policy_flushes_from_per_task_pushes_are_not_batches() {
+        // `batch_flushes` tracks native push_batch calls only: a
+        // threshold flush fed by per-task `push` amortizes the lock but
+        // must not report batch activity (batch size 1 never batches).
+        let config = MultiQueueConfig::classic(2)
+            .with_insert(InsertPolicy::Batching(8))
+            .with_seed(6);
+        let mq: MultiQueue<u64> = MultiQueue::new(config);
+        let mut h = mq.handle(0);
+        for v in 0..20u64 {
+            h.push(v);
+        }
+        h.flush();
+        let stats = h.stats();
+        assert_eq!(stats.pushes, 20);
+        assert_eq!(stats.batch_flushes, 0);
+        assert_eq!(stats.tasks_batched, 0);
+        assert!(
+            stats.push_locks_acquired >= 1,
+            "policy flushes still count their lock"
+        );
     }
 
     #[test]

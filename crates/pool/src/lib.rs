@@ -146,6 +146,16 @@ impl PoolConfig {
         }
     }
 
+    /// Sets the hot-path batch granularity for every worker (see
+    /// `smq_runtime::executor::WorkerLoopConfig::batch_size`).  Batch 1
+    /// (the default) is the exact historical per-task path; larger batches
+    /// amortize scheduler synchronization and — on erased pools — virtual
+    /// dispatch over the batch.
+    pub fn with_batch(mut self, batch_size: usize) -> Self {
+        self.worker.batch_size = batch_size.max(1);
+        self
+    }
+
     /// Total worker threads across all gangs.
     pub fn total_threads(&self) -> usize {
         self.gangs * self.gang_size
@@ -189,6 +199,12 @@ pub struct PoolStats {
     /// to the configured fleet size — workers are never respawned; this is
     /// the metric service tests assert "zero thread respawns" with.
     pub threads_spawned: u64,
+    /// Scheduler handles created over the pool's entire lifetime.  Each
+    /// worker creates its handle once before its first park and reuses it
+    /// for every job, so after warm-up this equals `threads_spawned`: a
+    /// 1000-job service run performs **zero** handle allocations past the
+    /// first job on each worker.
+    pub handles_created: u64,
     /// Jobs fully executed so far (across all gangs).
     pub jobs_completed: u64,
     /// Gangs permanently retired because a job panicked on them.
@@ -197,18 +213,39 @@ pub struct PoolStats {
 
 // ---------------------------------------------------------------------------
 // Scheduler erasure: a minimal object-safe mirror of `Scheduler<Task>`, so
-// the pool (and its spawned threads) need no generic scheduler parameter.
+// heterogeneous pools (different scheduler types per gang) can exist behind
+// the non-generic `WorkerPool`.  Homogeneous pools — every constructor
+// except `new_mixed` — do NOT pay for this vtable: their workers run a
+// monomorphized entry that recovers the concrete scheduler type, so every
+// push/pop/batch call is a direct (usually inlined) call.
 // ---------------------------------------------------------------------------
 
-trait DynScheduler: Sync {
+/// Object-safe mirror of `Scheduler<Task>`, blanket-implemented for every
+/// scheduler.  Only [`WorkerPool::new_mixed`] pools dispatch through it;
+/// its batch entries keep even that erased path at **one indirect call per
+/// batch** instead of one per task.
+pub trait DynScheduler: Sync {
+    /// Creates the boxed erased handle for worker `tid`.
     fn dyn_handle(&self, tid: usize) -> Box<dyn DynHandle + '_>;
+    /// Mirror of `Scheduler::num_threads`.
     fn num_threads(&self) -> usize;
 }
 
-trait DynHandle {
+/// Object-safe mirror of `SchedulerHandle<Task>` (see [`DynScheduler`]).
+pub trait DynHandle {
+    /// Mirror of `SchedulerHandle::push`.
     fn push(&mut self, task: Task);
+    /// Mirror of `SchedulerHandle::pop`.
     fn pop(&mut self) -> Option<Task>;
+    /// Mirror of `SchedulerHandle::push_batch`: one virtual call moves the
+    /// whole batch.
+    fn push_batch(&mut self, tasks: &mut Vec<Task>);
+    /// Mirror of `SchedulerHandle::pop_batch`: one virtual call fills the
+    /// whole batch.
+    fn pop_batch(&mut self, out: &mut Vec<Task>, max: usize) -> usize;
+    /// Mirror of `SchedulerHandle::flush`.
     fn flush(&mut self);
+    /// Mirror of `SchedulerHandle::stats`.
     fn stats(&self) -> OpStats;
 }
 
@@ -231,6 +268,14 @@ impl<H: SchedulerHandle<Task>> DynHandle for H {
         SchedulerHandle::pop(self)
     }
 
+    fn push_batch(&mut self, tasks: &mut Vec<Task>) {
+        SchedulerHandle::push_batch(self, tasks);
+    }
+
+    fn pop_batch(&mut self, out: &mut Vec<Task>, max: usize) -> usize {
+        SchedulerHandle::pop_batch(self, out, max)
+    }
+
     fn flush(&mut self) {
         SchedulerHandle::flush(self);
     }
@@ -242,6 +287,8 @@ impl<H: SchedulerHandle<Task>> DynHandle for H {
 
 /// `SchedulerHandle` for the boxed erased handle, so the shared
 /// `worker_loop` (generic over `H: SchedulerHandle<T>`) drives it directly.
+/// The batch forwards are what make the erased hot path batch-granular:
+/// one indirect call per batch, not per task.
 impl SchedulerHandle<Task> for Box<dyn DynHandle + '_> {
     #[inline]
     fn push(&mut self, task: Task) {
@@ -251,6 +298,16 @@ impl SchedulerHandle<Task> for Box<dyn DynHandle + '_> {
     #[inline]
     fn pop(&mut self) -> Option<Task> {
         (**self).pop()
+    }
+
+    #[inline]
+    fn push_batch(&mut self, tasks: &mut Vec<Task>) {
+        (**self).push_batch(tasks);
+    }
+
+    #[inline]
+    fn pop_batch(&mut self, out: &mut Vec<Task>, max: usize) -> usize {
+        (**self).pop_batch(out, max)
     }
 
     #[inline]
@@ -348,12 +405,24 @@ struct ClaimState {
     now_serving: u64,
 }
 
+/// The per-worker thread entry installed by the constructor: the typed
+/// (monomorphized) entry for homogeneous pools, the erased entry for
+/// [`WorkerPool::new_mixed`].  The signature mentions no scheduler type, so
+/// one plain function pointer serves both.
+type WorkerEntry = fn(&Arc<Inner>, usize, usize);
+
 struct Inner {
     gangs: Vec<Gang>,
     loop_config: WorkerLoopConfig,
     claims: Mutex<ClaimState>,
     /// Claimers wait here for their turn and for enough free gangs.
     claim_ready: Condvar,
+    /// Scheduler handles created over the pool's lifetime.  Each worker
+    /// creates its handle exactly once, before its first park, and keeps it
+    /// across every job — so after warm-up this equals the fleet size and
+    /// never grows again (the service tests' "zero handle allocations after
+    /// warm-up" metric, companion to `PoolStats::threads_spawned`).
+    handles_created: AtomicU64,
 }
 
 /// Ignore `std` mutex poisoning: the pool has its own `poisoned` flags with
@@ -421,7 +490,12 @@ impl WorkerPool {
         let boxed: Box<S> = Box::new(scheduler);
         let erased: &(dyn DynScheduler + 'static) = &*boxed;
         let ptr: *const (dyn DynScheduler + 'static) = erased;
-        Self::spawn(vec![SchedulerRef(ptr)], Some(Box::new(boxed)), config)
+        Self::spawn(
+            vec![SchedulerRef(ptr)],
+            Some(Box::new(boxed)),
+            config,
+            worker_main_typed::<S>,
+        )
     }
 
     /// Spawns a pool of `config.gangs` gangs, building each gang's
@@ -442,7 +516,32 @@ impl WorkerPool {
                 SchedulerRef(erased as *const _)
             })
             .collect();
-        Self::spawn(refs, Some(Box::new(boxes)), config)
+        Self::spawn(refs, Some(Box::new(boxes)), config, worker_main_typed::<S>)
+    }
+
+    /// Spawns a pool whose gangs may run **different scheduler types** —
+    /// the heterogeneous escape hatch behind the same `WorkerPool` API.
+    ///
+    /// Workers of a mixed pool drive their scheduler through the
+    /// [`DynScheduler`]/[`DynHandle`] vtable; thanks to the batch entries,
+    /// even this erased path pays one indirect call per *batch* once a
+    /// batch size is configured.  Homogeneous pools (every other
+    /// constructor) skip the vtable entirely via a monomorphized worker
+    /// entry.
+    pub fn new_mixed<F>(mut factory: F, config: PoolConfig) -> WorkerPool
+    where
+        F: FnMut(usize) -> Box<dyn DynScheduler + Send + Sync>,
+    {
+        let boxes: Vec<Box<dyn DynScheduler + Send + Sync>> =
+            (0..config.gangs).map(&mut factory).collect();
+        let refs: Vec<SchedulerRef> = boxes
+            .iter()
+            .map(|b| {
+                let erased: &(dyn DynScheduler + 'static) = &**b;
+                SchedulerRef(erased as *const _)
+            })
+            .collect();
+        Self::spawn(refs, Some(Box::new(boxes)), config, worker_main_dyn)
     }
 
     /// Runs `f` against a transient single-gang pool built on a *borrowed*
@@ -467,7 +566,12 @@ impl WorkerPool {
         // receives `&WorkerPool`, so the pool cannot escape or be leaked.
         let ptr: *const (dyn DynScheduler + 'static) =
             unsafe { std::mem::transmute(erased as *const dyn DynScheduler) };
-        let mut pool = Self::spawn(vec![SchedulerRef(ptr)], None, config);
+        let mut pool = Self::spawn(
+            vec![SchedulerRef(ptr)],
+            None,
+            config,
+            worker_main_typed::<S>,
+        );
         let result = f(&pool);
         pool.shutdown();
         result
@@ -477,6 +581,7 @@ impl WorkerPool {
         schedulers: Vec<SchedulerRef>,
         keeper: Option<Box<dyn std::any::Any + Send + Sync>>,
         config: PoolConfig,
+        entry: WorkerEntry,
     ) -> WorkerPool {
         assert!(config.gangs >= 1, "need at least one gang");
         assert!(config.gang_size >= 1, "need at least one worker per gang");
@@ -520,6 +625,7 @@ impl WorkerPool {
             }),
             claim_ready: Condvar::new(),
             loop_config: config.worker.clone(),
+            handles_created: AtomicU64::new(0),
             gangs,
         });
 
@@ -530,7 +636,7 @@ impl WorkerPool {
                 let worker_inner = Arc::clone(&inner);
                 match std::thread::Builder::new()
                     .name(format!("smq-pool-{gang}-{local}"))
-                    .spawn(move || worker_main(&worker_inner, gang, local))
+                    .spawn(move || entry(&worker_inner, gang, local))
                 {
                     Ok(handle) => workers.push(handle),
                     Err(error) => {
@@ -588,6 +694,7 @@ impl WorkerPool {
     pub fn stats(&self) -> PoolStats {
         PoolStats {
             threads_spawned: self.threads_spawned,
+            handles_created: self.inner.handles_created.load(Ordering::Relaxed),
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
             gangs_poisoned: lock(&self.inner.claims).dead as u64,
         }
@@ -810,14 +917,45 @@ impl Drop for CompletionGuard<'_> {
     }
 }
 
-fn worker_main(inner: &Arc<Inner>, gang_idx: usize, local: usize) {
+/// The monomorphized worker entry for homogeneous pools: recovers the
+/// concrete scheduler type `S`, so the handle lives on the worker's stack
+/// and every hot-path scheduler call in the shared `worker_loop` is a
+/// direct (typically inlined) call — no `Box`, no vtable.
+fn worker_main_typed<S: Scheduler<Task>>(inner: &Arc<Inner>, gang_idx: usize, local: usize) {
+    let gang = &inner.gangs[gang_idx];
+    // SAFETY: the constructor that installed this entry built every gang's
+    // scheduler as an `S` (the erased pointer's pointee), and the pool
+    // joins this thread before invalidating it (see `SchedulerRef`).
+    let scheduler: &S = unsafe { &*(gang.scheduler.0 as *const S) };
+    // One handle and one scratch arena for the thread's whole life: local
+    // queues, insert buffers, and scratch capacity all persist across jobs.
+    let mut handle = scheduler.handle(local);
+    inner.handles_created.fetch_add(1, Ordering::Relaxed);
+    run_worker(inner, gang_idx, local, &mut handle);
+}
+
+/// The erased worker entry for [`WorkerPool::new_mixed`]: one boxed handle
+/// per worker for the thread's whole life, every scheduler call one
+/// indirect call (one per *batch* on the batch paths).
+fn worker_main_dyn(inner: &Arc<Inner>, gang_idx: usize, local: usize) {
     let gang = &inner.gangs[gang_idx];
     // SAFETY: the pool joins this thread before invalidating the pointer
     // (see `SchedulerRef`).
     let scheduler: &dyn DynScheduler = unsafe { &*gang.scheduler.0 };
-    // One handle and one scratch arena for the thread's whole life: local
-    // queues, insert buffers, and scratch capacity all persist across jobs.
     let mut handle = scheduler.dyn_handle(local);
+    inner.handles_created.fetch_add(1, Ordering::Relaxed);
+    run_worker(inner, gang_idx, local, &mut handle);
+}
+
+/// The park/execute loop shared by both worker entries, generic over the
+/// handle so the typed entry monomorphizes the whole job hot path.
+fn run_worker<H: SchedulerHandle<Task>>(
+    inner: &Arc<Inner>,
+    gang_idx: usize,
+    local: usize,
+    handle: &mut H,
+) {
+    let gang = &inner.gangs[gang_idx];
     let mut scratch = Scratch::new();
     let mut last_seq = 0u64;
 
@@ -848,21 +986,29 @@ fn worker_main(inner: &Arc<Inner>, gang_idx: usize, local: usize) {
         // SAFETY: valid until this worker's guard decrements `remaining`
         // (see `JobRef`).
         let job: &dyn PoolJob = unsafe { &*job_ref.0 };
-        // `Box<dyn DynHandle>` sees both trait surfaces; pin the calls to
-        // the `SchedulerHandle` view the worker loop uses.
-        let stats_before = SchedulerHandle::stats(&handle);
+        // `H` sees both trait surfaces (`SchedulerHandle` and the blanket
+        // `DynHandle`); pin the calls to the view the worker loop uses.
+        let stats_before = SchedulerHandle::stats(handle);
         let mut tally = gang.detector.tally(local);
         // Seeds were pre-credited by the coordinator; pushing them needs no
-        // recording.
-        for task in seeds {
-            SchedulerHandle::push(&mut handle, task);
+        // recording.  Above batch size 1 a single batch call makes the
+        // whole seed slice visible; at batch 1 the per-task path is kept so
+        // the default configuration stays bit-identical to the historical
+        // behavior, stats included.
+        let mut seeds = seeds;
+        if inner.loop_config.batch_size > 1 {
+            SchedulerHandle::push_batch(handle, &mut seeds);
+        } else {
+            for task in seeds.drain(..) {
+                SchedulerHandle::push(handle, task);
+            }
         }
-        SchedulerHandle::flush(&mut handle);
+        SchedulerHandle::flush(handle);
 
         let mut useful = 0u64;
         let mut wasted = 0u64;
         let outcome = worker_loop(
-            &mut handle,
+            handle,
             &gang.detector,
             &mut tally,
             &mut scratch,
@@ -883,7 +1029,7 @@ fn worker_main(inner: &Arc<Inner>, gang_idx: usize, local: usize) {
             scans: outcome.scans,
             useful,
             wasted,
-            stats: SchedulerHandle::stats(&handle).delta_since(&stats_before),
+            stats: SchedulerHandle::stats(handle).delta_since(&stats_before),
         });
         drop(guard); // publishes the result and wakes the coordinator
     }
@@ -1138,6 +1284,63 @@ mod tests {
         }));
         assert_eq!(pool.live_gangs(), 0);
         pool.run_job(&FanoutJob::new(1, 0)); // must panic: nothing can serve it
+    }
+
+    #[test]
+    fn handles_are_created_once_per_worker_across_many_jobs() {
+        let pool = WorkerPool::new(smq(2), PoolConfig::new(2));
+        for _ in 0..100 {
+            pool.run_job(&FanoutJob::new(20, 20));
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.jobs_completed, 100);
+        assert_eq!(
+            stats.handles_created, 2,
+            "a worker creates its scheduler handle once, before its first \
+             park — never per job"
+        );
+    }
+
+    #[test]
+    fn batched_pool_runs_jobs_correctly() {
+        let pool = WorkerPool::new(smq(2), PoolConfig::new(2).with_batch(8));
+        for _ in 0..10 {
+            let job = FanoutJob::new(100, 100);
+            let out = pool.run_job(&job);
+            assert_eq!(out.metrics.tasks_executed, 300);
+            assert_eq!(out.metrics.total.pushes, out.metrics.total.pops);
+            // The native SMQ batch paths actually ran.
+            assert!(out.metrics.total.batch_flushes > 0);
+        }
+    }
+
+    #[test]
+    fn mixed_pool_runs_different_scheduler_types_per_gang() {
+        use smq_multiqueue::{MultiQueue, MultiQueueConfig};
+        // Gang 0: SMQ; gang 1: classic Multi-Queue — behind one pool.
+        let pool = WorkerPool::new_mixed(
+            |g| -> Box<dyn DynScheduler + Send + Sync> {
+                if g == 0 {
+                    Box::new(smq(1))
+                } else {
+                    Box::new(MultiQueue::<Task>::new(
+                        MultiQueueConfig::classic(1).with_seed(5),
+                    ))
+                }
+            },
+            PoolConfig::partitioned(2, 1).with_batch(4),
+        );
+        assert_eq!(pool.gangs(), 2);
+        for _ in 0..5 {
+            let job = FanoutJob::new(60, 60);
+            let out = pool.run_job(&job);
+            assert_eq!(out.metrics.tasks_executed, 180);
+            assert_eq!(out.metrics.total.pushes, out.metrics.total.pops);
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.threads_spawned, 2);
+        assert_eq!(stats.handles_created, 2);
+        assert_eq!(stats.jobs_completed, 5);
     }
 
     #[test]

@@ -22,6 +22,14 @@
 //! counter scan after [`WorkerLoopConfig::scan_gate`] consecutive empty pops
 //! during which the detector's activity epoch did not move (see
 //! [`crate::termination`] for the liveness argument).
+//!
+//! The loop is *batch-granular* ([`WorkerLoopConfig::batch_size`]): above
+//! batch size 1 it pops up to a batch of tasks per `pop_batch` call and
+//! buffers follow-ups in a per-worker sink flushed via `push_batch` at task
+//! boundaries, so the scheduler's per-operation synchronization (locks,
+//! buffer publishes, virtual dispatch on the erased pool path) is paid once
+//! per batch instead of once per task.  Batch size 1 is bit-identical to
+//! the historical per-task path.
 
 use std::time::Instant;
 
@@ -51,6 +59,13 @@ impl ExecutorConfig {
             worker: WorkerLoopConfig::default(),
         }
     }
+
+    /// Sets the hot-path batch granularity (see
+    /// [`WorkerLoopConfig::batch_size`]).
+    pub fn with_batch(mut self, batch_size: usize) -> Self {
+        self.worker.batch_size = batch_size.max(1);
+        self
+    }
 }
 
 /// The per-worker knobs of [`worker_loop`].
@@ -64,6 +79,18 @@ pub struct WorkerLoopConfig {
     /// worker accumulates before paying for one O(threads) quiescence scan
     /// (clamped to at least 1 by the loop).
     pub scan_gate: u32,
+    /// Batch granularity of the hot path (clamped to at least 1).
+    ///
+    /// With `batch_size == 1` (the default) the loop is the exact
+    /// historical per-task path: one `pop()` per task, every follow-up
+    /// pushed (and its publish credited) immediately.  With a larger batch
+    /// the worker pops up to `batch_size` tasks per `pop_batch` call and
+    /// buffers follow-ups in a per-worker sink that flushes via
+    /// `push_batch` — at the latest at every task boundary — so locks and
+    /// indirect calls per task drop by ~the batch factor while relaxation
+    /// semantics and termination soundness are unchanged (see the module
+    /// docs of `smq_core::scheduler` and [`crate::termination`]).
+    pub batch_size: usize,
 }
 
 impl Default for WorkerLoopConfig {
@@ -71,6 +98,7 @@ impl Default for WorkerLoopConfig {
         Self {
             spins_before_yield: 64,
             scan_gate: 8,
+            batch_size: 1,
         }
     }
 }
@@ -89,29 +117,63 @@ pub struct WorkerLoopOutcome {
 /// Pushing through this wrapper (rather than the raw scheduler handle) keeps
 /// the pending-task counter consistent, which is what makes termination
 /// detection sound.
+///
+/// At batch size 1 every push goes straight to the scheduler (the exact
+/// historical hot path).  At larger batch sizes the sink buffers follow-ups
+/// in a per-worker vector and flushes them through the scheduler's
+/// `push_batch` — when the buffer fills, and always at the task boundary —
+/// crediting the whole batch with **one** counter store *before* any task
+/// becomes visible (publish-before-flush), so the two-phase quiescence
+/// argument of [`crate::termination`] applies unchanged.
 pub struct TaskSink<'a, 'd, H, T>
 where
     H: SchedulerHandle<T>,
 {
     handle: &'a mut H,
     tally: &'a mut WorkerTally<'d>,
-    _marker: std::marker::PhantomData<fn(T)>,
+    buffer: &'a mut Vec<T>,
+    batch: usize,
 }
 
 impl<H, T> TaskSink<'_, '_, H, T>
 where
     H: SchedulerHandle<T>,
 {
-    /// Pushes a new task into the scheduler.
+    /// Pushes a new task into the scheduler (batch size 1) or into the
+    /// worker's follow-up buffer (larger batches; flushed via `push_batch`
+    /// when full and at every task boundary).
     ///
-    /// The publish is counted in the worker's own cache-padded counter
-    /// *before* the task becomes visible — a single uncontended store,
-    /// replacing the old `SeqCst` fetch-add on a shared counter.
+    /// Either way the publish is counted in the worker's own cache-padded
+    /// counter *before* the task becomes visible — a single uncontended
+    /// store per push or per batch, never a shared RMW.
     #[inline]
     pub fn push(&mut self, task: T) {
-        self.tally.record_push();
-        self.handle.push(task);
+        if self.batch <= 1 {
+            self.tally.record_push();
+            self.handle.push(task);
+        } else {
+            self.buffer.push(task);
+            if self.buffer.len() >= self.batch {
+                flush_sink(self.handle, self.tally, self.buffer);
+            }
+        }
     }
+}
+
+/// Publishes the sink buffer: credits the batch in one counter store, then
+/// makes it visible in one `push_batch` call.  The credit must come first —
+/// see `WorkerTally::record_pushes`.
+#[inline]
+fn flush_sink<T, H: SchedulerHandle<T>>(
+    handle: &mut H,
+    tally: &mut WorkerTally<'_>,
+    buffer: &mut Vec<T>,
+) {
+    if buffer.is_empty() {
+        return;
+    }
+    tally.record_pushes(buffer.len() as u64);
+    handle.push_batch(buffer);
 }
 
 /// One worker's pop/process/quiesce loop, shared by the one-shot executor
@@ -136,12 +198,25 @@ pub fn worker_loop<T, H, F>(
     mut process: F,
 ) -> WorkerLoopOutcome
 where
+    T: Send + 'static,
     H: SchedulerHandle<T>,
     F: for<'h, 'd> FnMut(T, &mut TaskSink<'h, 'd, H, T>, &mut Scratch),
 {
     let scan_gate = config.scan_gate.max(1);
+    let batch = config.batch_size.max(1);
     let mut outcome = WorkerLoopOutcome::default();
     let backoff = Backoff::new();
+    // The two batch buffers live in the worker's scratch arena, so their
+    // capacity survives across jobs on a resident pool.  `pop_buf` holds
+    // the tasks of the current batch; `sink_buf` buffers follow-ups until
+    // the next flush.  Both stay empty at batch size 1.
+    let mut pop_buf: Vec<T> = scratch.take_vec();
+    let mut sink_buf: Vec<T> = scratch.take_vec();
+    if sink_buf.capacity() < batch {
+        // `reserve` takes an *additional* count; the buffer is empty here,
+        // so this guarantees capacity >= batch without mid-task growth.
+        sink_buf.reserve(batch);
+    }
     // Empty pops observed since the last scan (or since the last activity
     // epoch move); `was_idle` tracks idle→busy transitions for the epoch,
     // and `idle_spins` (reset only by a successful pop) drives OS yielding.
@@ -150,22 +225,31 @@ where
     let mut was_idle = false;
     let mut seen_epoch = detector.activity_epoch();
     loop {
-        match handle.pop() {
-            Some(task) => {
-                if was_idle {
-                    // Off the common hot path: only the first pop after a
-                    // barren stretch tells the scanners the system moved.
-                    detector.note_activity();
-                    was_idle = false;
+        // Batch size 1 calls `pop()` directly (the exact historical path,
+        // stats included); larger batches make one scheduling decision per
+        // `pop_batch` and amortize it over up to `batch` tasks.
+        let got = if batch == 1 {
+            match handle.pop() {
+                Some(task) => {
+                    pop_buf.push(task);
+                    1
                 }
-                empty_streak = 0;
-                idle_spins = 0;
-                backoff.reset();
-                let mut sink = TaskSink {
-                    handle,
-                    tally,
-                    _marker: std::marker::PhantomData,
-                };
+                None => 0,
+            }
+        } else {
+            handle.pop_batch(&mut pop_buf, batch)
+        };
+        if got > 0 {
+            if was_idle {
+                // Off the common hot path: only the first pop after a
+                // barren stretch tells the scanners the system moved.
+                detector.note_activity();
+                was_idle = false;
+            }
+            empty_streak = 0;
+            idle_spins = 0;
+            backoff.reset();
+            for task in pop_buf.drain(..) {
                 // The completion below must be recorded even if `process`
                 // unwinds: the popped task was already counted `published`,
                 // and skipping its completion would leave the detector
@@ -175,55 +259,79 @@ where
                 // intended pool poisoning).  `catch_unwind` is free on the
                 // non-panic path.
                 let panic_payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut sink = TaskSink {
+                        handle,
+                        tally,
+                        buffer: &mut sink_buf,
+                        batch,
+                    };
                     process(task, &mut sink, scratch)
                 }))
                 .err();
                 outcome.executed += 1;
-                // One completion update per processed task, on this
-                // worker's own counter line.
-                tally.record_completion();
-                if let Some(payload) = panic_payload {
-                    std::panic::resume_unwind(payload);
+                match panic_payload {
+                    None => {
+                        // Flush-at-task-boundary, publish-before-flush: the
+                        // task's buffered follow-ups are credited (one
+                        // store) and made visible *before* its completion
+                        // is recorded, so the sums can never balance while
+                        // its children are outstanding.
+                        flush_sink(handle, tally, &mut sink_buf);
+                        tally.record_completion();
+                    }
+                    Some(payload) => {
+                        // Un-flushed follow-ups of the panicking task were
+                        // never credited and never visible: dropping them
+                        // keeps the detector balanced.  Remaining tasks of
+                        // `pop_buf` stay stranded exactly like the dead
+                        // worker's thread-local queues — the pool's gang
+                        // poisoning (abort flag) handles both.
+                        sink_buf.clear();
+                        tally.record_completion();
+                        std::panic::resume_unwind(payload);
+                    }
                 }
             }
-            None => {
-                // Anything buffered locally must become visible before we
-                // conclude the system might be done.
-                handle.flush();
-                if let Some(flag) = abort {
-                    if flag.load(std::sync::atomic::Ordering::Acquire) {
-                        break;
-                    }
+        } else {
+            // Anything buffered locally must become visible before we
+            // conclude the system might be done.  (The sink buffer is
+            // always empty here — it flushes at every task boundary.)
+            handle.flush();
+            if let Some(flag) = abort {
+                if flag.load(std::sync::atomic::Ordering::Acquire) {
+                    break;
                 }
-                was_idle = true;
-                idle_spins = idle_spins.saturating_add(1);
-                let epoch = detector.activity_epoch();
-                if epoch != seen_epoch {
-                    // Work appeared somewhere since we last looked: the
-                    // system is churning, a scan now would likely fail.
-                    seen_epoch = epoch;
-                    empty_streak = 1;
-                } else {
-                    empty_streak += 1;
+            }
+            was_idle = true;
+            idle_spins = idle_spins.saturating_add(1);
+            let epoch = detector.activity_epoch();
+            if epoch != seen_epoch {
+                // Work appeared somewhere since we last looked: the
+                // system is churning, a scan now would likely fail.
+                seen_epoch = epoch;
+                empty_streak = 1;
+            } else {
+                empty_streak += 1;
+            }
+            if empty_streak >= scan_gate {
+                // Looked stable for `scan_gate` empty pops: pay for one
+                // O(threads) scan, then require a fresh streak before
+                // the next one.
+                empty_streak = 0;
+                outcome.scans += 1;
+                if detector.quiescent() {
+                    break;
                 }
-                if empty_streak >= scan_gate {
-                    // Looked stable for `scan_gate` empty pops: pay for one
-                    // O(threads) scan, then require a fresh streak before
-                    // the next one.
-                    empty_streak = 0;
-                    outcome.scans += 1;
-                    if detector.quiescent() {
-                        break;
-                    }
-                }
-                if idle_spins > config.spins_before_yield {
-                    std::thread::yield_now();
-                } else {
-                    backoff.snooze();
-                }
+            }
+            if idle_spins > config.spins_before_yield {
+                std::thread::yield_now();
+            } else {
+                backoff.snooze();
             }
         }
     }
+    scratch.put_vec(pop_buf);
+    scratch.put_vec(sink_buf);
     outcome
 }
 
@@ -246,7 +354,7 @@ pub fn run<S, T, F>(
 ) -> RunMetrics
 where
     S: Scheduler<T>,
-    T: Send,
+    T: Send + 'static,
     F: for<'h, 'd> Fn(T, &mut TaskSink<'h, 'd, S::Handle<'_>, T>, &mut Scratch) + Sync,
 {
     let threads = config.threads;
@@ -283,8 +391,15 @@ where
                 let mut tally = detector.tally(tid);
                 let mut scratch = Scratch::new();
                 // Seeds were pre-credited; pushing them needs no recording.
-                for task in seed {
-                    handle.push(task);
+                // Same rule as the pool's worker: one batch call above
+                // batch size 1, the exact per-task path at 1.
+                if loop_config.batch_size > 1 {
+                    let mut seed = seed;
+                    handle.push_batch(&mut seed);
+                } else {
+                    for task in seed {
+                        handle.push(task);
+                    }
                 }
                 // Make seed tasks visible before anyone starts spinning.
                 handle.flush();
@@ -502,6 +617,54 @@ mod tests {
         );
         // Liveness: every worker still exits via at least one scan.
         assert!(metrics.quiescence_scans >= 4);
+    }
+
+    #[test]
+    fn batched_loop_processes_every_task() {
+        // A scheduler with only the default (per-task) batch impls, driven
+        // at batch 8: conservation and termination must be unchanged.
+        let sched = LockedHeap::new(2);
+        let executed = Counter::new(0);
+        let metrics = run(
+            &sched,
+            &ExecutorConfig::new(2).with_batch(8),
+            (0..1_000u64).collect(),
+            |task, sink, _scratch| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                if task < 1_000 {
+                    sink.push(task + 1_000);
+                    sink.push(task + 2_000);
+                }
+            },
+        );
+        assert_eq!(executed.load(Ordering::Relaxed), 3_000);
+        assert_eq!(metrics.tasks_executed, 3_000);
+        assert_eq!(metrics.total.pushes, metrics.total.pops);
+    }
+
+    #[test]
+    fn batched_deep_chain_terminates() {
+        // Fan-out 1: every sink flush carries a single task, the worst case
+        // for the batching sink's bookkeeping.
+        let sched = LockedHeap::new(4);
+        let metrics = run(
+            &sched,
+            &ExecutorConfig::new(4).with_batch(32),
+            vec![0u64],
+            |task, sink, _scratch| {
+                if task < 10_000 {
+                    sink.push(task + 1);
+                }
+            },
+        );
+        assert_eq!(metrics.tasks_executed, 10_001);
+        assert_eq!(metrics.total.pushes, metrics.total.pops);
+    }
+
+    #[test]
+    fn with_batch_clamps_to_one() {
+        let config = ExecutorConfig::new(1).with_batch(0);
+        assert_eq!(config.worker.batch_size, 1);
     }
 
     #[test]

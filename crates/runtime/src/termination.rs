@@ -245,6 +245,26 @@ impl WorkerTally<'_> {
             .store(self.published, Ordering::Release);
     }
 
+    /// Counts `n` tasks as published in **one** counter store.  Like
+    /// [`record_push`](Self::record_push), the call must happen before any
+    /// of the `n` tasks becomes visible to the scheduler — this is the
+    /// "publish-before-flush" half of the batching sink: the worker credits
+    /// a whole follow-up batch with a single store, then makes the batch
+    /// visible via `push_batch`.  Counting ahead of visibility is always
+    /// conservative (the scan can only over-estimate outstanding work), so
+    /// the quiescence argument in the module docs is unchanged.
+    #[inline]
+    pub fn record_pushes(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.assert_generation();
+        self.published += n;
+        self.counter
+            .published
+            .store(self.published, Ordering::Release);
+    }
+
     /// Counts one task as fully processed.  Called once per task, after the
     /// processing function returned — this is the "one update per processed
     /// task" half of the delta-batching scheme.
@@ -338,6 +358,24 @@ mod tests {
         let mut tally = det.tally(0);
         det.advance_generation();
         tally.record_push(); // must assert: tally belongs to generation 0
+    }
+
+    #[test]
+    fn batched_push_credit_is_one_store() {
+        let det = TerminationDetector::new(1);
+        let mut tally = det.tally(0);
+        tally.record_pushes(5);
+        tally.record_pushes(0); // no-op
+        assert_eq!(det.pending_estimate(), 5);
+        assert!(!det.quiescent());
+        for _ in 0..5 {
+            tally.record_completion();
+        }
+        assert!(det.quiescent());
+        // Mixing batched and per-task credits keeps the running total.
+        tally.record_push();
+        tally.record_pushes(2);
+        assert_eq!(det.pending_estimate(), 3);
     }
 
     #[test]

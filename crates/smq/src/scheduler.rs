@@ -306,7 +306,88 @@ where
         self.stats.pushes += 1;
         self.local_queue().push(task);
         // `addLocal()` of Listing 4: keep the stealing buffer populated.
+        // The shared-state inspection (plus possible refill) is the SMQ's
+        // per-push synchronization cost — the quantity `push_batch`
+        // amortizes, counted as the insert-path "lock".
+        self.stats.push_locks_acquired += 1;
         self.refill_buffer_if_stolen();
+    }
+
+    fn push_batch(&mut self, tasks: &mut Vec<T>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let n = tasks.len() as u64;
+        self.stats.pushes += n;
+        self.stats.batch_flushes += 1;
+        self.stats.tasks_batched += n;
+        let queue = self.local_queue();
+        for task in tasks.drain(..) {
+            queue.push(task);
+        }
+        // One stealing-buffer maintenance pass for the whole batch instead
+        // of one per task: the heap absorbs N inserts back to back and the
+        // buffer is republished (if stolen) exactly once.
+        self.stats.push_locks_acquired += 1;
+        self.refill_buffer_if_stolen();
+    }
+
+    fn pop_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let mut got = 0;
+        // 1. Previously stolen tasks are processed first (Listing 2).
+        while got < max {
+            match self.stolen_tasks.pop_front() {
+                Some(task) => {
+                    self.stats.pops += 1;
+                    out.push(task);
+                    got += 1;
+                }
+                None => break,
+            }
+        }
+        if got >= max {
+            return got;
+        }
+        // 2. One full per-task pop: the steal die roll, the victim
+        //    comparison, and the local/buffer arbitration run once per
+        //    *batch*, not once per task.
+        match self.pop_task() {
+            Some(task) => {
+                self.stats.pops += 1;
+                out.push(task);
+                got += 1;
+            }
+            None => {
+                if got == 0 {
+                    self.stats.empty_pops += 1;
+                }
+                return got;
+            }
+        }
+        // 3. A successful steal may have parked a whole claimed batch in
+        //    `stolen_tasks`; drain it before touching the private queue.
+        while got < max {
+            match self.stolen_tasks.pop_front() {
+                Some(task) => {
+                    self.stats.pops += 1;
+                    out.push(task);
+                    got += 1;
+                }
+                None => break,
+            }
+        }
+        // 4. Fill the remainder straight from the private queue — no
+        //    further scheduling decisions, one heap drain pass.  Tasks the
+        //    stealing buffer still publishes stay claimable by thieves and
+        //    are reclaimed by this thread's next `pop_local`.
+        if got < max {
+            let moved = self.local_queue().pop_batch_into(max - got, out);
+            self.stats.pops += moved as u64;
+            got += moved;
+        }
+        // One buffer republish for the whole batch.
+        self.refill_buffer_if_stolen();
+        got
     }
 
     fn pop(&mut self) -> Option<T> {
@@ -411,6 +492,77 @@ mod tests {
         // And they came out in exact priority order (single owner, no other
         // threads interfering).
         assert!(drained.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn batch_push_amortizes_buffer_maintenance_to_one_pass() {
+        let smq: HeapSmq<u64> = HeapSmq::new(SmqConfig::default_for_threads(1));
+        let mut h = smq.handle(0);
+        let mut batch: Vec<u64> = (0..32u64).rev().collect();
+        h.push_batch(&mut batch);
+        assert!(batch.is_empty(), "push_batch must drain its input");
+        let stats = h.stats();
+        assert_eq!(stats.pushes, 32);
+        assert_eq!(stats.batch_flushes, 1);
+        assert_eq!(stats.tasks_batched, 32);
+        assert_eq!(
+            stats.push_locks_acquired, 1,
+            "one buffer maintenance pass per batch, not per task"
+        );
+        assert_eq!(stats.locks_per_push(), Some(1.0 / 32.0));
+    }
+
+    #[test]
+    fn batch_pop_returns_exact_order_single_threaded() {
+        let smq: HeapSmq<u64> = HeapSmq::new(SmqConfig::default_for_threads(1));
+        let mut h = smq.handle(0);
+        let mut batch: Vec<u64> = (0..32u64).rev().collect();
+        h.push_batch(&mut batch);
+        let mut out = Vec::new();
+        assert_eq!(h.pop_batch(&mut out, 10), 10);
+        assert_eq!(out, (0..10u64).collect::<Vec<_>>());
+        assert_eq!(h.pop_batch(&mut out, 64), 22, "remainder in one batch");
+        assert_eq!(out, (0..32u64).collect::<Vec<_>>());
+        assert_eq!(h.pop_batch(&mut out, 4), 0);
+        let stats = h.stats();
+        assert_eq!(stats.pops, 32);
+        assert_eq!(stats.empty_pops, 1, "an empty batch counts one empty pop");
+    }
+
+    #[test]
+    fn batch_pushed_tasks_are_stealable() {
+        // A batch published by thread 0 must be claimable by thread 1 via
+        // the normal stealing protocol — batching is owner-side only.
+        let config = SmqConfig::default_for_threads(2)
+            .with_steal_size(8)
+            .with_p_steal(Probability::ALWAYS)
+            .with_seed(3);
+        let smq: HeapSmq<u64> = HeapSmq::new(config);
+        {
+            let mut h0 = smq.handle(0);
+            let mut batch: Vec<u64> = (0..64u64).collect();
+            h0.push_batch(&mut batch);
+        }
+        let mut h1 = smq.handle(1);
+        let mut out = Vec::new();
+        let mut misses = 0;
+        while misses < 32 {
+            if h1.pop_batch(&mut out, 8) == 0 {
+                misses += 1;
+            } else {
+                misses = 0;
+            }
+        }
+        // The owner's one batch-publish made its best steal_size tasks
+        // claimable; the thief takes that batch wholesale.
+        assert_eq!(out, (0..8u64).collect::<Vec<_>>());
+        assert!(h1.stats().steal_successes >= 1);
+        // The unpublished remainder stays in slot 0's local queue and is
+        // recovered by its next owner.
+        let mut h0 = smq.handle(0);
+        let mut rest = Vec::new();
+        while h0.pop_batch(&mut rest, 16) > 0 {}
+        assert_eq!(rest.len(), 56);
     }
 
     #[test]

@@ -10,6 +10,13 @@
 //!
 //! and its output must be equivalent to the workload's own sequential
 //! reference.
+//!
+//! The sweep covers hot-path batch sizes {1, 2, 8, 32} across every
+//! scheduler family: batch granularity amortizes synchronization but must
+//! never change what is computed or break the accounting.  Batch 1 is
+//! additionally pinned to the per-task path (no native batch operations,
+//! deterministic single-thread replays) so the default configuration
+//! carries zero regression risk.
 
 use proptest::prelude::*;
 
@@ -45,14 +52,21 @@ fn assert_invariants<O>(run: &EngineRun<O>, label: &str) {
     );
 }
 
-/// Runs one workload on one scheduler and checks both the accounting
-/// invariants and equivalence with the sequential reference.
-fn check<W, S>(workload: &W, scheduler: &S, threads: usize)
+/// Runs one workload on one scheduler at the given hot-path batch size and
+/// checks both the accounting invariants and equivalence with the
+/// sequential reference.
+fn check<W, S>(workload: &W, scheduler: &S, threads: usize, batch: usize)
 where
     W: DecreaseKeyWorkload,
     S: Scheduler<Task>,
 {
-    let (run, _reference) = engine::run_and_check(workload, scheduler, threads);
+    let run = engine::run_parallel_batched(workload, scheduler, threads, batch);
+    let reference = workload.sequential_reference();
+    assert!(
+        workload.outputs_equivalent(&run.output, &reference.output),
+        "{} diverged from its sequential reference at batch {batch}",
+        workload.name()
+    );
     assert_invariants(&run, workload.name());
 }
 
@@ -68,42 +82,69 @@ fn symmetrized(directed: &CsrGraph) -> CsrGraph {
 }
 
 /// Runs all seven workloads over the graph on fresh schedulers from `make`.
-fn check_all_workloads<S, F>(graph: &CsrGraph, make: F, threads: usize)
+fn check_all_workloads<S, F>(graph: &CsrGraph, make: F, threads: usize, batch: usize)
 where
     S: Scheduler<Task>,
     F: Fn() -> S,
 {
     let target = (graph.num_nodes() - 1) as u32;
-    check(&SsspWorkload::new(graph, 0), &make(), threads);
-    check(&SsspWorkload::bfs(graph, 0), &make(), threads);
-    check(&AstarWorkload::new(graph, 0, target), &make(), threads);
-    check(&BoruvkaWorkload::new(&symmetrized(graph)), &make(), threads);
+    check(&SsspWorkload::new(graph, 0), &make(), threads, batch);
+    check(&SsspWorkload::bfs(graph, 0), &make(), threads, batch);
+    check(
+        &AstarWorkload::new(graph, 0, target),
+        &make(),
+        threads,
+        batch,
+    );
+    check(
+        &BoruvkaWorkload::new(&symmetrized(graph)),
+        &make(),
+        threads,
+        batch,
+    );
     let pr_config = PagerankConfig {
         damping: 0.85,
         epsilon: 1e-5,
     };
-    check(&PagerankWorkload::new(graph, pr_config), &make(), threads);
-    check(&KCoreWorkload::new(graph), &make(), threads);
-    check(&CcWorkload::new(graph), &make(), threads);
+    check(
+        &PagerankWorkload::new(graph, pr_config),
+        &make(),
+        threads,
+        batch,
+    );
+    check(&KCoreWorkload::new(graph), &make(), threads, batch);
+    check(&CcWorkload::new(graph), &make(), threads, batch);
 }
 
+/// The hot-path batch sizes the properties sweep.
+const BATCHES: [usize; 4] = [1, 2, 8, 32];
+
 /// Dispatches over every scheduler family by index.
-fn check_with_scheduler_family(graph: &CsrGraph, family: usize, threads: usize, seed: u64) {
+fn check_with_scheduler_family(
+    graph: &CsrGraph,
+    family: usize,
+    threads: usize,
+    seed: u64,
+    batch: usize,
+) {
     match family % 8 {
         0 => check_all_workloads(
             graph,
             || HeapSmq::<Task>::new(SmqConfig::default_for_threads(threads).with_seed(seed)),
             threads,
+            batch,
         ),
         1 => check_all_workloads(
             graph,
             || SkipListSmq::<Task>::new(SmqConfig::default_for_threads(threads).with_seed(seed)),
             threads,
+            batch,
         ),
         2 => check_all_workloads(
             graph,
             || MultiQueue::<Task>::new(MultiQueueConfig::classic(threads).with_seed(seed)),
             threads,
+            batch,
         ),
         3 => check_all_workloads(
             graph,
@@ -116,6 +157,7 @@ fn check_with_scheduler_family(graph: &CsrGraph, family: usize, threads: usize, 
                 )
             },
             threads,
+            batch,
         ),
         4 => check_all_workloads(
             graph,
@@ -128,18 +170,26 @@ fn check_with_scheduler_family(graph: &CsrGraph, family: usize, threads: usize, 
                 )
             },
             threads,
+            batch,
         ),
         5 => check_all_workloads(
             graph,
             || Obim::<Task>::new(ObimConfig::obim(threads, 4, 8)),
             threads,
+            batch,
         ),
         6 => check_all_workloads(
             graph,
             || Obim::<Task>::new(ObimConfig::pmod(threads, 4, 8)),
             threads,
+            batch,
         ),
-        _ => check_all_workloads(graph, || Reld::<Task>::new(threads, 2, seed), threads),
+        _ => check_all_workloads(
+            graph,
+            || Reld::<Task>::new(threads, 2, seed),
+            threads,
+            batch,
+        ),
     }
 }
 
@@ -150,15 +200,17 @@ proptest! {
         edge_factor in 2u64..5,
         family in 0usize..8,
         threads in 1usize..4,
+        batch_idx in 0usize..4,
         seed in 0u64..1_000_000,
     ) {
         let graph = uniform_random(nodes, u64::from(nodes) * edge_factor, 200, seed);
-        check_with_scheduler_family(&graph, family, threads, seed);
+        check_with_scheduler_family(&graph, family, threads, seed, BATCHES[batch_idx]);
     }
 
     #[test]
     fn spraylist_conserves_tasks(
         nodes in 16u32..64,
+        batch_idx in 0usize..4,
         seed in 0u64..1_000_000,
     ) {
         // SprayList is slower per op; give it its own smaller sweep so the
@@ -171,6 +223,71 @@ proptest! {
                 ..SprayListConfig::default_for_threads(2)
             }),
             2,
+            BATCHES[batch_idx],
         );
+    }
+}
+
+/// Runs SSSP and k-core single-threaded at batch 1 on an identically
+/// seeded scheduler from `make`, returning the run's total `OpStats`.
+fn batch_one_stats<S, F>(graph: &CsrGraph, make: F) -> Vec<smq_repro::core::OpStats>
+where
+    S: Scheduler<Task>,
+    F: Fn() -> S,
+{
+    let sssp = SsspWorkload::new(graph, 0);
+    let kcore = KCoreWorkload::new(graph);
+    vec![
+        engine::run_parallel_batched(&sssp, &make(), 1, 1)
+            .result
+            .metrics
+            .total,
+        engine::run_parallel_batched(&kcore, &make(), 1, 1)
+            .result
+            .metrics
+            .total,
+    ]
+}
+
+/// Batch 1 is the per-task path: single-thread replays on identically
+/// seeded schedulers are **bit-identical in stats** (the executor makes no
+/// batch-dependent decisions), and schedulers without policy-level insert
+/// buffering record zero native batch operations — the evidence that the
+/// default configuration still takes exactly the historical hot path.
+#[test]
+fn batch_one_is_the_per_task_path() {
+    let graph = uniform_random(64, 192, 200, 77);
+    // Families without policy-level insert batching: every native batch
+    // counter must stay zero at batch 1.
+    let a = batch_one_stats(&graph, || {
+        HeapSmq::<Task>::new(SmqConfig::default_for_threads(1).with_seed(9))
+    });
+    let b = batch_one_stats(&graph, || {
+        HeapSmq::<Task>::new(SmqConfig::default_for_threads(1).with_seed(9))
+    });
+    assert_eq!(a, b, "single-thread batch-1 SMQ replays must be identical");
+    for stats in &a {
+        assert_eq!(stats.batch_flushes, 0, "batch 1 must never batch");
+        assert_eq!(stats.tasks_batched, 0);
+    }
+    let a = batch_one_stats(&graph, || {
+        MultiQueue::<Task>::new(MultiQueueConfig::classic(1).with_seed(13))
+    });
+    let b = batch_one_stats(&graph, || {
+        MultiQueue::<Task>::new(MultiQueueConfig::classic(1).with_seed(13))
+    });
+    assert_eq!(a, b, "single-thread batch-1 MQ replays must be identical");
+    for stats in &a {
+        assert_eq!(stats.batch_flushes, 0, "batch 1 must never batch");
+        assert_eq!(
+            stats.push_locks_acquired, stats.pushes,
+            "per-task MQ inserts lock once per push"
+        );
+    }
+    let a = batch_one_stats(&graph, || Obim::<Task>::new(ObimConfig::obim(1, 4, 8)));
+    let b = batch_one_stats(&graph, || Obim::<Task>::new(ObimConfig::obim(1, 4, 8)));
+    assert_eq!(a, b, "single-thread batch-1 OBIM replays must be identical");
+    for stats in &a {
+        assert_eq!(stats.batch_flushes, 0, "batch 1 must never batch");
     }
 }

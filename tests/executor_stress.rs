@@ -246,6 +246,96 @@ fn epoch_gated_scan_cuts_scan_traffic_on_idle_heavy_runs() {
     assert!(metrics.quiescence_scans >= threads as u64);
 }
 
+/// Runs a wide fan-out workload (8 children per non-leaf task, so every
+/// task-boundary sink flush carries a full batch) and returns the run's
+/// total [`smq_repro::core::OpStats`].
+fn run_wide_fanout<S: smq_repro::core::Scheduler<Task>>(
+    scheduler: &S,
+    threads: usize,
+    batch: usize,
+) -> smq_repro::core::OpStats {
+    const SEEDS: u64 = 32;
+    const MAX_DEPTH: u64 = 3;
+    const FANOUT: u64 = 8;
+    // 32 seeds * (1 + 8 + 64 + 512) tasks.
+    let expected: u64 = SEEDS * (1 + FANOUT + FANOUT * FANOUT + FANOUT * FANOUT * FANOUT);
+    let metrics = run(
+        scheduler,
+        &ExecutorConfig::new(threads).with_batch(batch),
+        (0..SEEDS).map(|i| Task::new(0, i)).collect(),
+        |task, sink, _scratch| {
+            if task.key < MAX_DEPTH {
+                for c in 0..FANOUT {
+                    sink.push(Task::new(task.key + 1, task.value * FANOUT + c));
+                }
+            }
+        },
+    );
+    assert_eq!(metrics.tasks_executed, expected);
+    assert_eq!(metrics.total.pops, expected);
+    metrics.total
+}
+
+/// The batch-granularity acceptance criterion: with batch >= 8, the
+/// insert-path synchronization per push (lock acquisitions for the
+/// Multi-Queue, stealing-buffer maintenance passes for the SMQ) must be at
+/// most 1/4 of the per-task path's on the same workload.
+#[test]
+fn batched_inserts_amortize_push_locks_on_smq() {
+    let make = || HeapSmq::<Task>::new(SmqConfig::default_for_threads(4).with_seed(51));
+    let per_task = run_wide_fanout(&make(), 4, 1)
+        .locks_per_push()
+        .expect("SMQ counts insert-path maintenance passes");
+    let batched = run_wide_fanout(&make(), 4, 8)
+        .locks_per_push()
+        .expect("batched SMQ still counts them");
+    assert!(
+        (per_task - 1.0).abs() < 1e-9,
+        "per-task SMQ pays one buffer pass per push (got {per_task:.3})"
+    );
+    assert!(
+        batched <= per_task / 4.0,
+        "batch 8 must amortize SMQ insert sync to <= 1/4 of the per-task \
+         path: {batched:.3} vs {per_task:.3}"
+    );
+}
+
+#[test]
+fn batched_inserts_amortize_push_locks_on_classic_mq() {
+    let make = || MultiQueue::<Task>::new(MultiQueueConfig::classic(4).with_seed(52));
+    let per_task = run_wide_fanout(&make(), 4, 1)
+        .locks_per_push()
+        .expect("the classic MQ locks a sub-queue per insert");
+    let batched = run_wide_fanout(&make(), 4, 8)
+        .locks_per_push()
+        .expect("batched MQ still counts insert locks");
+    assert!(
+        (per_task - 1.0).abs() < 1e-9,
+        "per-task MQ pays one sub-queue lock per push (got {per_task:.3})"
+    );
+    assert!(
+        batched <= per_task / 4.0,
+        "batch 8 must amortize MQ insert locks to <= 1/4 of the per-task \
+         path: {batched:.3} vs {per_task:.3}"
+    );
+}
+
+#[test]
+fn batched_runs_report_their_amortization_factor() {
+    // `tasks_per_batch` is the observable the bench tables print; a full
+    // 8-fan-out batch run must average close to the configured batch.
+    let smq: HeapSmq<Task> = HeapSmq::new(SmqConfig::default_for_threads(2).with_seed(53));
+    let total = run_wide_fanout(&smq, 2, 8);
+    let mean = total
+        .tasks_per_batch()
+        .expect("native batch flushes must be counted");
+    assert!(
+        mean >= 4.0,
+        "8-child tasks at batch 8 should flush near-full batches (got {mean:.2})"
+    );
+    assert!(total.batch_flushes > 0);
+}
+
 #[test]
 fn snapshot_delete_locks_at_most_once_per_pop_in_the_common_case() {
     // End-to-end acceptance check for the single-lock two-choice delete:

@@ -172,7 +172,52 @@ fn one_pool_serves_a_thousand_route_queries() {
         stats.threads_spawned, 2,
         "the pool must never respawn threads across 1000 jobs"
     );
+    assert_eq!(
+        stats.handles_created, 2,
+        "a worker creates its scheduler handle once at warm-up; 1000 jobs \
+         must perform zero handle allocations after that"
+    );
     assert_eq!(engine.queries_served(), 1_000);
+}
+
+/// The 1000-query acceptance run again, at batch granularity 8: identical
+/// answers, identical residency guarantees, and the native batch paths
+/// demonstrably in use.
+#[test]
+fn batched_pool_serves_route_queries_exactly() {
+    let graph = Arc::new(road_network(RoadNetworkParams {
+        width: 14,
+        height: 14,
+        removal_percent: 12,
+        seed: 78,
+    }));
+    let n = graph.num_nodes() as u32;
+    let engine = RouteQueryEngine::new(Arc::clone(&graph));
+    let pool = WorkerPool::new(
+        HeapSmq::<Task>::new(SmqConfig::default_for_threads(2).with_seed(6)),
+        PoolConfig::new(2).with_batch(8),
+    );
+
+    let mut batched_flushes = 0u64;
+    for i in 0..300u64 {
+        let source = ((i * 41) % u64::from(n)) as u32;
+        let target = ((i * 89 + 7) % u64::from(n)) as u32;
+        let answer = engine.query(source, target, &pool);
+        let (expected, _) = astar::sequential(&graph, source, target);
+        assert_eq!(answer.distance, expected, "batched query {i} diverged");
+        assert_eq!(
+            answer.result.metrics.total.pushes, answer.result.metrics.total.pops,
+            "batched query {i} leaked tasks"
+        );
+        batched_flushes += answer.result.metrics.total.batch_flushes;
+    }
+    assert!(
+        batched_flushes > 0,
+        "batch 8 queries must exercise the native push_batch path"
+    );
+    let stats = pool.stats();
+    assert_eq!(stats.threads_spawned, 2);
+    assert_eq!(stats.handles_created, 2);
 }
 
 /// A sample of queries cross-checked against the one-shot *parallel* A*
