@@ -30,6 +30,11 @@ pub struct BenchArgs {
     /// Hot-path batch size from `--batch N`; `None` means the binary's
     /// default sweep (typically `[1, 8, 32]`).
     pub batch: Option<usize>,
+    /// Simulated NUMA node count from `--numa-nodes N`; `None` means each
+    /// binary's default (the NUMA tables simulate 2 nodes, everything else
+    /// runs topology-blind).  `--numa-nodes 1` forces the single-node
+    /// (topology-blind) baseline explicitly.
+    pub numa_nodes: Option<usize>,
 }
 
 impl Default for BenchArgs {
@@ -41,6 +46,7 @@ impl Default for BenchArgs {
             seed: 0xBE7C,
             workloads: None,
             batch: None,
+            numa_nodes: None,
         }
     }
 }
@@ -90,6 +96,14 @@ impl BenchArgs {
                     assert!(batch >= 1, "--batch needs a positive integer");
                     out.batch = Some(batch);
                 }
+                "--numa-nodes" => {
+                    let nodes = iter
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--numa-nodes needs a positive integer");
+                    assert!(nodes >= 1, "--numa-nodes needs a positive integer");
+                    out.numa_nodes = Some(nodes);
+                }
                 "--workloads" => {
                     let list = iter
                         .next()
@@ -136,6 +150,25 @@ impl BenchArgs {
             Some(1) => vec![1],
             Some(n) => vec![1, n],
             None => vec![1, 8, 32],
+        }
+    }
+
+    /// The simulated topology a NUMA sweep runs under: `--numa-nodes`
+    /// nodes (or `default_nodes` when the flag was absent) over `threads`
+    /// threads.  A node count of 1 yields the topology-blind single-node
+    /// layout; larger counts must divide the thread count so every node
+    /// hosts the same number of workers.
+    pub fn numa_topology(&self, default_nodes: usize) -> smq_runtime::Topology {
+        let nodes = self.numa_nodes.unwrap_or(default_nodes);
+        if nodes <= 1 {
+            smq_runtime::Topology::single_node(self.threads)
+        } else {
+            assert!(
+                self.threads.is_multiple_of(nodes),
+                "--numa-nodes ({nodes}) must divide --threads ({})",
+                self.threads
+            );
+            smq_runtime::Topology::split(self.threads, nodes)
         }
     }
 
@@ -219,6 +252,31 @@ mod tests {
     #[should_panic(expected = "--batch needs a positive integer")]
     fn zero_batch_panics() {
         let _ = parse(&["--batch", "0"]);
+    }
+
+    #[test]
+    fn numa_nodes_flag_and_topology() {
+        let (args, rest) = parse(&["--threads", "8", "--numa-nodes", "2"]);
+        assert!(rest.is_empty());
+        assert_eq!(args.numa_nodes, Some(2));
+        let topo = args.numa_topology(1);
+        assert_eq!(topo.num_nodes(), 2);
+        assert_eq!(topo.threads_per_node(), 4);
+        // Flag absent: the caller's default node count applies.
+        let (args, _) = parse(&["--threads", "8"]);
+        assert_eq!(args.numa_nodes, None);
+        assert_eq!(args.numa_topology(2).num_nodes(), 2);
+        assert_eq!(args.numa_topology(1).num_nodes(), 1);
+        // Explicit single node forces the topology-blind layout.
+        let (args, _) = parse(&["--threads", "8", "--numa-nodes", "1"]);
+        assert_eq!(args.numa_topology(2).num_nodes(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide --threads")]
+    fn numa_nodes_must_divide_threads() {
+        let (args, _) = parse(&["--threads", "3", "--numa-nodes", "2"]);
+        let _ = args.numa_topology(2);
     }
 
     #[test]

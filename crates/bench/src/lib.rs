@@ -21,4 +21,6 @@ pub mod schedulers;
 pub use args::{BenchArgs, Scale};
 pub use graphs::{standard_graphs, GraphSpec};
 pub use report::Table;
-pub use schedulers::{run_workload, run_workload_batched, SchedulerSpec, Workload, WorkloadResult};
+pub use schedulers::{
+    run_workload, run_workload_batched, run_workload_numa, SchedulerSpec, Workload, WorkloadResult,
+};

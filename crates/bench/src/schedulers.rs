@@ -244,11 +244,13 @@ impl SchedulerSpec {
     }
 }
 
-/// Topology used when a spec enables NUMA-aware sampling: two simulated
-/// sockets when the thread count allows it.
-fn numa_topology(threads: usize) -> Topology {
-    if threads >= 2 && threads.is_multiple_of(2) {
-        Topology::split(threads, 2)
+/// Topology used when a spec enables NUMA-aware sampling: `nodes`
+/// simulated sockets when the thread count allows it, falling back to the
+/// single-node (topology-blind) layout otherwise so odd thread counts
+/// still run.
+fn numa_topology(threads: usize, nodes: usize) -> Topology {
+    if nodes >= 2 && threads >= nodes && threads.is_multiple_of(nodes) {
+        Topology::split(threads, nodes)
     } else {
         Topology::single_node(threads)
     }
@@ -332,6 +334,8 @@ pub fn run_workload(
 
 /// Builds the scheduler described by `spec_kind` and runs `workload` on
 /// `graph_spec` with `threads` workers and the given hot-path batch size.
+/// Specs that enable NUMA-aware sampling simulate the default two-socket
+/// topology; use [`run_workload_numa`] to pick the node count.
 pub fn run_workload_batched(
     spec_kind: &SchedulerSpec,
     workload: Workload,
@@ -339,6 +343,22 @@ pub fn run_workload_batched(
     threads: usize,
     seed: u64,
     batch: usize,
+) -> WorkloadResult {
+    run_workload_numa(spec_kind, workload, graph_spec, threads, seed, batch, 2)
+}
+
+/// Like [`run_workload_batched`], but with an explicit simulated NUMA node
+/// count for specs that carry a `numa_k` weight (the `--numa-nodes` flag).
+/// Specs with `numa_k: None` ignore it and stay topology-blind.
+#[allow(clippy::too_many_arguments)]
+pub fn run_workload_numa(
+    spec_kind: &SchedulerSpec,
+    workload: Workload,
+    graph_spec: &GraphSpec,
+    threads: usize,
+    seed: u64,
+    batch: usize,
+    numa_nodes: usize,
 ) -> WorkloadResult {
     match spec_kind {
         SchedulerSpec::ClassicMq { c } => {
@@ -361,7 +381,7 @@ pub fn run_workload_batched(
                 .with_delete(*delete)
                 .with_seed(seed);
             if let Some(k) = numa_k {
-                config = config.with_numa(numa_topology(threads), *k);
+                config = config.with_numa(numa_topology(threads, numa_nodes), *k);
             }
             let mq: MultiQueue<Task> = MultiQueue::new(config);
             run_on(&mq, workload, graph_spec, threads, batch)
@@ -380,7 +400,7 @@ pub fn run_workload_batched(
                 .with_p_steal(*p_steal)
                 .with_seed(seed);
             if let Some(k) = numa_k {
-                config = config.with_numa(numa_topology(threads), *k);
+                config = config.with_numa(numa_topology(threads, numa_nodes), *k);
             }
             let smq: HeapSmq<Task> = HeapSmq::new(config);
             run_on(&smq, workload, graph_spec, threads, batch)
@@ -395,7 +415,7 @@ pub fn run_workload_batched(
                 .with_p_steal(*p_steal)
                 .with_seed(seed);
             if let Some(k) = numa_k {
-                config = config.with_numa(numa_topology(threads), *k);
+                config = config.with_numa(numa_topology(threads, numa_nodes), *k);
             }
             let smq: SkipListSmq<Task> = SkipListSmq::new(config);
             run_on(&smq, workload, graph_spec, threads, batch)

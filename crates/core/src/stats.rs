@@ -58,11 +58,19 @@ pub struct OpStats {
     /// `batch_flushes`; `tasks_batched / batch_flushes` is the achieved
     /// insert-side amortization factor.
     pub tasks_batched: u64,
-    /// Queue choices that landed on a queue owned by the same (simulated)
-    /// NUMA node as the calling thread.
-    pub local_node_accesses: u64,
+    /// Queue *choices* (two-choice samples, steal-victim samples) that
+    /// landed on a queue owned by the same (simulated) NUMA node as the
+    /// calling thread.
+    pub local_samples: u64,
     /// Queue choices that landed on a queue owned by a different node.
-    pub remote_node_accesses: u64,
+    pub remote_samples: u64,
+    /// Successful steals whose victim buffer lived on the thief's own node.
+    /// Counted per successful claim (not per sampled victim), so together
+    /// with `remote_steals` it measures where stolen cache lines actually
+    /// travel from — the traffic the paper's weighted sampling minimizes.
+    pub local_steals: u64,
+    /// Successful steals whose victim buffer lived on a different node.
+    pub remote_steals: u64,
 }
 
 impl OpStats {
@@ -80,8 +88,10 @@ impl OpStats {
         self.push_locks_acquired += other.push_locks_acquired;
         self.batch_flushes += other.batch_flushes;
         self.tasks_batched += other.tasks_batched;
-        self.local_node_accesses += other.local_node_accesses;
-        self.remote_node_accesses += other.remote_node_accesses;
+        self.local_samples += other.local_samples;
+        self.remote_samples += other.remote_samples;
+        self.local_steals += other.local_steals;
+        self.remote_steals += other.remote_steals;
     }
 
     /// The per-field difference `self - baseline`, saturating at zero.
@@ -112,12 +122,10 @@ impl OpStats {
                 .saturating_sub(baseline.push_locks_acquired),
             batch_flushes: self.batch_flushes.saturating_sub(baseline.batch_flushes),
             tasks_batched: self.tasks_batched.saturating_sub(baseline.tasks_batched),
-            local_node_accesses: self
-                .local_node_accesses
-                .saturating_sub(baseline.local_node_accesses),
-            remote_node_accesses: self
-                .remote_node_accesses
-                .saturating_sub(baseline.remote_node_accesses),
+            local_samples: self.local_samples.saturating_sub(baseline.local_samples),
+            remote_samples: self.remote_samples.saturating_sub(baseline.remote_samples),
+            local_steals: self.local_steals.saturating_sub(baseline.local_steals),
+            remote_steals: self.remote_steals.saturating_sub(baseline.remote_steals),
         }
     }
 
@@ -130,16 +138,46 @@ impl OpStats {
         total
     }
 
-    /// The fraction of node-classified queue accesses that stayed on the
-    /// caller's node (the paper's NUMA-friendliness metric), or `None` when
-    /// no accesses were classified (non-NUMA schedulers).
-    pub fn node_locality(&self) -> Option<f64> {
-        let total = self.local_node_accesses + self.remote_node_accesses;
+    /// The fraction of node-classified queue *samples* (two-choice picks,
+    /// steal-victim picks) that stayed on the caller's node, or `None` when
+    /// no samples were classified (non-NUMA schedulers).
+    pub fn sample_locality_rate(&self) -> Option<f64> {
+        let total = self.local_samples + self.remote_samples;
         if total == 0 {
             None
         } else {
-            Some(self.local_node_accesses as f64 / total as f64)
+            Some(self.local_samples as f64 / total as f64)
         }
+    }
+
+    /// The fraction of successful *steals* whose victim lived on the
+    /// thief's own node, or `None` when nothing was stolen.
+    pub fn steal_locality_rate(&self) -> Option<f64> {
+        let total = self.local_steals + self.remote_steals;
+        if total == 0 {
+            None
+        } else {
+            Some(self.local_steals as f64 / total as f64)
+        }
+    }
+
+    /// The combined in-node fraction over every node-classified event
+    /// (samples and steals together) — the paper's `E_int` metric of
+    /// Section 4 — or `None` when nothing was classified.
+    pub fn locality_rate(&self) -> Option<f64> {
+        let local = self.local_samples + self.local_steals;
+        let total = local + self.remote_samples + self.remote_steals;
+        if total == 0 {
+            None
+        } else {
+            Some(local as f64 / total as f64)
+        }
+    }
+
+    /// Alias for [`locality_rate`](Self::locality_rate), kept under the
+    /// name the bench tables historically printed as `In-node`.
+    pub fn node_locality(&self) -> Option<f64> {
+        self.locality_rate()
     }
 
     /// Fraction of steal attempts that succeeded, or `None` if no steals were
@@ -233,8 +271,10 @@ mod tests {
             push_locks_acquired: a + 11,
             batch_flushes: a + 12,
             tasks_batched: a + 13,
-            local_node_accesses: a + 7,
-            remote_node_accesses: a + 8,
+            local_samples: a + 7,
+            remote_samples: a + 8,
+            local_steals: a + 14,
+            remote_steals: a + 15,
         }
     }
 
@@ -255,8 +295,10 @@ mod tests {
         assert_eq!(a.push_locks_acquired, 132);
         assert_eq!(a.batch_flushes, 134);
         assert_eq!(a.tasks_batched, 136);
-        assert_eq!(a.local_node_accesses, 124);
-        assert_eq!(a.remote_node_accesses, 126);
+        assert_eq!(a.local_samples, 124);
+        assert_eq!(a.remote_samples, 126);
+        assert_eq!(a.local_steals, 138);
+        assert_eq!(a.remote_steals, 140);
     }
 
     #[test]
@@ -276,8 +318,10 @@ mod tests {
         assert_eq!(delta.push_locks_acquired, 60);
         assert_eq!(delta.batch_flushes, 60);
         assert_eq!(delta.tasks_batched, 60);
-        assert_eq!(delta.local_node_accesses, 60);
-        assert_eq!(delta.remote_node_accesses, 60);
+        assert_eq!(delta.local_samples, 60);
+        assert_eq!(delta.remote_samples, 60);
+        assert_eq!(delta.local_steals, 60);
+        assert_eq!(delta.remote_steals, 60);
         // Round trip: baseline + delta == later.
         let mut rebuilt = earlier.clone();
         rebuilt.merge(&delta);
@@ -289,20 +333,31 @@ mod tests {
         let stats = [sample(1), sample(2), sample(3)];
         let total = OpStats::merged(&stats);
         assert_eq!(total.pushes, 6);
-        assert_eq!(total.remote_node_accesses, (1 + 8) + (2 + 8) + (3 + 8));
+        assert_eq!(total.remote_samples, (1 + 8) + (2 + 8) + (3 + 8));
     }
 
     #[test]
     fn locality_and_steal_rates() {
         let mut s = OpStats::default();
+        assert_eq!(s.sample_locality_rate(), None);
+        assert_eq!(s.steal_locality_rate(), None);
+        assert_eq!(s.locality_rate(), None);
         assert_eq!(s.node_locality(), None);
         assert_eq!(s.steal_success_rate(), None);
-        s.local_node_accesses = 3;
-        s.remote_node_accesses = 1;
+        s.local_samples = 3;
+        s.remote_samples = 1;
         s.steal_attempts = 10;
         s.steal_successes = 4;
-        assert_eq!(s.node_locality(), Some(0.75));
+        assert_eq!(s.sample_locality_rate(), Some(0.75));
+        assert_eq!(s.steal_locality_rate(), None, "nothing classified stolen");
+        assert_eq!(s.locality_rate(), Some(0.75));
         assert_eq!(s.steal_success_rate(), Some(0.4));
+        // Steal classification folds into the combined E_int rate.
+        s.local_steals = 3;
+        s.remote_steals = 1;
+        assert_eq!(s.steal_locality_rate(), Some(0.75));
+        assert_eq!(s.locality_rate(), Some(0.75));
+        assert_eq!(s.node_locality(), s.locality_rate());
     }
 
     #[test]

@@ -59,6 +59,12 @@ pub struct MultiQueueConfig {
     pub delete: DeletePolicy,
     /// Optional NUMA-aware sampling.
     pub numa: Option<NumaConfig>,
+    /// Native `push_batch` runs larger than this are halved across *two*
+    /// independently sampled sub-queues instead of dumped into one, keeping
+    /// per-queue key distributions balanced under big batches while still
+    /// paying at most two insert locks per batch.  Batches up to this size
+    /// (default 16) keep the one-queue/one-lock fast path.
+    pub batch_split: usize,
     /// Seed for the per-thread PRNGs (runs are reproducible for a fixed seed
     /// and thread interleaving).
     pub seed: u64,
@@ -74,6 +80,7 @@ impl MultiQueueConfig {
             insert: InsertPolicy::Direct,
             delete: DeletePolicy::TwoChoice,
             numa: None,
+            batch_split: 16,
             seed: 0xC1A5_51C0,
         }
     }
@@ -99,6 +106,23 @@ impl MultiQueueConfig {
     /// Enables NUMA-aware sampling over `topology` with weight `K`.
     pub fn with_numa(mut self, topology: Topology, k: u32) -> Self {
         self.numa = Some(NumaConfig { topology, k });
+        self
+    }
+
+    /// Enables NUMA-aware sampling with the paper's recommended scaling:
+    /// `K` grows linearly with the thread count (`K = T`, clamped to at
+    /// least 2) so the expected in-node access fraction stays constant as
+    /// the fleet grows.
+    pub fn with_numa_scaled(self, topology: Topology) -> Self {
+        let k = topology.num_threads().max(2) as u32;
+        self.with_numa(topology, k)
+    }
+
+    /// Sets the batch size above which native `push_batch` splits the run
+    /// across two sampled sub-queues (see
+    /// [`batch_split`](Self::batch_split)).
+    pub fn with_batch_split(mut self, batch_split: usize) -> Self {
+        self.batch_split = batch_split;
         self
     }
 
@@ -128,6 +152,7 @@ impl MultiQueueConfig {
         if let DeletePolicy::Batching(b) = self.delete {
             assert!(b >= 1, "delete batch size must be >= 1");
         }
+        assert!(self.batch_split >= 1, "batch split threshold must be >= 1");
         if let Some(numa) = &self.numa {
             assert_eq!(
                 numa.topology.num_threads(),
@@ -165,6 +190,33 @@ mod tests {
         assert_eq!(cfg.num_queues(), 8);
         assert_eq!(cfg.seed, 7);
         assert_eq!(cfg.numa.as_ref().unwrap().k, 64);
+    }
+
+    #[test]
+    fn scaled_numa_tracks_thread_count() {
+        let cfg = MultiQueueConfig::classic(8).with_numa_scaled(Topology::split(8, 2));
+        cfg.validate();
+        assert_eq!(cfg.numa.as_ref().unwrap().k, 8);
+        // Tiny fleets still get a meaningful remote penalty.
+        let tiny = MultiQueueConfig::classic(1)
+            .with_c_factor(2)
+            .with_numa_scaled(Topology::single_node(1));
+        assert_eq!(tiny.numa.as_ref().unwrap().k, 2);
+    }
+
+    #[test]
+    fn batch_split_default_and_builder() {
+        let cfg = MultiQueueConfig::classic(4);
+        assert_eq!(cfg.batch_split, 16);
+        let cfg = cfg.with_batch_split(64);
+        cfg.validate();
+        assert_eq!(cfg.batch_split, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch split threshold")]
+    fn zero_batch_split_rejected() {
+        MultiQueueConfig::classic(2).with_batch_split(0).validate();
     }
 
     #[test]

@@ -93,7 +93,7 @@ use std::time::Instant;
 
 use smq_core::{OpStats, Scheduler, SchedulerHandle, Task};
 use smq_runtime::executor::{worker_loop, WorkerLoopConfig};
-use smq_runtime::{RunMetrics, Scratch, TerminationDetector};
+use smq_runtime::{RunMetrics, Scratch, TerminationDetector, Topology};
 
 /// Pool tuning knobs.
 ///
@@ -123,6 +123,13 @@ pub struct PoolConfig {
     /// [`WorkerLoopConfig`] the one-shot executor uses, so defaults live in
     /// one place.
     pub worker: WorkerLoopConfig,
+    /// Optional (simulated) NUMA topology covering the whole fleet.  When
+    /// set, gang placement is socket-aligned: `gang_size` must divide
+    /// `threads_per_node`, so no gang ever straddles a node boundary, and
+    /// [`node_of_gang`](Self::node_of_gang) reports each gang's home node
+    /// (which [`WorkerPool::new_aligned`] forwards to the scheduler
+    /// factory).  `None` (the default) keeps placement topology-blind.
+    pub topology: Option<Topology>,
 }
 
 impl PoolConfig {
@@ -133,6 +140,7 @@ impl PoolConfig {
             gangs: 1,
             gang_size: threads,
             worker: WorkerLoopConfig::default(),
+            topology: None,
         }
     }
 
@@ -143,6 +151,64 @@ impl PoolConfig {
             gangs,
             gang_size,
             worker: WorkerLoopConfig::default(),
+            topology: None,
+        }
+    }
+
+    /// A socket-aligned configuration covering every thread of `topology`:
+    /// the requested `gang_size` is snapped *down* to the nearest divisor
+    /// of `threads_per_node` so a gang can never straddle a node boundary,
+    /// and the gang count is whatever tiles the fleet at that size.
+    ///
+    /// A hint of `threads_per_node` (or any multiple of it) yields
+    /// one-gang-per-node placement, the layout the paper's NUMA tables
+    /// assume.
+    pub fn numa_aligned(topology: Topology, gang_size_hint: usize) -> Self {
+        let per_node = topology.threads_per_node();
+        let hint = gang_size_hint.clamp(1, per_node);
+        let gang_size = (1..=hint)
+            .rev()
+            .find(|size| per_node.is_multiple_of(*size))
+            .expect("1 always divides threads_per_node");
+        let gangs = topology.num_threads() / gang_size;
+        Self {
+            gangs,
+            gang_size,
+            worker: WorkerLoopConfig::default(),
+            topology: Some(topology),
+        }
+    }
+
+    /// Attaches a NUMA topology to an existing configuration, asserting the
+    /// socket-alignment invariants (`topology` covers the exact fleet and
+    /// `gang_size` divides `threads_per_node`).  Use
+    /// [`numa_aligned`](Self::numa_aligned) to have the gang size snapped
+    /// automatically instead.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        assert_eq!(
+            topology.num_threads(),
+            self.total_threads(),
+            "topology must cover the pool's whole fleet"
+        );
+        assert_eq!(
+            topology.threads_per_node() % self.gang_size,
+            0,
+            "gang size {} must divide threads_per_node {} so gangs never straddle a node",
+            self.gang_size,
+            topology.threads_per_node()
+        );
+        self.topology = Some(topology);
+        self
+    }
+
+    /// The NUMA node gang `gang` is placed on: gangs tile nodes in order,
+    /// `threads_per_node / gang_size` gangs per node.  Node 0 when no
+    /// topology is configured (single-node placement).
+    pub fn node_of_gang(&self, gang: usize) -> usize {
+        debug_assert!(gang < self.gangs);
+        match &self.topology {
+            Some(topology) => (gang * self.gang_size) / topology.threads_per_node(),
+            None => 0,
         }
     }
 
@@ -519,6 +585,23 @@ impl WorkerPool {
         Self::spawn(refs, Some(Box::new(boxes)), config, worker_main_typed::<S>)
     }
 
+    /// Spawns a socket-aligned pool: like
+    /// [`new_partitioned`](Self::new_partitioned), but the factory receives
+    /// `(gang_index, node)` where `node` is the NUMA node the gang is
+    /// placed on (per [`PoolConfig::node_of_gang`]), so each gang's
+    /// scheduler can be built NUMA-configured for its own socket.
+    ///
+    /// Typically used with [`PoolConfig::numa_aligned`]; without a
+    /// configured topology every gang reports node 0.
+    pub fn new_aligned<S, F>(mut factory: F, config: PoolConfig) -> WorkerPool
+    where
+        S: Scheduler<Task> + Send + Sync + 'static,
+        F: FnMut(usize, usize) -> S,
+    {
+        let nodes: Vec<usize> = (0..config.gangs).map(|g| config.node_of_gang(g)).collect();
+        Self::new_partitioned(|g| factory(g, nodes[g]), config)
+    }
+
     /// Spawns a pool whose gangs may run **different scheduler types** —
     /// the heterogeneous escape hatch behind the same `WorkerPool` API.
     ///
@@ -586,6 +669,18 @@ impl WorkerPool {
         assert!(config.gangs >= 1, "need at least one gang");
         assert!(config.gang_size >= 1, "need at least one worker per gang");
         assert_eq!(schedulers.len(), config.gangs, "one scheduler per gang");
+        if let Some(topology) = &config.topology {
+            assert_eq!(
+                topology.num_threads(),
+                config.total_threads(),
+                "topology must cover the pool's whole fleet"
+            );
+            assert_eq!(
+                topology.threads_per_node() % config.gang_size,
+                0,
+                "gang size must divide threads_per_node so gangs never straddle a node"
+            );
+        }
         for (g, scheduler) in schedulers.iter().enumerate() {
             // SAFETY: the pointees are alive for the whole constructor.
             let scheduler_threads = unsafe { (*scheduler.0).num_threads() };
@@ -632,10 +727,19 @@ impl WorkerPool {
         let total = config.total_threads();
         let mut workers = Vec::with_capacity(total);
         for gang in 0..config.gangs {
+            // Socket-aligned pools carry the node in the worker identity so
+            // thread dumps show placement at a glance.
+            let name_of = |local: usize| match &config.topology {
+                Some(_) => {
+                    let node = config.node_of_gang(gang);
+                    format!("smq-pool-n{node}-{gang}-{local}")
+                }
+                None => format!("smq-pool-{gang}-{local}"),
+            };
             for local in 0..config.gang_size {
                 let worker_inner = Arc::clone(&inner);
                 match std::thread::Builder::new()
-                    .name(format!("smq-pool-{gang}-{local}"))
+                    .name(name_of(local))
                     .spawn(move || entry(&worker_inner, gang, local))
                 {
                     Ok(handle) => workers.push(handle),
@@ -1083,6 +1187,63 @@ mod tests {
             |_| smq(gang_size),
             PoolConfig::partitioned(gangs, gang_size),
         )
+    }
+
+    #[test]
+    fn numa_aligned_snaps_gang_size_to_node_divisors() {
+        // 2 nodes × 4 threads; a hint of 3 snaps down to 2 (largest divisor
+        // of 4 that is <= 3), giving 4 gangs of 2.
+        let cfg = PoolConfig::numa_aligned(Topology::uniform(2, 4), 3);
+        assert_eq!(cfg.gang_size, 2);
+        assert_eq!(cfg.gangs, 4);
+        assert_eq!(cfg.total_threads(), 8);
+        // Gangs tile nodes in order, two gangs per node.
+        assert_eq!(cfg.node_of_gang(0), 0);
+        assert_eq!(cfg.node_of_gang(1), 0);
+        assert_eq!(cfg.node_of_gang(2), 1);
+        assert_eq!(cfg.node_of_gang(3), 1);
+        // A whole-node hint yields one gang per node.
+        let cfg = PoolConfig::numa_aligned(Topology::uniform(2, 4), 4);
+        assert_eq!(cfg.gang_size, 4);
+        assert_eq!(cfg.gangs, 2);
+        assert_eq!(cfg.node_of_gang(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide threads_per_node")]
+    fn straddling_gang_rejected() {
+        // Gang of 3 across nodes of 4 threads would straddle a boundary.
+        let _ = PoolConfig::partitioned(4, 3).with_topology(Topology::uniform(3, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the pool's whole fleet")]
+    fn topology_fleet_mismatch_rejected() {
+        let _ = PoolConfig::partitioned(2, 2).with_topology(Topology::uniform(2, 4));
+    }
+
+    #[test]
+    fn aligned_pool_hands_each_gang_its_node() {
+        let topology = Topology::uniform(2, 2);
+        let cfg = PoolConfig::numa_aligned(topology.clone(), 2);
+        assert_eq!(cfg.gangs, 2);
+        let mut seen = Vec::new();
+        let mut pool = WorkerPool::new_aligned(
+            |gang, node| {
+                seen.push((gang, node));
+                HeapSmq::new(
+                    SmqConfig::default_for_threads(2)
+                        .with_numa_scaled(Topology::single_node(2))
+                        .with_seed(7),
+                )
+            },
+            cfg,
+        );
+        assert_eq!(seen, vec![(0, 0), (1, 1)]);
+        let job = FanoutJob::new(50, 50);
+        let out = pool.run_job(&job);
+        assert_eq!(out.metrics.tasks_executed, 150);
+        pool.shutdown();
     }
 
     #[test]

@@ -39,6 +39,7 @@ use smq_core::{OpStats, Scheduler, SchedulerHandle};
 use crate::metrics::RunMetrics;
 use crate::scratch::Scratch;
 use crate::termination::{TerminationDetector, WorkerTally};
+use crate::topology::Topology;
 
 /// Executor tuning knobs.
 #[derive(Debug, Clone)]
@@ -49,6 +50,12 @@ pub struct ExecutorConfig {
     /// The per-worker loop knobs (shared with the resident worker pool, so
     /// the defaults and their meaning live in exactly one place).
     pub worker: WorkerLoopConfig,
+    /// Optional (simulated) NUMA topology.  When set it must cover exactly
+    /// `threads` workers; each worker's [`WorkerId`] then carries the node
+    /// the topology places it on (reflected in its OS thread name).  Does
+    /// not change scheduling by itself — pair it with a NUMA-configured
+    /// scheduler.
+    pub topology: Option<Topology>,
 }
 
 impl ExecutorConfig {
@@ -57,6 +64,7 @@ impl ExecutorConfig {
         Self {
             threads,
             worker: WorkerLoopConfig::default(),
+            topology: None,
         }
     }
 
@@ -65,6 +73,43 @@ impl ExecutorConfig {
     pub fn with_batch(mut self, batch_size: usize) -> Self {
         self.worker.batch_size = batch_size.max(1);
         self
+    }
+
+    /// Attaches a (simulated) NUMA topology; worker identities pick up
+    /// their node from it (see [`ExecutorConfig::topology`]).
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        assert_eq!(
+            topology.num_threads(),
+            self.threads,
+            "topology must cover exactly the executor's worker threads"
+        );
+        self.topology = Some(topology);
+        self
+    }
+}
+
+/// The identity one executor/pool worker runs under: its dense thread index
+/// and the NUMA node the configured topology places it on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerId {
+    /// Dense worker index in `0..threads` — the id scheduler handles are
+    /// created with.
+    pub tid: usize,
+    /// NUMA node hosting this worker (0 without a topology).
+    pub node: usize,
+}
+
+impl WorkerId {
+    /// Resolves `tid`'s node through an optional topology.
+    pub fn new(tid: usize, topology: Option<&Topology>) -> Self {
+        let node = topology.map_or(0, |t| t.node_of_thread(tid));
+        Self { tid, node }
+    }
+
+    /// The OS thread name this worker is spawned under
+    /// (`<prefix>-n<node>-<tid>`), so thread dumps show placement.
+    pub fn thread_name(&self, prefix: &str) -> String {
+        format!("{prefix}-n{}-{}", self.node, self.tid)
     }
 }
 
@@ -386,34 +431,38 @@ where
             let detector = &detector;
             let process = &process;
             let loop_config = &loop_config;
-            join_handles.push(scope.spawn(move || {
-                let mut handle = scheduler.handle(tid);
-                let mut tally = detector.tally(tid);
-                let mut scratch = Scratch::new();
-                // Seeds were pre-credited; pushing them needs no recording.
-                // Same rule as the pool's worker: one batch call above
-                // batch size 1, the exact per-task path at 1.
-                if loop_config.batch_size > 1 {
-                    let mut seed = seed;
-                    handle.push_batch(&mut seed);
-                } else {
-                    for task in seed {
-                        handle.push(task);
+            let worker_id = WorkerId::new(tid, config.topology.as_ref());
+            let spawned = std::thread::Builder::new()
+                .name(worker_id.thread_name("smq-worker"))
+                .spawn_scoped(scope, move || {
+                    let mut handle = scheduler.handle(tid);
+                    let mut tally = detector.tally(tid);
+                    let mut scratch = Scratch::new();
+                    // Seeds were pre-credited; pushing them needs no recording.
+                    // Same rule as the pool's worker: one batch call above
+                    // batch size 1, the exact per-task path at 1.
+                    if loop_config.batch_size > 1 {
+                        let mut seed = seed;
+                        handle.push_batch(&mut seed);
+                    } else {
+                        for task in seed {
+                            handle.push(task);
+                        }
                     }
-                }
-                // Make seed tasks visible before anyone starts spinning.
-                handle.flush();
-                let outcome = worker_loop(
-                    &mut handle,
-                    detector,
-                    &mut tally,
-                    &mut scratch,
-                    loop_config,
-                    None,
-                    |task, sink, scratch| process(task, sink, scratch),
-                );
-                (outcome, handle.stats())
-            }));
+                    // Make seed tasks visible before anyone starts spinning.
+                    handle.flush();
+                    let outcome = worker_loop(
+                        &mut handle,
+                        detector,
+                        &mut tally,
+                        &mut scratch,
+                        loop_config,
+                        None,
+                        |task, sink, scratch| process(task, sink, scratch),
+                    );
+                    (outcome, handle.stats())
+                });
+            join_handles.push(spawned.expect("failed to spawn executor worker"));
         }
         join_handles
             .into_iter()

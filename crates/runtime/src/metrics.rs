@@ -56,10 +56,11 @@ impl RunMetrics {
         }
     }
 
-    /// The NUMA locality ratio observed during the run, if any accesses were
-    /// classified.
+    /// The combined NUMA locality ratio observed during the run (the
+    /// paper's `E_int`: in-node samples and steals over all classified
+    /// events), if any were classified.
     pub fn node_locality(&self) -> Option<f64> {
-        self.total.node_locality()
+        self.total.locality_rate()
     }
 }
 

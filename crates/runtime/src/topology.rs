@@ -80,15 +80,35 @@ impl Topology {
         thread_id / self.threads_per_node
     }
 
+    /// Sub-queues a node owns when every thread owns `queues_per_thread`
+    /// queues: the size of one node-blocked region.
+    #[inline]
+    pub fn queues_per_node(&self, queues_per_thread: usize) -> usize {
+        debug_assert!(queues_per_thread >= 1);
+        self.threads_per_node * queues_per_thread
+    }
+
     /// The node owning queue `queue_id` when there are
-    /// `queues_per_thread * num_threads()` queues in total and queue `q` is
-    /// owned by thread `q % num_threads()` (the Multi-Queue layout used
-    /// throughout the workspace).
+    /// `queues_per_thread * num_threads()` queues in total.
+    ///
+    /// Queues are assigned to nodes in contiguous *blocks* — node `n` owns
+    /// indices `[n * R, (n + 1) * R)` with `R = queues_per_node` — so each
+    /// node's sub-queues (and their cache-padded top-key words) occupy one
+    /// contiguous region of the scheduler's queue array, the layout a real
+    /// first-touch NUMA allocator would place on that node's memory.
     #[inline]
     pub fn node_of_queue(&self, queue_id: usize, queues_per_thread: usize) -> usize {
-        debug_assert!(queues_per_thread >= 1);
         debug_assert!(queue_id < queues_per_thread * self.num_threads());
-        self.node_of_thread(queue_id % self.num_threads())
+        queue_id / self.queues_per_node(queues_per_thread)
+    }
+
+    /// The contiguous block of queue indices owned by `node` (see
+    /// [`node_of_queue`](Self::node_of_queue)).
+    #[inline]
+    pub fn queues_of_node(&self, node: usize, queues_per_thread: usize) -> core::ops::Range<usize> {
+        debug_assert!(node < self.num_nodes);
+        let region = self.queues_per_node(queues_per_thread);
+        node * region..(node + 1) * region
     }
 }
 
@@ -192,30 +212,21 @@ impl WeightedQueueSampler {
             return (q, local);
         }
         let my_node = self.topology.node_of_thread(thread_id);
-        let local_per_node = self.topology.threads_per_node() * self.queues_per_thread;
+        let region = self.topology.queues_per_node(self.queues_per_thread);
         if rng.next_f64() < self.p_local {
-            // Uniform among this node's queues.  Queue q is on node
-            // node_of_thread(q % T); enumerate them via the thread block.
-            let t = self.topology.threads_per_node();
-            let thread_in_node = rng.next_bounded(t);
-            let owner = my_node * t + thread_in_node;
-            let replica = rng.next_bounded(self.queues_per_thread);
-            (replica * self.topology.num_threads() + owner, true)
+            // Uniform inside this node's contiguous queue block.
+            (my_node * region + rng.next_bounded(region), true)
         } else {
-            // Uniform among remote queues.
-            let remote_total = (nodes - 1) * local_per_node;
-            let pick = rng.next_bounded(remote_total);
-            let remote_node_rank = pick / local_per_node;
+            // Uniform among remote queues: pick a slot in the concatenation
+            // of every *other* node's block, then skip past the local node.
+            let pick = rng.next_bounded((nodes - 1) * region);
+            let remote_node_rank = pick / region;
             let node = if remote_node_rank >= my_node {
                 remote_node_rank + 1
             } else {
                 remote_node_rank
             };
-            let within = pick % local_per_node;
-            let t = self.topology.threads_per_node();
-            let owner = node * t + (within % t);
-            let replica = within / t;
-            (replica * self.topology.num_threads() + owner, false)
+            (node * region + pick % region, false)
         }
     }
 }
@@ -260,12 +271,34 @@ mod tests {
     }
 
     #[test]
-    fn queue_node_follows_owner_thread() {
+    fn queue_blocks_are_contiguous_per_node() {
         let topo = Topology::uniform(2, 2); // threads 0,1 on node 0; 2,3 on node 1
         let c = 3;
+        let region = topo.queues_per_node(c);
+        assert_eq!(region, 6);
         for q in 0..(c * 4) {
-            let owner = q % 4;
-            assert_eq!(topo.node_of_queue(q, c), topo.node_of_thread(owner));
+            assert_eq!(topo.node_of_queue(q, c), q / region);
+        }
+        assert_eq!(topo.queues_of_node(0, c), 0..6);
+        assert_eq!(topo.queues_of_node(1, c), 6..12);
+    }
+
+    #[test]
+    fn queue_blocks_partition_the_queue_space() {
+        for (nodes, tpn, c) in [(1, 4, 1), (2, 2, 3), (4, 4, 4), (3, 2, 2)] {
+            let topo = Topology::uniform(nodes, tpn);
+            let total = c * topo.num_threads();
+            let mut owner_count = vec![0usize; total];
+            for node in 0..nodes {
+                for q in topo.queues_of_node(node, c) {
+                    assert_eq!(topo.node_of_queue(q, c), node);
+                    owner_count[q] += 1;
+                }
+            }
+            assert!(
+                owner_count.iter().all(|&n| n == 1),
+                "every queue must belong to exactly one node"
+            );
         }
     }
 

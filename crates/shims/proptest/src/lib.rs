@@ -182,9 +182,38 @@ pub mod collection {
     }
 }
 
+/// Value-selection strategies (`proptest::sample`).
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy drawing uniformly from a fixed list of values (see
+    /// [`select`]).
+    #[derive(Debug, Clone)]
+    pub struct Select<T> {
+        values: Vec<T>,
+    }
+
+    /// Generates one of `values`, chosen uniformly per case.
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select needs at least one value");
+        Select { values }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.values[(rng.next_u64() % self.values.len() as u64) as usize].clone()
+        }
+    }
+}
+
 /// Everything a property test file needs in scope.
 pub mod prelude {
     pub use crate::collection;
+    // The real crate aliases its root as `prop` in the prelude, enabling
+    // the idiomatic `prop::sample::select(...)` spelling.
+    pub use crate::{self as prop};
     pub use crate::{any, prop_assert, prop_assert_eq, proptest, Arbitrary, Strategy, TestRng};
 }
 
@@ -260,6 +289,11 @@ mod tests {
                 let _ = flag;
                 prop_assert!(v < 50);
             }
+        }
+
+        #[test]
+        fn select_draws_only_listed_values(v in prop::sample::select(vec![3u32, 7, 31])) {
+            prop_assert!(v == 3 || v == 7 || v == 31);
         }
     }
 }

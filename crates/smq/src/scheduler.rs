@@ -208,38 +208,17 @@ where
         Some(first)
     }
 
-    /// `trySteal()` of Listing 2: pick a random victim, compare its
-    /// published top against our local top, and claim its batch if it wins.
-    fn try_steal(&mut self) -> Option<T> {
-        if self.parent.config.threads == 1 {
-            return None;
-        }
-        self.stats.steal_attempts += 1;
-        // Sample a victim; with NUMA-aware sampling this is weighted towards
-        // the caller's node.
-        let victim = loop {
-            let (v, local) = self.parent.sampler.sample(self.thread_id, &mut self.rng);
-            if local {
-                self.stats.local_node_accesses += 1;
-            } else {
-                self.stats.remote_node_accesses += 1;
-            }
-            if v != self.thread_id {
-                break v;
-            }
-        };
-        // Compare advisory top-key snapshots — the same idiom as the
-        // Multi-Queue's snapshot-guided delete: no seqlock read loop, no
-        // slot access, just two relaxed word reads.  `claim_buffer`
-        // re-validates through the epoch-checked state word, so a stale
-        // snapshot costs at most a wasted claim attempt.
-        let victim_key = self.parent.slots[victim].buffer.top_key();
-        if victim_key >= self.local_top_key() {
-            return None;
-        }
+    /// Claims `victim`'s batch, recording success/failure statistics and
+    /// classifying a successful steal as local or remote.
+    fn claim_recorded(&mut self, victim: usize, victim_local: bool) -> Option<T> {
         match self.claim_buffer(victim) {
             Some(task) => {
                 self.stats.steal_successes += 1;
+                if victim_local {
+                    self.stats.local_steals += 1;
+                } else {
+                    self.stats.remote_steals += 1;
+                }
                 self.stats.stolen_tasks += 1 + self.stolen_tasks.len() as u64;
                 Some(task)
             }
@@ -252,6 +231,71 @@ where
                 None
             }
         }
+    }
+
+    /// Rolls the configured remote-fallback die and, when it fires, picks
+    /// one uniformly random victim on a *different* node.  `None` without
+    /// NUMA configuration, on single-node topologies, or when the die says
+    /// stay local.
+    fn remote_fallback_victim(&mut self) -> Option<usize> {
+        let numa = self.parent.config.numa.as_ref()?;
+        let topology = &numa.topology;
+        if topology.num_nodes() <= 1 || !numa.remote_fallback.sample(&mut self.rng) {
+            return None;
+        }
+        let per_node = topology.threads_per_node();
+        let my_node = topology.node_of_thread(self.thread_id);
+        let pick = self.rng.next_bounded((topology.num_nodes() - 1) * per_node);
+        let rank = pick / per_node;
+        let node = if rank >= my_node { rank + 1 } else { rank };
+        self.stats.remote_samples += 1;
+        Some(node * per_node + pick % per_node)
+    }
+
+    /// `trySteal()` of Listing 2: pick a random victim, compare its
+    /// published top against our local top, and claim its batch if it wins.
+    ///
+    /// With NUMA-aware sampling the victim choice is weighted towards the
+    /// caller's node; when the preferred (local) victim loses the snapshot
+    /// comparison, one additional uniformly random *remote* victim is
+    /// probed with the configured fallback probability so in-node work
+    /// imbalances cannot strand remote batches.
+    fn try_steal(&mut self) -> Option<T> {
+        if self.parent.config.threads == 1 {
+            return None;
+        }
+        self.stats.steal_attempts += 1;
+        // Sample a victim; with NUMA-aware sampling this is weighted towards
+        // the caller's node.
+        let (victim, victim_local) = loop {
+            let (v, local) = self.parent.sampler.sample(self.thread_id, &mut self.rng);
+            if local {
+                self.stats.local_samples += 1;
+            } else {
+                self.stats.remote_samples += 1;
+            }
+            if v != self.thread_id {
+                break (v, local);
+            }
+        };
+        // Compare advisory top-key snapshots — the same idiom as the
+        // Multi-Queue's snapshot-guided delete: no seqlock read loop, no
+        // slot access, just two relaxed word reads.  `claim_buffer`
+        // re-validates through the epoch-checked state word, so a stale
+        // snapshot costs at most a wasted claim attempt.
+        let victim_key = self.parent.slots[victim].buffer.top_key();
+        if victim_key < self.local_top_key() {
+            return self.claim_recorded(victim, victim_local);
+        }
+        if victim_local {
+            if let Some(remote) = self.remote_fallback_victim() {
+                let remote_key = self.parent.slots[remote].buffer.top_key();
+                if remote_key < self.local_top_key() {
+                    return self.claim_recorded(remote, false);
+                }
+            }
+        }
+        None
     }
 
     /// Removes the best locally available task: either the head of our own
@@ -719,7 +763,43 @@ mod tests {
         let _ = drain(&mut h);
         let stats = h.stats();
         assert!(stats.steal_attempts > 0);
-        assert!(stats.local_node_accesses + stats.remote_node_accesses > 0);
+        assert!(stats.local_samples + stats.remote_samples > 0);
+    }
+
+    #[test]
+    fn successful_steals_are_classified_by_node() {
+        // Thread 0 (node 0) publishes a batch, thread 1 (same node) and
+        // thread 2 (other node) each steal one: the classification counters
+        // must attribute each steal to the victim's node.
+        let config = SmqConfig::default_for_threads(4)
+            .with_p_steal(Probability::ALWAYS)
+            .with_numa(Topology::split(4, 2), 16)
+            .with_seed(5);
+        let smq: HeapSmq<u64> = HeapSmq::new(config);
+        {
+            let mut h0 = smq.handle(0);
+            h0.push(0);
+            // Dropped without popping: the buffer advertises key 0.
+        }
+        let mut h1 = smq.handle(1);
+        let got = (0..64).find_map(|_| h1.pop());
+        assert_eq!(got, Some(0));
+        let s1 = h1.stats();
+        assert_eq!(s1.local_steals, 1, "victim 0 is on thread 1's node");
+        assert_eq!(s1.remote_steals, 0);
+        assert_eq!(s1.steal_locality_rate(), Some(1.0));
+        drop(h1);
+        {
+            let mut h3 = smq.handle(3);
+            h3.push(7);
+            // Node-1 buffer now advertises key 7.
+        }
+        let mut h2 = smq.handle(2);
+        let got = (0..64).find_map(|_| h2.pop());
+        assert_eq!(got, Some(7));
+        let s2 = h2.stats();
+        assert_eq!(s2.local_steals, 1, "victim 3 is on thread 2's node");
+        assert_eq!(s2.remote_steals, 0);
     }
 
     #[test]
