@@ -204,6 +204,33 @@ where
     )
 }
 
+/// [`run_parallel_batched`] with opt-in instrumentation: the run's
+/// metrics then carry a merged `TelemetryReport` (phase times, rank-error
+/// histogram, trace lanes when an event ring is configured).
+///
+/// With `TelemetryConfig::disabled()` this is exactly
+/// `run_parallel_batched` — the workers take no timestamps and make no
+/// extra scheduler calls.
+pub fn run_parallel_instrumented<W, S>(
+    workload: &W,
+    scheduler: &S,
+    threads: usize,
+    batch_size: usize,
+    telemetry: smq_telemetry::TelemetryConfig,
+) -> EngineRun<W::Output>
+where
+    W: DecreaseKeyWorkload,
+    S: Scheduler<Task>,
+{
+    WorkerPool::with_borrowed(
+        scheduler,
+        PoolConfig::new(threads)
+            .with_batch(batch_size)
+            .with_telemetry(telemetry),
+        |pool| run_on_pool(workload, pool),
+    )
+}
+
 /// Runs the parallel workload and asserts it is equivalent to its
 /// sequential reference, returning both runs' data.  The shared
 /// correctness check used by the integration and property tests.

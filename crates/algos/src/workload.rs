@@ -58,6 +58,7 @@ mod tests {
                 quiescence_scans: 0,
                 per_thread: vec![OpStats::default()],
                 total: OpStats::default(),
+                telemetry: None,
             },
             useful_tasks: useful,
             wasted_tasks: wasted,

@@ -35,6 +35,12 @@ pub struct BenchArgs {
     /// runs topology-blind).  `--numa-nodes 1` forces the single-node
     /// (topology-blind) baseline explicitly.
     pub numa_nodes: Option<usize>,
+    /// Destination for JSONL metrics snapshots from `--metrics-json PATH`;
+    /// `None` disables the export (and the telemetry that feeds it).
+    pub metrics_json: Option<std::path::PathBuf>,
+    /// Destination for a chrome://tracing JSON file from `--trace PATH`;
+    /// `None` disables per-worker event recording.
+    pub trace: Option<std::path::PathBuf>,
 }
 
 impl Default for BenchArgs {
@@ -47,6 +53,8 @@ impl Default for BenchArgs {
             workloads: None,
             batch: None,
             numa_nodes: None,
+            metrics_json: None,
+            trace: None,
         }
     }
 }
@@ -103,6 +111,14 @@ impl BenchArgs {
                         .expect("--numa-nodes needs a positive integer");
                     assert!(nodes >= 1, "--numa-nodes needs a positive integer");
                     out.numa_nodes = Some(nodes);
+                }
+                "--metrics-json" => {
+                    let path = iter.next().expect("--metrics-json needs a file path");
+                    out.metrics_json = Some(std::path::PathBuf::from(path));
+                }
+                "--trace" => {
+                    let path = iter.next().expect("--trace needs a file path");
+                    out.trace = Some(std::path::PathBuf::from(path));
                 }
                 "--workloads" => {
                     let list = iter
@@ -277,6 +293,29 @@ mod tests {
     fn numa_nodes_must_divide_threads() {
         let (args, _) = parse(&["--threads", "3", "--numa-nodes", "2"]);
         let _ = args.numa_topology(2);
+    }
+
+    #[test]
+    fn export_paths_are_parsed() {
+        let (args, rest) = parse(&[]);
+        assert!(rest.is_empty());
+        assert_eq!(args.metrics_json, None);
+        assert_eq!(args.trace, None);
+        let (args, rest) = parse(&[
+            "--metrics-json",
+            "/tmp/metrics.jsonl",
+            "--trace",
+            "/tmp/trace.json",
+        ]);
+        assert!(rest.is_empty());
+        assert_eq!(
+            args.metrics_json,
+            Some(std::path::PathBuf::from("/tmp/metrics.jsonl"))
+        );
+        assert_eq!(
+            args.trace,
+            Some(std::path::PathBuf::from("/tmp/trace.json"))
+        );
     }
 
     #[test]

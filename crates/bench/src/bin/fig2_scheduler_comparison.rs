@@ -14,6 +14,11 @@
 //! and `Locks/op` columns make the batch-granularity claim visible —
 //! locks (and lock-equivalent synchronization passes) per scheduler
 //! operation must fall as the batch grows, at unchanged answers.
+//!
+//! The `Rank err p50/p99` column reports the sampled rank-error probe
+//! (popped key minus a cheap global-min estimate, every 64th pop) for
+//! schedulers that expose a min-key hint; OBIM/PMOD and SprayList show
+//! `-`.
 
 use smq_bench::{
     report::f2, run_workload_batched, schedulers::baseline, standard_graphs, BenchArgs,
@@ -103,6 +108,7 @@ fn main() {
                     "Wasted %",
                     "Locks/op",
                     "NUMA locality",
+                    "Rank err p50/p99",
                 ],
             );
             for (label, kind) in &schedulers {
@@ -115,6 +121,7 @@ fn main() {
                     // other column in the row.
                     let mut locks_sum = 0.0;
                     let mut locks_reps = 0u32;
+                    let mut rank_errors = smq_telemetry::LogHistogram::new();
                     for rep in 0..args.repetitions {
                         let r = run_workload_batched(
                             kind,
@@ -132,6 +139,7 @@ fn main() {
                             locks_sum += l;
                             locks_reps += 1;
                         }
+                        rank_errors.merge(&r.rank_errors);
                     }
                     let locks_per_op = (locks_reps > 0).then(|| locks_sum / f64::from(locks_reps));
                     let secs = secs / args.repetitions as f64;
@@ -147,6 +155,15 @@ fn main() {
                         f2(wasted_pct),
                         locks_per_op.map(f2).unwrap_or_else(|| "-".to_string()),
                         locality.map(f2).unwrap_or_else(|| "-".to_string()),
+                        if rank_errors.is_empty() {
+                            "-".to_string()
+                        } else {
+                            format!(
+                                "{}/{}",
+                                rank_errors.quantile(0.5),
+                                rank_errors.quantile(0.99)
+                            )
+                        },
                     ]);
                     results.push((
                         workload.name(),

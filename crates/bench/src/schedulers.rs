@@ -15,8 +15,13 @@ use smq_obim::{Obim, ObimConfig};
 use smq_runtime::Topology;
 use smq_scheduler::{HeapSmq, SkipListSmq, SmqConfig};
 use smq_spraylist::{SprayList, SprayListConfig};
+use smq_telemetry::{LogHistogram, TelemetryConfig};
 
 use crate::graphs::GraphSpec;
+
+/// Probe interval for the rank-error column: sample every Nth pop so the
+/// estimate stays cheap relative to the work loop.
+const RANK_PROBE_INTERVAL: u64 = 64;
 
 /// Which algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -110,6 +115,10 @@ pub struct WorkloadResult {
     /// batch-granularity claim visible: larger `--batch` values must
     /// drive it down.
     pub locks_per_op: Option<f64>,
+    /// Sampled rank-error distribution: how far each probed pop's key sat
+    /// above a cheap global-min estimate.  Empty for schedulers that do
+    /// not expose a min-key hint (OBIM/PMOD, SprayList).
+    pub rank_errors: LogHistogram,
 }
 
 impl WorkloadResult {
@@ -264,13 +273,27 @@ where
     W: DecreaseKeyWorkload,
     S: Scheduler<Task>,
 {
-    let run = engine::run_parallel_batched(workload, scheduler, threads, batch);
+    let run = engine::run_parallel_instrumented(
+        workload,
+        scheduler,
+        threads,
+        batch,
+        TelemetryConfig::probe_only(RANK_PROBE_INTERVAL),
+    );
+    let rank_errors = run
+        .result
+        .metrics
+        .telemetry
+        .as_ref()
+        .map(|report| report.rank_errors.clone())
+        .unwrap_or_default();
     WorkloadResult {
         seconds: run.result.metrics.elapsed.as_secs_f64(),
         useful_tasks: run.result.useful_tasks,
         wasted_tasks: run.result.wasted_tasks,
         node_locality: run.result.metrics.node_locality(),
         locks_per_op: run.result.metrics.total.locks_per_op(),
+        rank_errors,
     }
 }
 
@@ -573,5 +596,21 @@ mod tests {
         assert!(Workload::Cc.suits(&full[2]));
         let cc = run_workload(&SchedulerSpec::smq_default(), Workload::Cc, &spec, 2, 3);
         assert!(cc.useful_tasks > 0, "CC did no useful work");
+        assert!(
+            cc.rank_errors.count() > 0,
+            "SMQ exposes a min-key hint, so probes must record samples"
+        );
+        // OBIM keeps the default (absent) hint: probes record nothing.
+        let obim = run_workload(
+            &SchedulerSpec::Obim {
+                delta_shift: 4,
+                chunk_size: 16,
+            },
+            Workload::Cc,
+            &spec,
+            2,
+            3,
+        );
+        assert!(obim.rank_errors.is_empty());
     }
 }

@@ -104,6 +104,19 @@ pub trait SchedulerHandle<T> {
     fn stats(&self) -> OpStats {
         OpStats::default()
     }
+
+    /// A cheap, advisory estimate of the globally smallest key currently
+    /// visible to this handle, read from published top-key snapshots
+    /// without taking any lock.  `None` when the scheduler publishes no
+    /// snapshots (the default) or everything looks empty.
+    ///
+    /// Used by the telemetry rank-error probe: comparing a popped key
+    /// against this estimate bounds how far the relaxed pop strayed from
+    /// the true minimum.  The estimate may lag reality in either
+    /// direction; it must never be used for correctness decisions.
+    fn min_key_hint(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Blanket implementation so `&mut H` can be passed where a handle is
@@ -137,6 +150,11 @@ impl<T, H: SchedulerHandle<T> + ?Sized> SchedulerHandle<T> for &mut H {
     #[inline]
     fn stats(&self) -> OpStats {
         (**self).stats()
+    }
+
+    #[inline]
+    fn min_key_hint(&self) -> Option<u64> {
+        (**self).min_key_hint()
     }
 }
 

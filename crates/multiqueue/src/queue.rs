@@ -708,6 +708,21 @@ impl<T: Ord + HasKey + Send> SchedulerHandle<T> for MultiQueueHandle<'_, T> {
     fn stats(&self) -> OpStats {
         self.stats.clone()
     }
+
+    fn min_key_hint(&self) -> Option<u64> {
+        // Minimum over every sub-queue's published top-key snapshot (the
+        // same Acquire loads pop's two-choice comparison reads).  Tasks
+        // still sitting in handles' insert buffers are invisible here —
+        // the estimate is advisory, exactly like the snapshots themselves.
+        let best = self
+            .parent
+            .queues
+            .iter()
+            .map(|q| q.top_key())
+            .min()
+            .unwrap_or(u64::MAX);
+        (best != u64::MAX).then_some(best)
+    }
 }
 
 #[cfg(test)]

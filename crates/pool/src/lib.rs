@@ -92,8 +92,9 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use smq_core::{OpStats, Scheduler, SchedulerHandle, Task};
-use smq_runtime::executor::{worker_loop, WorkerLoopConfig};
+use smq_runtime::executor::{worker_loop_instrumented, WorkerLoopConfig};
 use smq_runtime::{RunMetrics, Scratch, TerminationDetector, Topology};
+use smq_telemetry::{TelemetryConfig, TelemetryReport, WorkerReport, WorkerTelemetry};
 
 /// Pool tuning knobs.
 ///
@@ -130,6 +131,11 @@ pub struct PoolConfig {
     /// (which [`WorkerPool::new_aligned`] forwards to the scheduler
     /// factory).  `None` (the default) keeps placement topology-blind.
     pub topology: Option<Topology>,
+    /// Opt-in instrumentation for every worker (phase accounting,
+    /// rank-error probing, event rings).  Disabled by default: the
+    /// uninstrumented hot path takes no timestamps and makes no extra
+    /// scheduler calls.
+    pub telemetry: TelemetryConfig,
 }
 
 impl PoolConfig {
@@ -141,6 +147,7 @@ impl PoolConfig {
             gang_size: threads,
             worker: WorkerLoopConfig::default(),
             topology: None,
+            telemetry: TelemetryConfig::disabled(),
         }
     }
 
@@ -152,6 +159,7 @@ impl PoolConfig {
             gang_size,
             worker: WorkerLoopConfig::default(),
             topology: None,
+            telemetry: TelemetryConfig::disabled(),
         }
     }
 
@@ -176,6 +184,7 @@ impl PoolConfig {
             gang_size,
             worker: WorkerLoopConfig::default(),
             topology: Some(topology),
+            telemetry: TelemetryConfig::disabled(),
         }
     }
 
@@ -219,6 +228,14 @@ impl PoolConfig {
     /// dispatch over the batch.
     pub fn with_batch(mut self, batch_size: usize) -> Self {
         self.worker.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Enables the given instrumentation for every worker of the pool (see
+    /// [`TelemetryConfig`]).  Job outputs then carry a merged
+    /// `TelemetryReport` in their metrics.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -313,6 +330,8 @@ pub trait DynHandle {
     fn flush(&mut self);
     /// Mirror of `SchedulerHandle::stats`.
     fn stats(&self) -> OpStats;
+    /// Mirror of `SchedulerHandle::min_key_hint`.
+    fn min_key_hint(&self) -> Option<u64>;
 }
 
 impl<S: Scheduler<Task>> DynScheduler for S {
@@ -348,6 +367,10 @@ impl<H: SchedulerHandle<Task>> DynHandle for H {
 
     fn stats(&self) -> OpStats {
         SchedulerHandle::stats(self)
+    }
+
+    fn min_key_hint(&self) -> Option<u64> {
+        SchedulerHandle::min_key_hint(self)
     }
 }
 
@@ -385,6 +408,11 @@ impl SchedulerHandle<Task> for Box<dyn DynHandle + '_> {
     fn stats(&self) -> OpStats {
         (**self).stats()
     }
+
+    #[inline]
+    fn min_key_hint(&self) -> Option<u64> {
+        (**self).min_key_hint()
+    }
 }
 
 /// Lifetime-erased pointer to one gang's scheduler.
@@ -421,6 +449,7 @@ struct WorkerResult {
     useful: u64,
     wasted: u64,
     stats: OpStats,
+    telemetry: Option<WorkerReport>,
 }
 
 /// One gang's job hand-off slot; its workers park on it.
@@ -480,6 +509,11 @@ type WorkerEntry = fn(&Arc<Inner>, usize, usize);
 struct Inner {
     gangs: Vec<Gang>,
     loop_config: WorkerLoopConfig,
+    /// The fleet-wide instrumentation configuration (disabled by default).
+    telemetry: TelemetryConfig,
+    /// Construction instant shared by every worker's trace lane, so all
+    /// lanes of the pool's lifetime sit on one clock.
+    origin: Instant,
     claims: Mutex<ClaimState>,
     /// Claimers wait here for their turn and for enough free gangs.
     claim_ready: Condvar,
@@ -495,6 +529,26 @@ struct Inner {
 /// precise semantics, and state reads are safe after a panic.
 fn lock<T>(state: &Mutex<T>) -> MutexGuard<'_, T> {
     state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+thread_local! {
+    /// The accounting of the last job `execute` finished *on this thread*
+    /// (trace lanes stripped).  The job service brackets each job with
+    /// [`clear_last_job_output`]/[`take_last_job_output`] to attach the
+    /// per-job metrics delta to its [`JobCompletion`] without changing the
+    /// user-facing job-closure signature.
+    static LAST_JOB_OUTPUT: std::cell::RefCell<Option<JobOutput>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Drops any stale capture left by a previous job on this thread.
+pub(crate) fn clear_last_job_output() {
+    LAST_JOB_OUTPUT.with(|slot| slot.borrow_mut().take());
+}
+
+/// Takes the capture published by the most recent `execute` on this thread.
+pub(crate) fn take_last_job_output() -> Option<JobOutput> {
+    LAST_JOB_OUTPUT.with(|slot| slot.borrow_mut().take())
 }
 
 /// Gangs held by one job; returns live gangs to the allocator on drop (also
@@ -720,6 +774,8 @@ impl WorkerPool {
             }),
             claim_ready: Condvar::new(),
             loop_config: config.worker.clone(),
+            telemetry: config.telemetry.clone(),
+            origin: Instant::now(),
             handles_created: AtomicU64::new(0),
             gangs,
         });
@@ -948,7 +1004,21 @@ impl WorkerPool {
 
         let per_thread: Vec<OpStats> = results.iter().map(|r| r.stats.clone()).collect();
         let total = OpStats::merged(per_thread.iter());
-        JobOutput {
+        // Lock-free merge after join: each worker's report was accumulated
+        // in plain per-worker state; absorbing them here is the only point
+        // the pieces meet.
+        let telemetry = if inner.telemetry.is_enabled() {
+            let mut report = TelemetryReport::new();
+            for result in &mut results {
+                if let Some(worker) = result.telemetry.take() {
+                    report.absorb(worker);
+                }
+            }
+            Some(report)
+        } else {
+            None
+        };
+        let output = JobOutput {
             metrics: RunMetrics {
                 elapsed,
                 threads: total_workers,
@@ -956,10 +1026,36 @@ impl WorkerPool {
                 quiescence_scans: results.iter().map(|r| r.scans).sum(),
                 per_thread,
                 total,
+                telemetry,
             },
             useful_tasks: results.iter().map(|r| r.useful).sum(),
             wasted_tasks: results.iter().map(|r| r.wasted).sum(),
-        }
+        };
+        // Publish a capture for the job service (same thread ran `execute`),
+        // so `JobCompletion` can carry the per-job metrics delta.  Trace
+        // lanes are stripped from the capture — completions keep the cheap
+        // aggregates (phase times, rank histogram), not event rings.
+        LAST_JOB_OUTPUT.with(|slot| {
+            let capture = JobOutput {
+                metrics: RunMetrics {
+                    elapsed: output.metrics.elapsed,
+                    threads: output.metrics.threads,
+                    tasks_executed: output.metrics.tasks_executed,
+                    quiescence_scans: output.metrics.quiescence_scans,
+                    per_thread: output.metrics.per_thread.clone(),
+                    total: output.metrics.total.clone(),
+                    telemetry: output.metrics.telemetry.as_ref().map(|r| TelemetryReport {
+                        phases: r.phases.clone(),
+                        rank_errors: r.rank_errors.clone(),
+                        lanes: Vec::new(),
+                    }),
+                },
+                useful_tasks: output.useful_tasks,
+                wasted_tasks: output.wasted_tasks,
+            };
+            *slot.borrow_mut() = Some(capture);
+        });
+        output
     }
 
     /// Stops accepting jobs and joins every worker thread.  Called
@@ -1062,6 +1158,16 @@ fn run_worker<H: SchedulerHandle<Task>>(
     let gang = &inner.gangs[gang_idx];
     let mut scratch = Scratch::new();
     let mut last_seq = 0u64;
+    // The OS thread name doubles as the trace-lane label, so timelines show
+    // `smq-pool-n0-g0-w1`-style identities.  Shared `Arc<str>`: one
+    // allocation for the thread's lifetime, not one per instrumented job.
+    let worker_name: std::sync::Arc<str> = std::thread::current()
+        .name()
+        .map(std::sync::Arc::from)
+        .unwrap_or_else(|| std::sync::Arc::from(format!("smq-pool-{gang_idx}-{local}").as_str()));
+    // When this worker last went idle: backdates the inter-job Park span so
+    // traces show parked gaps between jobs instead of missing time.
+    let mut idle_since = Instant::now();
 
     loop {
         // Park until a new job (or shutdown) arrives on this gang.
@@ -1094,6 +1200,14 @@ fn run_worker<H: SchedulerHandle<Task>>(
         // `DynHandle`); pin the calls to the view the worker loop uses.
         let stats_before = SchedulerHandle::stats(handle);
         let mut tally = gang.detector.tally(local);
+        // `None` when telemetry is disabled: the loop below then runs the
+        // exact uninstrumented path (no timestamps, no extra handle calls).
+        let mut telemetry = WorkerTelemetry::begin(
+            &inner.telemetry,
+            worker_name.clone(),
+            inner.origin,
+            Some(idle_since),
+        );
         // Seeds were pre-credited by the coordinator; pushing them needs no
         // recording.  Above batch size 1 a single batch call makes the
         // whole seed slice visible; at batch 1 the per-task path is kept so
@@ -1111,13 +1225,14 @@ fn run_worker<H: SchedulerHandle<Task>>(
 
         let mut useful = 0u64;
         let mut wasted = 0u64;
-        let outcome = worker_loop(
+        let outcome = worker_loop_instrumented(
             handle,
             &gang.detector,
             &mut tally,
             &mut scratch,
             &inner.loop_config,
             Some(&gang.aborted),
+            telemetry.as_mut(),
             |task, sink, scratch| {
                 let mut push = |t: Task| sink.push(t);
                 if job.process(task, &mut push, scratch) {
@@ -1134,8 +1249,10 @@ fn run_worker<H: SchedulerHandle<Task>>(
             useful,
             wasted,
             stats: SchedulerHandle::stats(handle).delta_since(&stats_before),
+            telemetry: telemetry.map(WorkerTelemetry::finish),
         });
         drop(guard); // publishes the result and wakes the coordinator
+        idle_since = Instant::now();
     }
 }
 
@@ -1244,6 +1361,78 @@ mod tests {
         let out = pool.run_job(&job);
         assert_eq!(out.metrics.tasks_executed, 150);
         pool.shutdown();
+    }
+
+    /// One FanoutJob replay on a fresh single-worker pool of `scheduler`,
+    /// returning its per-job metrics slice.
+    fn replay<S: Scheduler<Task> + Send + Sync + 'static>(
+        scheduler: S,
+        telemetry: TelemetryConfig,
+    ) -> JobOutput {
+        let pool = WorkerPool::new(scheduler, PoolConfig::new(1).with_telemetry(telemetry));
+        pool.run_job(&FanoutJob::new(60, 60))
+    }
+
+    #[test]
+    fn disabled_telemetry_is_bit_identical_single_thread() {
+        // The zero-overhead contract, asserted in its strongest form: even
+        // *fully enabled* telemetry must leave every single-thread OpStats
+        // counter exactly as the disabled (= uninstrumented) path produces
+        // it, because instrumentation only ever reads published snapshots.
+        // Deterministic seeds make single-thread replays exact.
+        let base = replay(smq(1), TelemetryConfig::disabled());
+        let instrumented = replay(smq(1), TelemetryConfig::enabled().with_ring(256));
+        assert_eq!(
+            base.metrics.per_thread, instrumented.metrics.per_thread,
+            "SMQ"
+        );
+        assert_eq!(
+            base.metrics.tasks_executed,
+            instrumented.metrics.tasks_executed
+        );
+        assert!(base.metrics.telemetry.is_none());
+        assert!(instrumented.metrics.telemetry.is_some());
+
+        use smq_multiqueue::{MultiQueue, MultiQueueConfig};
+        let mq = || MultiQueue::<Task>::new(MultiQueueConfig::classic(1).with_seed(3));
+        let base = replay(mq(), TelemetryConfig::disabled());
+        let instrumented = replay(mq(), TelemetryConfig::enabled().with_ring(256));
+        assert_eq!(
+            base.metrics.per_thread, instrumented.metrics.per_thread,
+            "MultiQueue"
+        );
+        assert_eq!(
+            base.metrics.tasks_executed,
+            instrumented.metrics.tasks_executed
+        );
+    }
+
+    #[test]
+    fn enabled_telemetry_reports_phases_lanes_and_rank_probes() {
+        let pool = WorkerPool::new(
+            smq(2),
+            PoolConfig::new(2).with_telemetry(TelemetryConfig::enabled().with_ring(4096)),
+        );
+        let mut report = TelemetryReport::new();
+        for _ in 0..4 {
+            let out = pool.run_job(&FanoutJob::new(400, 400));
+            report.merge(out.metrics.telemetry.as_ref().expect("telemetry enabled"));
+        }
+        // Every worker contributed a lane named after its thread.
+        assert_eq!(report.lanes.len(), 2);
+        for lane in &report.lanes {
+            assert!(lane.name.starts_with("smq-pool-"), "lane {}", lane.name);
+            assert!(!lane.events.is_empty());
+        }
+        // Time was accounted: at least pop + process + the quiescence scan
+        // every job ends with (park appears between jobs via idle_since).
+        use smq_telemetry::Phase;
+        assert!(report.phases.get(Phase::Pop) > 0);
+        assert!(report.phases.get(Phase::Process) > 0);
+        assert!(report.phases.get(Phase::Scan) > 0);
+        assert!(report.phases.get(Phase::Park) > 0);
+        // 4 jobs × 1200 tasks probed every 64th pop: samples accumulated.
+        assert!(report.rank_errors.count() > 0);
     }
 
     #[test]

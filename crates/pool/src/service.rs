@@ -105,6 +105,12 @@ pub struct JobCompletion<R> {
     pub queue_wait: Duration,
     /// Time spent executing on the worker pool.
     pub service_time: Duration,
+    /// The per-job metrics delta of the **last** `run_job`/`run_job_on`
+    /// the closure performed (scheduler-operation deltas carved out of the
+    /// persistent worker handles via `OpStats::delta_since`, plus any
+    /// telemetry aggregates with trace lanes stripped).  `None` when the
+    /// closure ran no pool job.
+    pub metrics: Option<crate::JobOutput>,
 }
 
 impl<R> JobCompletion<R> {
@@ -153,6 +159,12 @@ pub struct ServiceStats {
     /// Jobs that panicked mid-execution (their tickets resolved to
     /// [`JobLost`]).  `submitted == completed + failed` after shutdown.
     pub failed: u64,
+    /// Live gauge: jobs accepted but not yet picked up by a dispatcher.
+    /// Drains to zero by the time [`JobService::shutdown`] returns.
+    pub queue_depth: u64,
+    /// Live gauge: jobs currently executing on the pool.  Zero after
+    /// shutdown.
+    pub in_flight: u64,
 }
 
 type QueuedJob = Box<dyn FnOnce(&WorkerPool) + Send + 'static>;
@@ -171,6 +183,7 @@ struct ServiceInner {
     completed: AtomicU64,
     rejected: AtomicU64,
     failed: AtomicU64,
+    in_flight: AtomicU64,
 }
 
 fn lock(state: &Mutex<QueueState>) -> MutexGuard<'_, QueueState> {
@@ -207,6 +220,7 @@ impl JobService {
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
         });
         let pool = Arc::new(pool);
         let dispatchers = (0..dispatcher_count)
@@ -277,6 +291,11 @@ impl JobService {
         let (tx, rx) = mpsc::sync_channel(1);
         let accepted_at = Instant::now();
         st.jobs.push_back(Box::new(move |pool: &WorkerPool| {
+            // Bracket the job with the thread-local capture so the
+            // completion carries the metrics of the job this closure ran
+            // (and never a stale capture from a previous job on this
+            // dispatcher).
+            crate::clear_last_job_output();
             let started = Instant::now();
             let output = job(pool);
             // The client may have dropped its ticket; that is fine.  If
@@ -286,6 +305,7 @@ impl JobService {
                 output,
                 queue_wait: started.duration_since(accepted_at),
                 service_time: started.elapsed(),
+                metrics: crate::take_last_job_output(),
             });
         }));
         self.inner.submitted.fetch_add(1, Ordering::Relaxed);
@@ -293,13 +313,16 @@ impl JobService {
         JobTicket { rx }
     }
 
-    /// Admission / completion / rejection / failure counters.
+    /// Admission / completion / rejection / failure counters plus the live
+    /// `queue_depth` / `in_flight` gauges.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             submitted: self.inner.submitted.load(Ordering::Relaxed),
             completed: self.inner.completed.load(Ordering::Relaxed),
             rejected: self.inner.rejected.load(Ordering::Relaxed),
             failed: self.inner.failed.load(Ordering::Relaxed),
+            queue_depth: lock(&self.inner.state).jobs.len() as u64,
+            in_flight: self.inner.in_flight.load(Ordering::Relaxed),
         }
     }
 
@@ -356,7 +379,10 @@ fn dispatcher_main(inner: &ServiceInner, pool: &WorkerPool) {
         // Contain job panics to the job: the unwind drops the ticket's
         // sender (the client sees `JobLost`), the pool retires the gang the
         // panic happened on, and this dispatcher keeps serving.
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(pool))) {
+        inner.in_flight.fetch_add(1, Ordering::Relaxed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(pool)));
+        inner.in_flight.fetch_sub(1, Ordering::Relaxed);
+        match outcome {
             Ok(()) => {
                 inner.completed.fetch_add(1, Ordering::Relaxed);
             }
@@ -595,6 +621,59 @@ mod tests {
             let done = ticket.wait().expect("drained job completed");
             assert!(done.service_time >= Duration::ZERO);
         }
+    }
+
+    #[test]
+    fn gauges_drain_to_zero_after_shutdown() {
+        let service = service(8);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..5 {
+            let counter = Arc::clone(&counter);
+            service
+                .submit(move |pool| {
+                    let job = CountJob { seeds: 3, counter };
+                    pool.run_job(&job);
+                })
+                .expect("submit");
+        }
+        // Mid-run the gauges are bounded by what was submitted.
+        let live = service.stats();
+        assert!(live.queue_depth + live.in_flight <= live.submitted);
+        let stats = service.shutdown();
+        assert_eq!(stats.queue_depth, 0, "queue must drain before shutdown");
+        assert_eq!(stats.in_flight, 0, "no job may outlive shutdown");
+        assert_eq!(stats.completed, 5);
+    }
+
+    #[test]
+    fn completion_carries_the_jobs_metrics_delta() {
+        let service = service(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        let job_counter = Arc::clone(&counter);
+        let ticket = service
+            .submit(move |pool| {
+                let job = CountJob {
+                    seeds: 9,
+                    counter: job_counter,
+                };
+                pool.run_job(&job).metrics.tasks_executed
+            })
+            .expect("submit");
+        let done = ticket.wait().expect("job completed");
+        let metrics = done.metrics.expect("closure ran a pool job");
+        assert_eq!(
+            metrics.metrics.tasks_executed, 9,
+            "per-job delta, not lifetime totals"
+        );
+        assert_eq!(metrics.useful_tasks, 9);
+        assert_eq!(metrics.metrics.total.pops, 9);
+        // Telemetry is disabled by default: the delta carries none.
+        assert!(metrics.metrics.telemetry.is_none());
+
+        // A closure that never touches the pool reports no metrics.
+        let idle = service.submit(|_pool| 42u64).expect("submit");
+        assert!(idle.wait().expect("completes").metrics.is_none());
+        service.shutdown();
     }
 
     #[test]

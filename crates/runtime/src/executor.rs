@@ -34,7 +34,8 @@
 use std::time::Instant;
 
 use crossbeam_utils::Backoff;
-use smq_core::{OpStats, Scheduler, SchedulerHandle};
+use smq_core::{HasKey, OpStats, Scheduler, SchedulerHandle};
+use smq_telemetry::{Phase, WorkerTelemetry};
 
 use crate::metrics::RunMetrics;
 use crate::scratch::Scratch;
@@ -240,12 +241,82 @@ pub fn worker_loop<T, H, F>(
     scratch: &mut Scratch,
     config: &WorkerLoopConfig,
     abort: Option<&std::sync::atomic::AtomicBool>,
+    process: F,
+) -> WorkerLoopOutcome
+where
+    T: Send + 'static,
+    H: SchedulerHandle<T>,
+    F: for<'h, 'd> FnMut(T, &mut TaskSink<'h, 'd, H, T>, &mut Scratch),
+{
+    worker_loop_impl(
+        handle,
+        detector,
+        tally,
+        scratch,
+        config,
+        abort,
+        None,
+        |_: &T| 0,
+        process,
+    )
+}
+
+/// [`worker_loop`] with optional telemetry: when `telemetry` is `Some`,
+/// worker-loop time is tagged into coarse [`Phase`]s and every Nth
+/// successful pop is sampled for rank error against the scheduler's
+/// advisory global-min estimate ([`SchedulerHandle::min_key_hint`]).
+///
+/// When `telemetry` is `None` this *is* [`worker_loop`] — the same code
+/// path, no timestamps, no extra scheduler calls — which is how the
+/// disabled configuration keeps single-thread `OpStats` bit-identical to
+/// the uninstrumented loop.  Requires `T: HasKey` so sampled pops can
+/// report their key.
+#[allow(clippy::too_many_arguments)]
+pub fn worker_loop_instrumented<T, H, F>(
+    handle: &mut H,
+    detector: &TerminationDetector,
+    tally: &mut WorkerTally<'_>,
+    scratch: &mut Scratch,
+    config: &WorkerLoopConfig,
+    abort: Option<&std::sync::atomic::AtomicBool>,
+    telemetry: Option<&mut WorkerTelemetry>,
+    process: F,
+) -> WorkerLoopOutcome
+where
+    T: Send + HasKey + 'static,
+    H: SchedulerHandle<T>,
+    F: for<'h, 'd> FnMut(T, &mut TaskSink<'h, 'd, H, T>, &mut Scratch),
+{
+    worker_loop_impl(
+        handle,
+        detector,
+        tally,
+        scratch,
+        config,
+        abort,
+        telemetry,
+        T::key,
+        process,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop_impl<T, H, F, K>(
+    handle: &mut H,
+    detector: &TerminationDetector,
+    tally: &mut WorkerTally<'_>,
+    scratch: &mut Scratch,
+    config: &WorkerLoopConfig,
+    abort: Option<&std::sync::atomic::AtomicBool>,
+    mut telemetry: Option<&mut WorkerTelemetry>,
+    key_of: K,
     mut process: F,
 ) -> WorkerLoopOutcome
 where
     T: Send + 'static,
     H: SchedulerHandle<T>,
     F: for<'h, 'd> FnMut(T, &mut TaskSink<'h, 'd, H, T>, &mut Scratch),
+    K: Fn(&T) -> u64,
 {
     let scan_gate = config.scan_gate.max(1);
     let batch = config.batch_size.max(1);
@@ -270,6 +341,14 @@ where
     let mut was_idle = false;
     let mut seen_epoch = detector.activity_epoch();
     loop {
+        if let Some(t) = telemetry.as_deref_mut() {
+            // While parked, pop attempts coalesce into the open Park span
+            // (no clock read per idle spin); a successful pop ends it via
+            // the Process transition below.
+            if !t.parked() {
+                t.phase(Phase::Pop);
+            }
+        }
         // Batch size 1 calls `pop()` directly (the exact historical path,
         // stats included); larger batches make one scheduling decision per
         // `pop_batch` and amortize it over up to `batch` tasks.
@@ -285,6 +364,21 @@ where
             handle.pop_batch(&mut pop_buf, batch)
         };
         if got > 0 {
+            if let Some(t) = telemetry.as_deref_mut() {
+                // Steal attribution: if the handle's steal counter moved
+                // during this pop, the span just spent belongs to Steal.
+                if t.timing_enabled() && t.note_steal_ops(handle.stats().steal_attempts) {
+                    t.relabel(Phase::Steal);
+                }
+                // Rank-error probe: compare the best task this pop returned
+                // against the best key still visible anywhere.  A positive
+                // difference bounds how far the relaxed pop strayed from
+                // the true minimum.
+                if t.probe_due() {
+                    t.record_rank_error(key_of(&pop_buf[0]), handle.min_key_hint());
+                }
+                t.phase(Phase::Process);
+            }
             if was_idle {
                 // Off the common hot path: only the first pop after a
                 // barren stretch tells the scanners the system moved.
@@ -338,6 +432,13 @@ where
                 }
             }
         } else {
+            if let Some(t) = telemetry.as_deref_mut() {
+                // Flush is only worth a span on the first empty pop of a
+                // streak; later iterations flush nothing and stay parked.
+                if !t.parked() {
+                    t.phase(Phase::Flush);
+                }
+            }
             // Anything buffered locally must become visible before we
             // conclude the system might be done.  (The sink buffer is
             // always empty here — it flushes at every task boundary.)
@@ -359,6 +460,9 @@ where
                 empty_streak += 1;
             }
             if empty_streak >= scan_gate {
+                if let Some(t) = telemetry.as_deref_mut() {
+                    t.phase(Phase::Scan);
+                }
                 // Looked stable for `scan_gate` empty pops: pay for one
                 // O(threads) scan, then require a fresh streak before
                 // the next one.
@@ -367,6 +471,9 @@ where
                 if detector.quiescent() {
                     break;
                 }
+            }
+            if let Some(t) = telemetry.as_deref_mut() {
+                t.phase(Phase::Park);
             }
             if idle_spins > config.spins_before_yield {
                 std::thread::yield_now();
@@ -480,6 +587,7 @@ where
         quiescence_scans: results.iter().map(|(o, _)| o.scans).sum(),
         per_thread,
         total,
+        telemetry: None,
     }
 }
 

@@ -4,6 +4,7 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 use smq_core::OpStats;
+use smq_telemetry::TelemetryReport;
 
 /// Everything measured during one parallel run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -23,6 +24,9 @@ pub struct RunMetrics {
     pub per_thread: Vec<OpStats>,
     /// Sum of `per_thread`.
     pub total: OpStats,
+    /// Merged opt-in instrumentation (phase times, rank-error histogram,
+    /// trace lanes); `None` when the run carried no telemetry.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl RunMetrics {
@@ -76,6 +80,7 @@ mod tests {
             quiescence_scans: 0,
             per_thread: vec![OpStats::default(); 4],
             total: OpStats::default(),
+            telemetry: None,
         }
     }
 

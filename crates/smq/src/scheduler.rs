@@ -464,6 +464,20 @@ where
     fn stats(&self) -> OpStats {
         self.stats.clone()
     }
+
+    fn min_key_hint(&self) -> Option<u64> {
+        // The advisory global minimum: this thread's exact local top plus
+        // every other slot's published top-key snapshot.  Snapshot reads
+        // are the same relaxed/acquire loads the stealing heuristic uses —
+        // no locks taken, no counters perturbed.
+        let mut best = self.local_top_key();
+        for (i, slot) in self.parent.slots.iter().enumerate() {
+            if i != self.thread_id {
+                best = best.min(slot.buffer.top_key());
+            }
+        }
+        (best != u64::MAX).then_some(best)
+    }
 }
 
 impl<T: Copy, Q> Drop for SmqHandle<'_, T, Q> {

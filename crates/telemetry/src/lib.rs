@@ -1,0 +1,41 @@
+//! Opt-in, low-overhead instrumentation for the relaxed-scheduler runtime.
+//!
+//! Four pieces, all designed around the same discipline the schedulers
+//! themselves use — plain per-worker state on the hot path, merged after
+//! join:
+//!
+//! * [`LogHistogram`] — fixed-size, HDR-style log-bucketed histograms for
+//!   latencies and rank errors: recording is a branch and an increment,
+//!   merging is element-wise addition, and `quantile` follows the same
+//!   nearest-rank semantics as the bench crate's exact percentile within
+//!   one sub-bucket (≈3.1%) of relative error.
+//! * Rank-error probing — every Nth successful pop is compared against the
+//!   scheduler's advisory global-min estimate (published top-key
+//!   snapshots), turning the paper's offline rank-error metric into an
+//!   online per-run distribution.
+//! * Phase accounting — [`WorkerTelemetry`] tags worker-loop time into six
+//!   coarse phases ([`Phase`]) using per-worker plain-`u64` accumulators
+//!   ([`PhaseTimes`]) and, optionally, a bounded event ring for timelines.
+//! * Export — [`MetricsSnapshot`] lines as JSONL
+//!   ([`snapshot::write_jsonl`]) and chrome://tracing timelines
+//!   ([`trace::write_chrome_trace`]), one lane per worker.
+//!
+//! Everything is off by default: with [`TelemetryConfig::disabled`] the
+//! worker loop takes no timestamps and makes no extra scheduler calls, so
+//! single-threaded replays stay bit-identical in `OpStats` to the
+//! uninstrumented path.
+
+#![warn(missing_docs)]
+
+mod config;
+pub mod hist;
+pub mod phase;
+pub mod snapshot;
+pub mod trace;
+mod worker;
+
+pub use config::TelemetryConfig;
+pub use hist::LogHistogram;
+pub use phase::{Phase, PhaseEvent, PhaseTimes};
+pub use snapshot::MetricsSnapshot;
+pub use worker::{TelemetryReport, TraceLane, WorkerReport, WorkerTelemetry};

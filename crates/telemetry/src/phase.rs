@@ -1,0 +1,267 @@
+//! Per-worker phase accounting: coarse worker-loop phases, plain-`u64`
+//! per-worker accumulators merged after join (like `OpStats` — no atomics
+//! on the hot path), and the optional bounded event ring behind
+//! [`crate::TelemetryConfig`] that captures timestamped phase transitions
+//! for the chrome-trace export.
+
+use serde::{Deserialize, Serialize};
+
+/// The coarse phases a worker-loop iteration is tagged into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Popping tasks from the scheduler (the scheduling decision itself).
+    Pop,
+    /// A pop that performed steal work (attributed via the handle's
+    /// steal-attempt counters; subsumes the victim comparison and claim).
+    Steal,
+    /// Executing the user's task-processing function.
+    Process,
+    /// Publishing buffered work (`flush` on the empty-pop path, where the
+    /// worker makes thread-local work visible before concluding idleness).
+    Flush,
+    /// Backing off / yielding while the scheduler looks empty, and parking
+    /// between pool jobs.  Covers the whole idle polling loop: once a
+    /// worker parks, its empty pop attempts and no-op flushes coalesce
+    /// into the `Park` span until a scan fires or a pop succeeds.
+    Park,
+    /// The O(threads) two-phase quiescence scan of termination detection.
+    Scan,
+}
+
+impl Phase {
+    /// Every phase, in display order.
+    pub const ALL: [Phase; 6] = [
+        Phase::Pop,
+        Phase::Steal,
+        Phase::Process,
+        Phase::Flush,
+        Phase::Park,
+        Phase::Scan,
+    ];
+
+    /// Short lowercase name (chrome-trace event name, JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Pop => "pop",
+            Phase::Steal => "steal",
+            Phase::Process => "process",
+            Phase::Flush => "flush",
+            Phase::Park => "park",
+            Phase::Scan => "scan",
+        }
+    }
+}
+
+impl Serialize for Phase {
+    fn serialize_json(&self, out: &mut String) {
+        self.name().serialize_json(out);
+    }
+}
+
+impl Deserialize for Phase {}
+
+/// Nanoseconds accumulated per phase by one worker (or merged across
+/// workers).  Plain `u64`s: each worker owns its accumulator exclusively
+/// while running and the pieces are summed after join, exactly like
+/// `OpStats`.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseTimes {
+    /// Nanoseconds spent making pop decisions (without steal work).
+    pub pop_ns: u64,
+    /// Nanoseconds spent in pops that performed steal work.
+    pub steal_ns: u64,
+    /// Nanoseconds spent executing tasks.
+    pub process_ns: u64,
+    /// Nanoseconds spent flushing local buffers on the empty-pop path.
+    pub flush_ns: u64,
+    /// Nanoseconds spent backing off / parked.
+    pub park_ns: u64,
+    /// Nanoseconds spent in quiescence scans.
+    pub scan_ns: u64,
+}
+
+impl PhaseTimes {
+    /// Adds `ns` to the accumulator of `phase`.
+    #[inline]
+    pub fn add(&mut self, phase: Phase, ns: u64) {
+        match phase {
+            Phase::Pop => self.pop_ns += ns,
+            Phase::Steal => self.steal_ns += ns,
+            Phase::Process => self.process_ns += ns,
+            Phase::Flush => self.flush_ns += ns,
+            Phase::Park => self.park_ns += ns,
+            Phase::Scan => self.scan_ns += ns,
+        }
+    }
+
+    /// The accumulated nanoseconds of `phase`.
+    pub fn get(&self, phase: Phase) -> u64 {
+        match phase {
+            Phase::Pop => self.pop_ns,
+            Phase::Steal => self.steal_ns,
+            Phase::Process => self.process_ns,
+            Phase::Flush => self.flush_ns,
+            Phase::Park => self.park_ns,
+            Phase::Scan => self.scan_ns,
+        }
+    }
+
+    /// Element-wise sum (the after-join merge).
+    pub fn merge(&mut self, other: &PhaseTimes) {
+        for phase in Phase::ALL {
+            self.add(phase, other.get(phase));
+        }
+    }
+
+    /// Total accounted nanoseconds across all phases.
+    pub fn total_ns(&self) -> u64 {
+        Phase::ALL.iter().map(|&p| self.get(p)).sum()
+    }
+
+    /// Fraction of accounted time spent in `phase` (0.0 when nothing was
+    /// accounted).
+    pub fn fraction(&self, phase: Phase) -> f64 {
+        let total = self.total_ns();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(phase) as f64 / total as f64
+        }
+    }
+}
+
+/// One timestamped phase span (nanoseconds since the run/pool origin).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseEvent {
+    /// The phase the worker was in.
+    pub phase: Phase,
+    /// Span start, nanoseconds since the origin instant.
+    pub start_ns: u64,
+    /// Span end, nanoseconds since the origin instant.
+    pub end_ns: u64,
+}
+
+/// A bounded ring of [`PhaseEvent`]s: keeps the **most recent**
+/// `capacity` spans, counting how many older ones were overwritten, so a
+/// long run still traces its interesting tail (quiescence, parking)
+/// without unbounded memory.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    events: Vec<PhaseEvent>,
+    capacity: usize,
+    /// Index of the oldest retained event once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// A ring retaining up to `capacity` events (0 disables retention).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            events: Vec::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends one span, overwriting the oldest when full.
+    #[inline]
+    pub fn push(&mut self, event: PhaseEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.events[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no event is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consumes the ring, returning the retained events in chronological
+    /// order plus the overwritten-event count.
+    pub fn into_parts(mut self) -> (Vec<PhaseEvent>, u64) {
+        self.events.rotate_left(self.head);
+        (self.events, self.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_times_accumulate_and_merge() {
+        let mut a = PhaseTimes::default();
+        a.add(Phase::Pop, 5);
+        a.add(Phase::Process, 10);
+        let mut b = PhaseTimes::default();
+        b.add(Phase::Pop, 1);
+        b.add(Phase::Park, 100);
+        a.merge(&b);
+        assert_eq!(a.pop_ns, 6);
+        assert_eq!(a.process_ns, 10);
+        assert_eq!(a.park_ns, 100);
+        assert_eq!(a.total_ns(), 116);
+        assert!((a.fraction(Phase::Park) - 100.0 / 116.0).abs() < 1e-12);
+        assert_eq!(PhaseTimes::default().fraction(Phase::Pop), 0.0);
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_events() {
+        let mut ring = EventRing::new(3);
+        for i in 0..5u64 {
+            ring.push(PhaseEvent {
+                phase: Phase::Pop,
+                start_ns: i,
+                end_ns: i + 1,
+            });
+        }
+        assert_eq!(ring.dropped(), 2);
+        let (events, dropped) = ring.into_parts();
+        assert_eq!(dropped, 2);
+        assert_eq!(
+            events.iter().map(|e| e.start_ns).collect::<Vec<_>>(),
+            vec![2, 3, 4],
+            "chronological, most recent retained"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_ring_retains_nothing() {
+        let mut ring = EventRing::new(0);
+        ring.push(PhaseEvent {
+            phase: Phase::Scan,
+            start_ns: 0,
+            end_ns: 1,
+        });
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn phase_names_are_stable() {
+        let names: Vec<_> = Phase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec!["pop", "steal", "process", "flush", "park", "scan"]
+        );
+    }
+}

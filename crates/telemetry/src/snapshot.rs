@@ -1,0 +1,101 @@
+//! The JSONL metrics export: one self-describing line per measured
+//! configuration, written behind `--metrics-json <path>`.
+
+use std::io::Write as _;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::hist::LogHistogram;
+use crate::phase::PhaseTimes;
+
+/// One measured configuration's metrics, serialized as a single JSON line.
+///
+/// Histograms are embedded sparsely (`[[bucket, count], ...]`), so a line
+/// stays small no matter how many samples were recorded; downstream
+/// tooling can merge lines by element-wise bucket addition.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Which bench produced this line (e.g. `service_throughput`).
+    pub bench: String,
+    /// Scheduler under test (e.g. `smq`, `multiqueue`).
+    pub scheduler: String,
+    /// Worker threads the configuration ran with.
+    pub threads: usize,
+    /// Gangs the pool was partitioned into.
+    pub gangs: usize,
+    /// Pop-batch size.
+    pub batch: usize,
+    /// Completed jobs per second.
+    pub jobs_per_sec: f64,
+    /// Jobs completed during the measured window.
+    pub jobs: u64,
+    /// End-to-end job latency (submit → completion), nanoseconds.
+    pub latency: LogHistogram,
+    /// Time jobs waited in the admission queue, nanoseconds.
+    pub queue_wait: LogHistogram,
+    /// Time jobs spent executing on the pool, nanoseconds.
+    pub service_time: LogHistogram,
+    /// Worker-loop time per coarse phase, summed across workers.
+    pub phases: PhaseTimes,
+    /// Rank-error samples (popped key minus advisory global-min estimate,
+    /// key units) from the online probe.
+    pub rank_errors: LogHistogram,
+}
+
+impl MetricsSnapshot {
+    /// Serializes to one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::new();
+        self.serialize_json(&mut out);
+        out
+    }
+}
+
+/// Appends each snapshot as one JSON line to `path` (created/truncated).
+pub fn write_jsonl(path: &Path, snapshots: &[MetricsSnapshot]) -> std::io::Result<()> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for snapshot in snapshots {
+        file.write_all(snapshot.to_json_line().as_bytes())?;
+        file.write_all(b"\n")?;
+    }
+    file.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_serializes_to_one_line() {
+        let mut snapshot = MetricsSnapshot {
+            bench: "service_throughput".into(),
+            scheduler: "smq".into(),
+            threads: 2,
+            gangs: 1,
+            batch: 8,
+            jobs_per_sec: 123.5,
+            jobs: 10,
+            ..Default::default()
+        };
+        snapshot.latency.record(1_000);
+        let line = snapshot.to_json_line();
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"bench\":\"service_throughput\""));
+        assert!(line.contains("\"jobs_per_sec\":123.5"));
+        assert!(line.contains("\"buckets\":[["));
+    }
+
+    #[test]
+    fn jsonl_writes_one_line_per_snapshot() {
+        let dir = std::env::temp_dir().join("smq-telemetry-test-jsonl");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.jsonl");
+        let snapshots = vec![MetricsSnapshot::default(), MetricsSnapshot::default()];
+        write_jsonl(&path, &snapshots).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -4,8 +4,10 @@
 //! [`smq_scheduler`] (the paper's contribution), [`smq_multiqueue`],
 //! [`smq_obim`], [`smq_spraylist`] (baselines), [`smq_graph`] /
 //! [`smq_algos`] / [`smq_runtime`] (the evaluation substrate),
-//! [`smq_pool`] (the resident worker pool and job service) and
-//! [`smq_rank`] (the Theorem-1 analytical model).
+//! [`smq_pool`] (the resident worker pool and job service),
+//! [`smq_rank`] (the Theorem-1 analytical model) and
+//! [`smq_telemetry`] (opt-in histograms, rank-error probes, phase
+//! tracing and trace export).
 
 pub use smq_algos as algos;
 pub use smq_core as core;
@@ -19,3 +21,4 @@ pub use smq_runtime as runtime;
 pub use smq_scheduler as smq;
 pub use smq_skiplist as skiplist;
 pub use smq_spraylist as spraylist;
+pub use smq_telemetry as telemetry;
