@@ -15,7 +15,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use smq_core::{Scheduler, Task};
-use smq_graph::CsrGraph;
+use smq_graph::{CsrGraph, GraphView};
 use smq_runtime::Scratch;
 
 use crate::engine::{self, DecreaseKeyWorkload, SequentialReference, TaskOutcome};
@@ -35,7 +35,7 @@ pub struct AstarRun {
 /// `100 × euclidean length`, so scaling by 100 and rounding down never
 /// overestimates the remaining cost.  Graphs without coordinates fall back
 /// to a zero heuristic (plain Dijkstra).
-pub fn heuristic(graph: &CsrGraph, v: u32, target: u32) -> u64 {
+pub fn heuristic<G: GraphView>(graph: &G, v: u32, target: u32) -> u64 {
     match (graph.coordinates(v), graph.coordinates(target)) {
         (Some((vx, vy)), Some((tx, ty))) => {
             let d = ((vx - tx).powi(2) + (vy - ty).powi(2)).sqrt();
@@ -47,7 +47,7 @@ pub fn heuristic(graph: &CsrGraph, v: u32, target: u32) -> u64 {
 
 /// Exact sequential A*.  Returns the source→target distance and the number
 /// of expanded vertices (baseline task count).
-pub fn sequential(graph: &CsrGraph, source: u32, target: u32) -> (u64, u64) {
+pub fn sequential<G: GraphView>(graph: &G, source: u32, target: u32) -> (u64, u64) {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
@@ -79,17 +79,17 @@ pub fn sequential(graph: &CsrGraph, source: u32, target: u32) -> (u64, u64) {
 /// The A* workload: tasks are `(f = g + h, vertex)`, shared state = one
 /// atomic g-score per vertex plus the best route to the target found so
 /// far (used to prune vertices that can no longer matter).
-pub struct AstarWorkload<'g> {
-    graph: &'g CsrGraph,
+pub struct AstarWorkload<'g, G = CsrGraph> {
+    graph: &'g G,
     source: u32,
     target: u32,
     g_score: Vec<AtomicU64>,
     best_target: AtomicU64,
 }
 
-impl<'g> AstarWorkload<'g> {
+impl<'g, G: GraphView> AstarWorkload<'g, G> {
     /// A* from `source` to `target`.
-    pub fn new(graph: &'g CsrGraph, source: u32, target: u32) -> Self {
+    pub fn new(graph: &'g G, source: u32, target: u32) -> Self {
         let n = graph.num_nodes();
         assert!(
             (source as usize) < n && (target as usize) < n,
@@ -107,7 +107,7 @@ impl<'g> AstarWorkload<'g> {
     }
 }
 
-impl DecreaseKeyWorkload for AstarWorkload<'_> {
+impl<G: GraphView> DecreaseKeyWorkload for AstarWorkload<'_, G> {
     type Output = u64;
 
     fn name(&self) -> &'static str {
@@ -177,14 +177,15 @@ impl DecreaseKeyWorkload for AstarWorkload<'_> {
 }
 
 /// Runs A* from `source` to `target` on `scheduler` with `threads` workers.
-pub fn parallel<S>(
-    graph: &CsrGraph,
+pub fn parallel<G, S>(
+    graph: &G,
     source: u32,
     target: u32,
     scheduler: &S,
     threads: usize,
 ) -> AstarRun
 where
+    G: GraphView,
     S: Scheduler<Task>,
 {
     let workload = AstarWorkload::new(graph, source, target);

@@ -8,7 +8,7 @@
 //! weight mapping.
 
 use smq_core::{Scheduler, Task};
-use smq_graph::CsrGraph;
+use smq_graph::GraphView;
 
 use crate::engine;
 use crate::sssp::{self, SsspWorkload};
@@ -26,13 +26,14 @@ pub struct BfsRun {
 
 /// Exact sequential BFS.  Returns the level array and the number of visited
 /// vertices (baseline task count).
-pub fn sequential(graph: &CsrGraph, source: u32) -> (Vec<u64>, u64) {
+pub fn sequential<G: GraphView>(graph: &G, source: u32) -> (Vec<u64>, u64) {
     sssp::sequential_weighted(graph, source, |_| 1)
 }
 
 /// Runs BFS from `source` on `scheduler` with `threads` worker threads.
-pub fn parallel<S>(graph: &CsrGraph, source: u32, scheduler: &S, threads: usize) -> BfsRun
+pub fn parallel<G, S>(graph: &G, source: u32, scheduler: &S, threads: usize) -> BfsRun
 where
+    G: GraphView,
     S: Scheduler<Task>,
 {
     let workload = SsspWorkload::bfs(graph, source);

@@ -23,7 +23,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use smq_core::{Scheduler, Task};
-use smq_graph::CsrGraph;
+use smq_graph::{CsrGraph, GraphView};
 use smq_runtime::Scratch;
 
 use crate::engine::{self, DecreaseKeyWorkload, SequentialReference, TaskOutcome};
@@ -42,7 +42,7 @@ pub struct CcRun {
 /// Exact sequential reference: Gauss–Seidel min-label propagation with a
 /// lowest-label-first worklist.  Returns the label array and the number of
 /// non-stale pops (the baseline task count).
-pub fn sequential(graph: &CsrGraph) -> (Vec<u64>, u64) {
+pub fn sequential<G: GraphView>(graph: &G) -> (Vec<u64>, u64) {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
@@ -75,16 +75,16 @@ pub fn sequential(graph: &CsrGraph) -> (Vec<u64>, u64) {
 
 /// The CC workload: shared state = one atomic label per vertex,
 /// monotonically lowered to the component minimum.
-pub struct CcWorkload<'g> {
-    graph: &'g CsrGraph,
+pub struct CcWorkload<'g, G = CsrGraph> {
+    graph: &'g G,
     labels: Vec<AtomicU64>,
     rev_offsets: Vec<u32>,
     rev_sources: Vec<u32>,
 }
 
-impl<'g> CcWorkload<'g> {
+impl<'g, G: GraphView> CcWorkload<'g, G> {
     /// Weakly connected components of `graph`.
-    pub fn new(graph: &'g CsrGraph) -> Self {
+    pub fn new(graph: &'g G) -> Self {
         let (rev_offsets, rev_sources) = reverse_adjacency(graph);
         Self {
             graph,
@@ -101,7 +101,7 @@ impl<'g> CcWorkload<'g> {
     }
 }
 
-impl DecreaseKeyWorkload for CcWorkload<'_> {
+impl<G: GraphView> DecreaseKeyWorkload for CcWorkload<'_, G> {
     type Output = Vec<u64>;
 
     fn name(&self) -> &'static str {
@@ -158,8 +158,9 @@ impl DecreaseKeyWorkload for CcWorkload<'_> {
 }
 
 /// Runs connected components on `scheduler` with `threads` workers.
-pub fn parallel<S>(graph: &CsrGraph, scheduler: &S, threads: usize) -> CcRun
+pub fn parallel<G, S>(graph: &G, scheduler: &S, threads: usize) -> CcRun
 where
+    G: GraphView,
     S: Scheduler<Task>,
 {
     let workload = CcWorkload::new(graph);

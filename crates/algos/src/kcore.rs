@@ -25,7 +25,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use smq_core::{Scheduler, Task};
-use smq_graph::CsrGraph;
+use smq_graph::{CsrGraph, GraphView};
 use smq_runtime::Scratch;
 
 use crate::engine::{self, DecreaseKeyWorkload, SequentialReference, TaskOutcome};
@@ -50,7 +50,7 @@ pub struct KCoreRun {
 /// coreness.)  Shared with the connected-components workload
 /// (`crate::cc`), which needs the same "who can my update affect"
 /// direction for weak connectivity.
-pub(crate) fn reverse_adjacency(graph: &CsrGraph) -> (Vec<u32>, Vec<u32>) {
+pub(crate) fn reverse_adjacency<G: GraphView>(graph: &G) -> (Vec<u32>, Vec<u32>) {
     let n = graph.num_nodes();
     let mut offsets = vec![0u32; n + 1];
     for e in graph.edges() {
@@ -100,7 +100,7 @@ fn h_index_capped(values: impl Iterator<Item = u64>, cap: u64, counts: &mut [u32
 /// h-index operator with a lowest-h-first worklist (the peeling order).
 /// Returns the coreness array and the number of worklist pops that lowered
 /// a value (the baseline task count).
-pub fn sequential(graph: &CsrGraph) -> (Vec<u64>, u64) {
+pub fn sequential<G: GraphView>(graph: &G) -> (Vec<u64>, u64) {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
@@ -137,16 +137,16 @@ pub fn sequential(graph: &CsrGraph) -> (Vec<u64>, u64) {
 
 /// The k-core workload: shared state = one atomic h-value per vertex,
 /// monotonically lowered to the coreness fixed point.
-pub struct KCoreWorkload<'g> {
-    graph: &'g CsrGraph,
+pub struct KCoreWorkload<'g, G = CsrGraph> {
+    graph: &'g G,
     h: Vec<AtomicU64>,
     rev_offsets: Vec<u32>,
     rev_sources: Vec<u32>,
 }
 
-impl<'g> KCoreWorkload<'g> {
+impl<'g, G: GraphView> KCoreWorkload<'g, G> {
     /// Coreness of every vertex of `graph`.
-    pub fn new(graph: &'g CsrGraph) -> Self {
+    pub fn new(graph: &'g G) -> Self {
         let (rev_offsets, rev_sources) = reverse_adjacency(graph);
         Self {
             graph,
@@ -167,7 +167,7 @@ impl<'g> KCoreWorkload<'g> {
     }
 }
 
-impl DecreaseKeyWorkload for KCoreWorkload<'_> {
+impl<G: GraphView> DecreaseKeyWorkload for KCoreWorkload<'_, G> {
     type Output = Vec<u64>;
 
     fn name(&self) -> &'static str {
@@ -235,8 +235,9 @@ impl DecreaseKeyWorkload for KCoreWorkload<'_> {
 }
 
 /// Runs k-core decomposition on `scheduler` with `threads` workers.
-pub fn parallel<S>(graph: &CsrGraph, scheduler: &S, threads: usize) -> KCoreRun
+pub fn parallel<G, S>(graph: &G, scheduler: &S, threads: usize) -> KCoreRun
 where
+    G: GraphView,
     S: Scheduler<Task>,
 {
     let workload = KCoreWorkload::new(graph);

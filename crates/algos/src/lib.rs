@@ -7,7 +7,7 @@
 //! shared-state output view, and a sequential reference) and
 //! [`engine::run_parallel`] / [`engine::run_on_pool`], which own the
 //! worker-pool invocation and the useful/wasted accounting for every
-//! algorithm.  The seven workloads:
+//! algorithm.  The workloads:
 //!
 //! * [`sssp`] — single-source shortest paths with priority = tentative
 //!   distance (the delta-stepping-style formulation Galois uses),
@@ -21,7 +21,14 @@
 //! * [`kcore`] — k-core decomposition via the asynchronous h-index fixed
 //!   point (lowest candidate coreness first),
 //! * [`cc`] — weakly connected components via min-label propagation
-//!   (smallest label first).
+//!   (smallest label first),
+//! * [`incremental`] — incremental SSSP repair after a batch of
+//!   non-increasing graph updates (re-relaxation seeded from the heads of
+//!   the updated edges, over a pinned `smq_graph::LiveGraph` snapshot).
+//!
+//! Every workload is generic over `smq_graph::GraphView`, so the same
+//! monomorphized code runs on a static `CsrGraph` or on a pinned snapshot
+//! of a `LiveGraph` receiving concurrent updates.
 //!
 //! [`query`] is the service layer on top: a resident
 //! [`query::RouteQueryEngine`] answering thousands of
@@ -40,6 +47,7 @@ pub mod astar;
 pub mod bfs;
 pub mod cc;
 pub mod engine;
+pub mod incremental;
 pub mod kcore;
 pub mod mst;
 pub mod pagerank;
@@ -50,5 +58,6 @@ pub mod workload;
 pub use engine::{
     run_on_pool, run_parallel, DecreaseKeyWorkload, EngineRun, SequentialReference, TaskOutcome,
 };
+pub use incremental::IncrementalSsspWorkload;
 pub use query::{RouteAnswer, RouteQueryEngine};
 pub use workload::AlgoResult;

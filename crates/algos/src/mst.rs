@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 use smq_core::{Scheduler, Task};
-use smq_graph::CsrGraph;
+use smq_graph::{CsrGraph, GraphView};
 use smq_runtime::Scratch;
 
 use crate::engine::{self, DecreaseKeyWorkload, SequentialReference, TaskOutcome};
@@ -73,8 +73,8 @@ impl UnionFind {
 }
 
 /// Shared state of a Borůvka run.
-struct BoruvkaState<'g> {
-    graph: &'g CsrGraph,
+struct BoruvkaState<'g, G> {
+    graph: &'g G,
     uf: UnionFind,
     /// Vertices belonging to each root (meaningful only while the index is a
     /// live root).
@@ -93,8 +93,8 @@ struct ScanResult {
     best: Option<(u32, u32, u32)>,
 }
 
-impl<'g> BoruvkaState<'g> {
-    fn new(graph: &'g CsrGraph) -> Self {
+impl<'g, G: GraphView> BoruvkaState<'g, G> {
+    fn new(graph: &'g G) -> Self {
         let n = graph.num_nodes();
         Self {
             graph,
@@ -172,7 +172,7 @@ impl<'g> BoruvkaState<'g> {
 /// Exact sequential Borůvka (round-based).  Returns
 /// `(total weight, edges in forest, components processed)` where the last
 /// value is the baseline task count for work-increase reporting.
-pub fn sequential(graph: &CsrGraph) -> (u64, u64, u64) {
+pub fn sequential<G: GraphView>(graph: &G) -> (u64, u64, u64) {
     let state = BoruvkaState::new(graph);
     let n = graph.num_nodes() as u32;
     let mut tasks: Vec<u32> = (0..n).collect();
@@ -206,12 +206,12 @@ pub fn sequential(graph: &CsrGraph) -> (u64, u64, u64) {
 /// The Borůvka workload: one task per live component, priority = component
 /// size, shared state = the union-find plus member lists of
 /// `BoruvkaState`.  The output is `(forest weight, edges in forest)`.
-pub struct BoruvkaWorkload<'g> {
-    graph: &'g CsrGraph,
-    state: BoruvkaState<'g>,
+pub struct BoruvkaWorkload<'g, G = CsrGraph> {
+    graph: &'g G,
+    state: BoruvkaState<'g, G>,
 }
 
-impl<'g> BoruvkaWorkload<'g> {
+impl<'g, G: GraphView> BoruvkaWorkload<'g, G> {
     /// Minimum spanning forest of `graph`.
     ///
     /// The graph must be symmetric (every edge present in both directions,
@@ -219,7 +219,7 @@ impl<'g> BoruvkaWorkload<'g> {
     /// cut-property argument that makes relaxed execution safe scans a
     /// component's *outgoing* adjacency and assumes that covers every edge
     /// leaving the component.
-    pub fn new(graph: &'g CsrGraph) -> Self {
+    pub fn new(graph: &'g G) -> Self {
         Self {
             graph,
             state: BoruvkaState::new(graph),
@@ -227,7 +227,7 @@ impl<'g> BoruvkaWorkload<'g> {
     }
 }
 
-impl DecreaseKeyWorkload for BoruvkaWorkload<'_> {
+impl<G: GraphView> DecreaseKeyWorkload for BoruvkaWorkload<'_, G> {
     type Output = (u64, u64);
 
     fn name(&self) -> &'static str {
@@ -301,8 +301,9 @@ impl DecreaseKeyWorkload for BoruvkaWorkload<'_> {
 }
 
 /// Runs parallel Borůvka on `scheduler` with `threads` workers.
-pub fn parallel<S>(graph: &CsrGraph, scheduler: &S, threads: usize) -> MstRun
+pub fn parallel<G, S>(graph: &G, scheduler: &S, threads: usize) -> MstRun
 where
+    G: GraphView,
     S: Scheduler<Task>,
 {
     let workload = BoruvkaWorkload::new(graph);
@@ -317,7 +318,7 @@ where
 
 /// Kruskal's algorithm, used by tests as an independent reference for the
 /// forest weight.
-pub fn kruskal_weight(graph: &CsrGraph) -> (u64, u64) {
+pub fn kruskal_weight<G: GraphView>(graph: &G) -> (u64, u64) {
     let mut edges: Vec<(u32, u32, u32)> = graph.edges().map(|e| (e.weight, e.from, e.to)).collect();
     edges.sort_unstable();
     let uf = UnionFind::new(graph.num_nodes());

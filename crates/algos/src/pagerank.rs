@@ -29,7 +29,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use smq_core::{Scheduler, Task};
-use smq_graph::CsrGraph;
+use smq_graph::{CsrGraph, GraphView};
 use smq_runtime::Scratch;
 
 use crate::engine::{self, DecreaseKeyWorkload, SequentialReference, TaskOutcome};
@@ -138,7 +138,7 @@ fn add_f64(slot: &AtomicU64, delta: f64) -> (f64, f64) {
 /// Exact sequential PageRank-delta (largest residual first, via an exact
 /// heap).  Returns the rank vector and the number of useful (draining)
 /// tasks — the baseline for work-increase reporting.
-pub fn sequential(graph: &CsrGraph, config: PagerankConfig) -> (Vec<f64>, u64) {
+pub fn sequential<G: GraphView>(graph: &G, config: PagerankConfig) -> (Vec<f64>, u64) {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
 
@@ -178,16 +178,16 @@ pub fn sequential(graph: &CsrGraph, config: PagerankConfig) -> (Vec<f64>, u64) {
 
 /// The PageRank-delta workload: shared state = one atomic rank and one
 /// atomic residual per vertex (both `f64` bit patterns in `AtomicU64`).
-pub struct PagerankWorkload<'g> {
-    graph: &'g CsrGraph,
+pub struct PagerankWorkload<'g, G = CsrGraph> {
+    graph: &'g G,
     config: PagerankConfig,
     rank: Vec<AtomicU64>,
     residual: Vec<AtomicU64>,
 }
 
-impl<'g> PagerankWorkload<'g> {
+impl<'g, G: GraphView> PagerankWorkload<'g, G> {
     /// PageRank-delta on `graph` with the given configuration.
-    pub fn new(graph: &'g CsrGraph, config: PagerankConfig) -> Self {
+    pub fn new(graph: &'g G, config: PagerankConfig) -> Self {
         config.validate();
         let n = graph.num_nodes();
         let init = (1.0 - config.damping).to_bits();
@@ -206,7 +206,7 @@ impl<'g> PagerankWorkload<'g> {
     }
 }
 
-impl DecreaseKeyWorkload for PagerankWorkload<'_> {
+impl<G: GraphView> DecreaseKeyWorkload for PagerankWorkload<'_, G> {
     type Output = Vec<f64>;
 
     fn name(&self) -> &'static str {
@@ -277,13 +277,14 @@ impl DecreaseKeyWorkload for PagerankWorkload<'_> {
 }
 
 /// Runs PageRank-delta on `scheduler` with `threads` workers.
-pub fn parallel<S>(
-    graph: &CsrGraph,
+pub fn parallel<G, S>(
+    graph: &G,
     config: PagerankConfig,
     scheduler: &S,
     threads: usize,
 ) -> PagerankRun
 where
+    G: GraphView,
     S: Scheduler<Task>,
 {
     let workload = PagerankWorkload::new(graph, config);

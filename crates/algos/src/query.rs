@@ -47,12 +47,24 @@
 //! via [`engine::run_on_gangs`], which is what the `service_throughput`
 //! benchmark and the `JobService` acceptance tests drive: one scheduler
 //! fleet, G concurrent queries, queries/sec as the reported metric.
+//!
+//! # Dynamic graphs
+//!
+//! The engine is generic over [`GraphSource`]: by default it serves a
+//! frozen `CsrGraph` (pinning is a no-op reference, so the static path is
+//! the same code as before the abstraction), but it can equally sit on a
+//! [`smq_graph::LiveGraph`] receiving concurrent weight updates.  Every
+//! query **pins one version for its whole lifetime** — A* expands the
+//! frozen snapshot, never a torn mid-update view — and
+//! [`RouteQueryEngine::query_pinned`] hands that exact view back to the
+//! caller so the answer can be verified against a sequential run *on the
+//! version that actually served it*, not the moving head.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard};
 
 use smq_core::Task;
-use smq_graph::CsrGraph;
+use smq_graph::{CsrGraph, GraphSource, GraphView};
 use smq_pool::WorkerPool;
 use smq_runtime::Scratch;
 
@@ -87,6 +99,8 @@ fn pack(epoch: u64, distance: u64) -> u64 {
 pub struct RouteAnswer {
     /// Shortest source→target distance (`u64::MAX` if unreachable).
     pub distance: u64,
+    /// Graph version the query was served from (0 for static graphs).
+    pub version: u64,
     /// Work and wall-clock accounting of the query's job.
     pub result: AlgoResult,
 }
@@ -167,8 +181,13 @@ impl QueryLane {
 /// one-lane engine (queries serialize on the lane — the drop-in
 /// replacement for the old lock-serialized engine);
 /// [`RouteQueryEngine::with_lanes`] sizes it for a gang-partitioned pool.
-pub struct RouteQueryEngine {
-    graph: Arc<CsrGraph>,
+///
+/// The engine is generic over its [`GraphSource`] (default: a frozen
+/// [`CsrGraph`]).  Over a [`smq_graph::LiveGraph`] every query pins the
+/// latest published snapshot for its whole lifetime, so concurrent weight
+/// updates never tear a query mid-expansion.
+pub struct RouteQueryEngine<G: GraphSource = CsrGraph> {
+    graph: Arc<G>,
     lanes: Vec<QueryLane>,
     /// Indices of idle lanes; queries block on `lane_ready` when empty.
     free_lanes: Mutex<Vec<usize>>,
@@ -184,7 +203,7 @@ pub struct RouteQueryEngine {
     queries_served: AtomicU64,
 }
 
-impl RouteQueryEngine {
+impl<G: GraphSource> RouteQueryEngine<G> {
     /// Builds a single-lane engine over `graph` (queries serialize on the
     /// one lane; memory is one `u64` per vertex).
     ///
@@ -192,7 +211,7 @@ impl RouteQueryEngine {
     /// Panics if the graph's total edge weight does not fit the packed
     /// 40-bit distance field (no path can be longer than the sum of all
     /// edge weights, so fitting the sum guarantees every distance fits).
-    pub fn new(graph: Arc<CsrGraph>) -> Self {
+    pub fn new(graph: Arc<G>) -> Self {
         Self::with_lanes(graph, 1)
     }
 
@@ -200,15 +219,20 @@ impl RouteQueryEngine {
     /// `lanes` queries concurrently (memory: `lanes` `u64`s per vertex).
     /// Size it to the worker pool's gang count.
     ///
+    /// The 40-bit-distance check runs against the version pinned *now*;
+    /// for a live source, publishers are responsible for keeping the total
+    /// weight of later versions under the same bound (each query
+    /// `debug_assert`s it on the version it pins).
+    ///
     /// # Panics
     /// Like [`new`](Self::new); additionally requires `lanes >= 1`.
-    pub fn with_lanes(graph: Arc<CsrGraph>, lanes: usize) -> Self {
+    pub fn with_lanes(graph: Arc<G>, lanes: usize) -> Self {
         assert!(lanes >= 1, "need at least one query lane");
         assert!(
-            graph.total_weight() < UNREACHED,
+            graph.pin().total_weight() < UNREACHED,
             "graph weights overflow the packed 40-bit distance field"
         );
-        let n = graph.num_nodes();
+        let n = graph.source_num_nodes();
         Self {
             lanes: (0..lanes).map(|_| QueryLane::new(n)).collect(),
             free_lanes: Mutex::new((0..lanes).collect()),
@@ -221,8 +245,8 @@ impl RouteQueryEngine {
         }
     }
 
-    /// The shared graph.
-    pub fn graph(&self) -> &CsrGraph {
+    /// The shared graph source.
+    pub fn graph(&self) -> &G {
         &self.graph
     }
 
@@ -247,16 +271,36 @@ impl RouteQueryEngine {
     /// proceed concurrently up to the engine's lane count and the pool's
     /// gang count.
     pub fn query(&self, source: u32, target: u32, pool: &WorkerPool) -> RouteAnswer {
+        self.query_pinned(source, target, pool).0
+    }
+
+    /// Like [`query`](Self::query), but also returns the graph view the
+    /// query was served from.
+    ///
+    /// Over a live source this is the snapshot pinned for the query's
+    /// whole lifetime: verify the answer against a sequential run on
+    /// **this** view, not on a fresh pin of the (possibly newer) head.
+    pub fn query_pinned(
+        &self,
+        source: u32,
+        target: u32,
+        pool: &WorkerPool,
+    ) -> (RouteAnswer, G::View<'_>) {
         // Order matters for the wrap barrier: the epoch is allocated while
         // already holding the shared lock, so the exclusive (wrap) holder
         // knows no live epoch exists outside the barrier.
         let (_in_flight, epoch) = self.begin_epoch();
         let lane_claim = self.claim_lane();
         let lane = &self.lanes[lane_claim.index];
+        let view = self.graph.pin();
+        debug_assert!(
+            view.total_weight() < UNREACHED,
+            "published updates overflowed the packed 40-bit distance field"
+        );
         // Seed the source slot for this epoch before the job starts.
         lane.slots[source as usize].store(pack(epoch, 0), Ordering::Relaxed);
         let active = ActiveQuery {
-            graph: &self.graph,
+            graph: &view,
             lane,
             epoch,
             source,
@@ -265,14 +309,16 @@ impl RouteQueryEngine {
         };
         let run = engine::run_on_gangs(&active, pool, 1);
         self.queries_served.fetch_add(1, Ordering::Relaxed);
-        RouteAnswer {
+        let answer = RouteAnswer {
             distance: if run.output >= UNREACHED {
                 u64::MAX
             } else {
                 run.output
             },
+            version: view.version(),
             result: run.result,
-        }
+        };
+        (answer, view)
     }
 
     /// Claims a unique epoch, entering the wrap barrier in shared mode.
@@ -302,7 +348,7 @@ impl RouteQueryEngine {
     }
 
     /// Takes an idle lane, blocking while all lanes are busy.
-    fn claim_lane(&self) -> LaneClaim<'_> {
+    fn claim_lane(&self) -> LaneClaim<'_, G> {
         let mut free = self.free_lanes.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(index) = free.pop() {
@@ -322,12 +368,12 @@ impl RouteQueryEngine {
 /// Returns the lane on drop — also on unwind, so a panicking query job
 /// cannot leak a lane (its stale-epoch scribbles are invisible to the next
 /// query anyway).
-struct LaneClaim<'e> {
-    engine: &'e RouteQueryEngine,
+struct LaneClaim<'e, G: GraphSource> {
+    engine: &'e RouteQueryEngine<G>,
     index: usize,
 }
 
-impl Drop for LaneClaim<'_> {
+impl<G: GraphSource> Drop for LaneClaim<'_, G> {
     fn drop(&mut self) {
         let mut free = self
             .engine
@@ -339,10 +385,10 @@ impl Drop for LaneClaim<'_> {
     }
 }
 
-/// One in-flight query: borrows its exclusive lane, carries the query
-/// epoch.
-struct ActiveQuery<'e> {
-    graph: &'e CsrGraph,
+/// One in-flight query: borrows its pinned graph view and its exclusive
+/// lane, carries the query epoch.
+struct ActiveQuery<'e, V> {
+    graph: &'e V,
     lane: &'e QueryLane,
     epoch: u64,
     source: u32,
@@ -351,7 +397,7 @@ struct ActiveQuery<'e> {
     best_target: AtomicU64,
 }
 
-impl DecreaseKeyWorkload for ActiveQuery<'_> {
+impl<V: GraphView> DecreaseKeyWorkload for ActiveQuery<'_, V> {
     type Output = u64;
 
     fn name(&self) -> &'static str {
@@ -430,7 +476,7 @@ mod tests {
     use super::*;
     use crate::astar;
     use smq_graph::generators::{road_network, RoadNetworkParams};
-    use smq_graph::GraphBuilder;
+    use smq_graph::{GraphBuilder, GraphUpdate, LiveGraph};
     use smq_pool::PoolConfig;
     use smq_scheduler::{HeapSmq, SmqConfig};
 
@@ -591,6 +637,48 @@ mod tests {
             engine.epoch_wraps() >= 1,
             "the stream must have crossed the epoch wrap"
         );
+    }
+
+    #[test]
+    fn static_queries_report_version_zero() {
+        let graph = road();
+        let engine = RouteQueryEngine::new(Arc::clone(&graph));
+        let pool = pool(1);
+        let (answer, view) = engine.query_pinned(3, 200, &pool);
+        let (expected, _) = astar::sequential(&view, 3, 200);
+        assert_eq!(answer.distance, expected);
+        assert_eq!(answer.version, 0);
+        assert_eq!(view.version(), 0);
+    }
+
+    #[test]
+    fn live_graph_queries_verify_on_the_pinned_view() {
+        // An engine over a LiveGraph: weight updates land between queries,
+        // every answer must match sequential A* on the view that actually
+        // served it, and later queries must observe later versions.
+        let graph = road();
+        let live = Arc::new(LiveGraph::new(Arc::clone(&graph)));
+        let engine = RouteQueryEngine::new(Arc::clone(&live));
+        let pool = pool(1);
+        let n = graph.num_nodes() as u32;
+        let mut last_version = 0;
+        for i in 0..12u32 {
+            let source = (i * 13) % n;
+            let target = (i * 29 + 7) % n;
+            let (answer, view) = engine.query_pinned(source, target, &pool);
+            let (expected, _) = astar::sequential(&view, source, target);
+            assert_eq!(answer.distance, expected, "query {source}->{target}");
+            assert_eq!(answer.version, view.version());
+            assert!(answer.version > last_version, "versions must advance");
+            last_version = answer.version;
+            // Slowdowns only: weights stay >= the base weights the road
+            // generator derived from coordinates, so the A* heuristic
+            // stays admissible on every version.
+            let updates = GraphUpdate::random_slowdowns(&*graph, 8, 100 + u64::from(i), 4);
+            live.publish(&updates);
+        }
+        assert!(last_version >= 12);
+        assert_eq!(engine.queries_served(), 12);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use smq_core::{Scheduler, Task};
-use smq_graph::CsrGraph;
+use smq_graph::{CsrGraph, GraphView};
 use smq_runtime::Scratch;
 
 use crate::engine::{self, DecreaseKeyWorkload, SequentialReference, TaskOutcome};
@@ -32,14 +32,14 @@ pub struct SsspRun {
 
 /// Exact sequential Dijkstra.  Returns the distance array and the number of
 /// settled vertices (the baseline task count for work-increase reporting).
-pub fn sequential(graph: &CsrGraph, source: u32) -> (Vec<u64>, u64) {
+pub fn sequential<G: GraphView>(graph: &G, source: u32) -> (Vec<u64>, u64) {
     sequential_weighted(graph, source, u64::from)
 }
 
 /// Sequential Dijkstra with a caller-supplied weight mapping (used by the
 /// BFS wrapper with a constant mapping).
-pub fn sequential_weighted(
-    graph: &CsrGraph,
+pub fn sequential_weighted<G: GraphView>(
+    graph: &G,
     source: u32,
     edge_weight: impl Fn(u32) -> u64,
 ) -> (Vec<u64>, u64) {
@@ -72,38 +72,36 @@ pub fn sequential_weighted(
 /// state = one atomic tentative distance per vertex, priority = distance.
 ///
 /// Generic over the edge-weight mapping so BFS (constant weight 1) shares
-/// the implementation — the only difference between the two workloads.
-pub struct SsspWorkload<'g, F = fn(u32) -> u64> {
-    graph: &'g CsrGraph,
+/// the implementation — the only difference between the two workloads —
+/// and over the [`GraphView`] it reads, so the same monomorphized code
+/// runs on a static [`CsrGraph`] or a pinned live-graph snapshot.
+pub struct SsspWorkload<'g, G = CsrGraph, F = fn(u32) -> u64> {
+    graph: &'g G,
     source: u32,
     label: &'static str,
     edge_weight: F,
     distances: Vec<AtomicU64>,
 }
 
-impl<'g> SsspWorkload<'g> {
+impl<'g, G: GraphView> SsspWorkload<'g, G> {
     /// SSSP from `source` with the graph's own edge weights.
-    pub fn new(graph: &'g CsrGraph, source: u32) -> Self {
+    pub fn new(graph: &'g G, source: u32) -> Self {
         Self::with_weight(graph, source, "SSSP", u64::from)
     }
 
     /// BFS from `source`: every edge counts 1 hop.
-    pub fn bfs(graph: &'g CsrGraph, source: u32) -> Self {
+    pub fn bfs(graph: &'g G, source: u32) -> Self {
         Self::with_weight(graph, source, "BFS", |_| 1)
     }
 }
 
-impl<'g, F> SsspWorkload<'g, F>
+impl<'g, G, F> SsspWorkload<'g, G, F>
 where
+    G: GraphView,
     F: Fn(u32) -> u64 + Sync,
 {
     /// SSSP with a caller-supplied weight mapping and display label.
-    pub fn with_weight(
-        graph: &'g CsrGraph,
-        source: u32,
-        label: &'static str,
-        edge_weight: F,
-    ) -> Self {
+    pub fn with_weight(graph: &'g G, source: u32, label: &'static str, edge_weight: F) -> Self {
         let n = graph.num_nodes();
         assert!((source as usize) < n, "source vertex out of range");
         let distances: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
@@ -118,8 +116,9 @@ where
     }
 }
 
-impl<F> DecreaseKeyWorkload for SsspWorkload<'_, F>
+impl<G, F> DecreaseKeyWorkload for SsspWorkload<'_, G, F>
 where
+    G: GraphView,
     F: Fn(u32) -> u64 + Sync,
 {
     type Output = Vec<u64>;
@@ -174,8 +173,9 @@ where
 }
 
 /// Runs SSSP from `source` on `scheduler` with `threads` worker threads.
-pub fn parallel<S>(graph: &CsrGraph, source: u32, scheduler: &S, threads: usize) -> SsspRun
+pub fn parallel<G, S>(graph: &G, source: u32, scheduler: &S, threads: usize) -> SsspRun
 where
+    G: GraphView,
     S: Scheduler<Task>,
 {
     let workload = SsspWorkload::new(graph, source);
@@ -187,14 +187,15 @@ where
 }
 
 /// Parallel SSSP with a caller-supplied weight mapping.
-pub fn parallel_weighted<S>(
-    graph: &CsrGraph,
+pub fn parallel_weighted<G, S>(
+    graph: &G,
     source: u32,
     scheduler: &S,
     threads: usize,
     edge_weight: impl Fn(u32) -> u64 + Sync,
 ) -> SsspRun
 where
+    G: GraphView,
     S: Scheduler<Task>,
 {
     let workload = SsspWorkload::with_weight(graph, source, "SSSP", edge_weight);

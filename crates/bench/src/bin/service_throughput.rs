@@ -33,20 +33,34 @@
 //! and at ci scale an interleaved disabled/enabled comparison asserts the
 //! instrumented service stays within 5% of the uninstrumented one.
 //!
+//! **Dynamic graphs** (`--update-rate` sweep): the same query service is
+//! also run over a `LiveGraph` receiving concurrent weight updates — an
+//! updater thread publishes batches of road slowdowns at a target
+//! updates/sec rate while the closed-loop clients keep querying.  Each
+//! query pins one published version for its whole lifetime
+//! (`RouteQueryEngine::query_pinned`) and is verified against sequential
+//! A* **on that pinned snapshot** — not the moving head — so the reported
+//! queries/sec vs updates/sec trade-off is for exact answers under
+//! snapshot isolation.  At ci scale the sweep asserts that updates really
+//! happened (achieved updates/sec > 0, versions advanced) while every
+//! answer stayed exact.
+//!
 //! ```sh
 //! cargo run --release -p smq-bench --bin service_throughput -- --threads 4 --concurrency 4
 //! cargo run --release -p smq-bench --bin service_throughput -- --scale ci --concurrency 2 --batch 8 \
-//!     --metrics-json /tmp/m.jsonl --trace /tmp/t.json  # CI smoke
+//!     --update-rate 0,2000 --metrics-json /tmp/m.jsonl --trace /tmp/t.json  # CI smoke
 //! ```
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use smq_algos::{astar, RouteQueryEngine};
 use smq_bench::report::f2;
 use smq_bench::{BenchArgs, Scale, Table};
 use smq_core::{OpStats, Scheduler, Task};
 use smq_graph::generators::{road_network, RoadNetworkParams};
+use smq_graph::{CsrGraph, GraphUpdate, GraphView, LiveGraph};
 use smq_multiqueue::{MultiQueue, MultiQueueConfig};
 use smq_obim::{Obim, ObimConfig};
 use smq_pool::{JobService, PoolConfig, ServiceConfig, WorkerPool};
@@ -266,9 +280,173 @@ where
     }
 }
 
+/// One row of the dynamic-graph (mixed read/write) sweep.
+struct LiveRow {
+    label: String,
+    /// Target updates/sec (0 = no updater thread, the isolation baseline).
+    target_rate: u64,
+    jobs_per_sec: f64,
+    /// Updates actually published per second of wall-clock.
+    updates_per_sec: f64,
+    /// Versions published during the run (updater batches + compactions).
+    versions_published: u64,
+    compactions: u64,
+    /// Highest graph version any served query pinned.
+    max_version_served: u64,
+    latency: LogHistogram,
+}
+
+/// Runs `queries` through a fresh `JobService` over a **live** graph while
+/// an updater thread publishes weight-slowdown batches at `target_rate`
+/// updates/sec.  Every answer is verified against sequential A* on the
+/// snapshot the query actually pinned (exactness under snapshot
+/// isolation), not on the moving head.
+#[allow(clippy::too_many_arguments)]
+fn run_live_service<S, F>(
+    label: &str,
+    gangs: usize,
+    gang_size: usize,
+    batch: usize,
+    make: &F,
+    base: &Arc<CsrGraph>,
+    queries: &Arc<Vec<(u32, u32)>>,
+    clients: usize,
+    target_rate: u64,
+    seed: u64,
+) -> LiveRow
+where
+    S: Scheduler<Task> + Send + Sync + 'static,
+    F: Fn(usize, usize) -> S,
+{
+    // Fresh live graph per row: every rate starts from the pristine base.
+    let live = Arc::new(LiveGraph::new(Arc::clone(base)));
+    let engine = Arc::new(RouteQueryEngine::with_lanes(Arc::clone(&live), gangs));
+    let pool = WorkerPool::new_partitioned(
+        |g| make(gang_size, g),
+        PoolConfig::partitioned(gangs, gang_size).with_batch(batch),
+    );
+    let service = Arc::new(JobService::new(
+        pool,
+        ServiceConfig {
+            queue_capacity: 32,
+            dispatchers: 0,
+        },
+    ));
+    let clients = clients.max(gangs);
+    let stop = AtomicBool::new(false);
+    /// Updates per published batch; the pacing interval follows from the
+    /// target rate.
+    const UPDATE_BATCH: u64 = 16;
+
+    let wall = Instant::now();
+    let mut latency = LogHistogram::new();
+    let mut max_version_served = 0u64;
+    let mut published_updates = 0u64;
+    std::thread::scope(|scope| {
+        let updater = (target_rate > 0).then(|| {
+            let live = Arc::clone(&live);
+            let base = Arc::clone(base);
+            let stop = &stop;
+            scope.spawn(move || {
+                let interval = Duration::from_secs_f64(UPDATE_BATCH as f64 / target_rate as f64);
+                let mut published = 0u64;
+                let mut round = 0u64;
+                let started = Instant::now();
+                while !stop.load(Ordering::Relaxed) {
+                    // Slowdowns only, derived from the *base* weights: the
+                    // road generator guarantees weight >= 100 x Euclidean
+                    // length, so scaled-up weights keep the A* heuristic
+                    // admissible on every published version.
+                    let updates = GraphUpdate::random_slowdowns(
+                        &*base,
+                        UPDATE_BATCH as usize,
+                        seed ^ round.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                        8,
+                    );
+                    live.publish(&updates);
+                    published += updates.len() as u64;
+                    round += 1;
+                    // Absolute pacing: sleep toward the next batch's
+                    // deadline (in short slices so the stop flag stays
+                    // responsive) so missed deadlines don't compound.
+                    let deadline = interval * (round as u32);
+                    while !stop.load(Ordering::Relaxed) {
+                        match deadline.checked_sub(started.elapsed()) {
+                            Some(wait) => std::thread::sleep(wait.min(Duration::from_millis(2))),
+                            None => break,
+                        }
+                    }
+                }
+                published
+            })
+        });
+
+        let mut handles = Vec::new();
+        for client in 0..clients {
+            let service = Arc::clone(&service);
+            let engine = Arc::clone(&engine);
+            let queries = Arc::clone(queries);
+            handles.push(scope.spawn(move || {
+                let mut local = LogHistogram::new();
+                let mut max_version = 0u64;
+                for i in (client..queries.len()).step_by(clients) {
+                    let (source, target) = queries[i];
+                    let engine = Arc::clone(&engine);
+                    let ticket = service
+                        .submit(move |pool| engine.query_pinned(source, target, pool))
+                        .expect("service accepts while clients run");
+                    let done = ticket.wait().expect("query job completed");
+                    let (answer, view) = &done.output;
+                    // The exactness check of the whole dynamic section:
+                    // sequential A* on the snapshot this query pinned.
+                    let (expected, _) = astar::sequential(view, source, target);
+                    assert_eq!(
+                        answer.distance,
+                        expected,
+                        "query {source}->{target} diverged from sequential A* \
+                         on its pinned snapshot (version {})",
+                        view.version()
+                    );
+                    assert_eq!(answer.version, view.version());
+                    max_version = max_version.max(answer.version);
+                    local.record_duration(done.total_latency());
+                }
+                (local, max_version)
+            }));
+        }
+        for handle in handles {
+            let (local, max_version) = handle.join().expect("client thread");
+            latency.merge(&local);
+            max_version_served = max_version_served.max(max_version);
+        }
+        stop.store(true, Ordering::Relaxed);
+        if let Some(updater) = updater {
+            published_updates = updater.join().expect("updater thread");
+        }
+    });
+    let elapsed = wall.elapsed();
+
+    let service = Arc::into_inner(service).expect("clients joined");
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, queries.len() as u64);
+    assert_eq!(stats.failed, 0, "no query job may be lost");
+
+    LiveRow {
+        label: label.to_string(),
+        target_rate,
+        jobs_per_sec: queries.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        updates_per_sec: published_updates as f64 / elapsed.as_secs_f64().max(1e-9),
+        versions_published: live.versions_published(),
+        compactions: live.compactions(),
+        max_version_served,
+        latency,
+    }
+}
+
 fn main() {
     let (args, rest) = BenchArgs::from_env();
     let mut concurrency = 1usize;
+    let mut update_rates: Option<Vec<u64>> = None;
     let mut iter = rest.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -279,7 +457,22 @@ fn main() {
                     .expect("--concurrency needs a positive integer");
                 assert!(concurrency >= 1, "--concurrency needs a positive integer");
             }
-            other => panic!("unknown flag '{other}' (service_throughput adds --concurrency N)"),
+            "--update-rate" => {
+                let list = iter.next().expect("--update-rate needs a value");
+                update_rates = Some(
+                    list.split(',')
+                        .map(|v| {
+                            v.trim()
+                                .parse()
+                                .expect("--update-rate takes updates/sec (comma-separated)")
+                        })
+                        .collect(),
+                );
+            }
+            other => panic!(
+                "unknown flag '{other}' (service_throughput adds --concurrency N and \
+                 --update-rate R[,R...])"
+            ),
         }
     }
     let (grid, query_count, base_clients) = sizing(args.scale);
@@ -722,9 +915,116 @@ fn main() {
         );
     }
 
+    // The dynamic-graph sweep: same query stream, live graph, an updater
+    // thread publishing weight slowdowns at each target rate.  Rate 0 is
+    // the isolation baseline (a LiveGraph that never changes must serve
+    // like the static engine, modulo the pin).
+    let rates = update_rates.unwrap_or_else(|| match args.scale {
+        Scale::Ci => vec![0, 2_000],
+        Scale::Small => vec![0, 500, 5_000],
+        Scale::Full => vec![0, 1_000, 10_000, 50_000],
+    });
+    let gangs = concurrency;
+    let gang_size = threads / gangs;
+    let live_batch = args.batch.unwrap_or(8);
+    let mut live_rows: Vec<LiveRow> = Vec::new();
+    for &rate in &rates {
+        live_rows.push(run_live_service(
+            "SMQ (Default)",
+            gangs,
+            gang_size,
+            live_batch,
+            &|size, g| {
+                HeapSmq::<Task>::new(
+                    SmqConfig::default_for_threads(size).with_seed(seed + g as u64),
+                )
+            },
+            &graph,
+            &queries,
+            base_clients,
+            rate,
+            seed,
+        ));
+        live_rows.push(run_live_service(
+            "MQ classic (C=4)",
+            gangs,
+            gang_size,
+            live_batch,
+            &|size, g| {
+                MultiQueue::<Task>::new(
+                    MultiQueueConfig::classic(size)
+                        .with_c_factor(4)
+                        .with_seed(seed + g as u64),
+                )
+            },
+            &graph,
+            &queries,
+            base_clients,
+            rate,
+            seed,
+        ));
+    }
+    let mut live_table = Table::new(
+        format!(
+            "Dynamic graph service — {query_count} pinned-snapshot A* queries under live weight \
+             updates ({threads} workers, G={gangs}, B={live_batch}, update-rate sweep {rates:?} \
+             updates/sec)"
+        ),
+        &[
+            "Scheduler",
+            "Target upd/s",
+            "Jobs/sec",
+            "Upd/sec",
+            "Versions",
+            "Compactions",
+            "Max ver served",
+            "p50 (ms)",
+            "p99 (ms)",
+        ],
+    );
+    for row in &live_rows {
+        live_table.add_row(vec![
+            row.label.clone(),
+            row.target_rate.to_string(),
+            f2(row.jobs_per_sec),
+            f2(row.updates_per_sec),
+            row.versions_published.to_string(),
+            row.compactions.to_string(),
+            row.max_version_served.to_string(),
+            f2(row.latency.quantile_duration(0.50).as_secs_f64() * 1e3),
+            f2(row.latency.quantile_duration(0.99).as_secs_f64() * 1e3),
+        ]);
+    }
+    live_table.print();
+    // Acceptance gates for the mixed read/write path, at every scale: the
+    // updater must actually publish (updates/sec > 0), queries must pin
+    // post-update versions, and the zero-rate baseline must stay pinned to
+    // version 1.  Exactness is asserted per query inside run_live_service.
+    for row in &live_rows {
+        if row.target_rate > 0 {
+            assert!(
+                row.updates_per_sec > 0.0,
+                "{} at {} updates/sec published nothing",
+                row.label,
+                row.target_rate
+            );
+            assert!(
+                row.max_version_served > 1,
+                "{} at {} updates/sec never served a post-update version",
+                row.label,
+                row.target_rate
+            );
+        } else {
+            assert_eq!(
+                row.max_version_served, 1,
+                "zero-rate baseline must serve the initial version only"
+            );
+        }
+    }
+
     println!(
-        "(every answer verified against sequential A*; engine served {} queries \
-         across {} lanes)",
+        "(static sweep: every answer verified against sequential A*; engine served {} queries \
+         across {} lanes.  Dynamic sweep: every answer verified on its pinned snapshot.)",
         engine.queries_served(),
         engine.lanes()
     );

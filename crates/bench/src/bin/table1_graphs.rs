@@ -6,11 +6,14 @@
 //! task count of every workload on every graph it suits, the denominator of
 //! every work-increase number the other binaries report.
 
-use smq_algos::{astar, bfs, cc, kcore, mst, pagerank, sssp};
-use smq_bench::{standard_graphs, BenchArgs, GraphSpec, Table, Workload};
+use std::sync::Arc;
+
+use smq_algos::{astar, bfs, cc, incremental, kcore, mst, pagerank, sssp};
+use smq_bench::{incremental_update_batch, standard_graphs, BenchArgs, GraphSpec, Table, Workload};
+use smq_graph::LiveGraph;
 
 /// The sequential reference's task count for `workload` on `spec`.
-fn baseline_tasks(workload: Workload, spec: &GraphSpec) -> u64 {
+fn baseline_tasks(workload: Workload, spec: &GraphSpec, seed: u64) -> u64 {
     match workload {
         Workload::Sssp => sssp::sequential(&spec.graph, spec.source).1,
         Workload::Bfs => bfs::sequential(&spec.graph, spec.source).1,
@@ -21,6 +24,15 @@ fn baseline_tasks(workload: Workload, spec: &GraphSpec) -> u64 {
         }
         Workload::KCore => kcore::sequential(&spec.graph).1,
         Workload::Cc => cc::sequential(&spec.graph).1,
+        Workload::IncrementalSssp => {
+            // Same deterministic decrease batch the parallel arm repairs.
+            let updates = incremental_update_batch(spec, seed);
+            let live = LiveGraph::new(Arc::new(spec.graph.clone()));
+            live.publish(&updates);
+            let snapshot = live.pin();
+            let (old, _) = sssp::sequential(&spec.graph, spec.source);
+            incremental::sequential(&snapshot, &old, &updates).1
+        }
     }
 }
 
@@ -65,7 +77,7 @@ fn main() {
         let mut row = vec![spec.name.to_string()];
         for &workload in &workloads {
             row.push(if workload.suits(spec) {
-                smq_bench::report::count(baseline_tasks(workload, spec))
+                smq_bench::report::count(baseline_tasks(workload, spec, args.seed))
             } else {
                 "-".to_string()
             });

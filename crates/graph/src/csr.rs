@@ -161,6 +161,12 @@ impl CsrGraph {
         self.coordinates.is_some()
     }
 
+    /// The full coordinate table, if the graph carries one (used by the
+    /// live-graph compactor and the DIMACS `.co` writer).
+    pub fn all_coordinates(&self) -> Option<&[(f64, f64)]> {
+        self.coordinates.as_deref()
+    }
+
     /// Sum of all edge weights (useful for sanity checks in tests).
     pub fn total_weight(&self) -> u64 {
         self.weights.iter().map(|&w| u64::from(w)).sum()

@@ -153,6 +153,32 @@ pub fn write_gr<W: Write>(graph: &CsrGraph, mut writer: W) -> io::Result<()> {
     Ok(())
 }
 
+/// Writes the graph's coordinates in DIMACS `.co` format (1-based ids),
+/// dividing each coordinate by `scale` — the inverse of the scaling
+/// [`read_co`] applies.  Values are printed with Rust's shortest
+/// round-trippable float formatting, so `write_co(s)` → `read_co(s)`
+/// recovers the coordinates bit-exactly whenever `s` is a power of two
+/// (including 1.0); other scales round-trip to within one ulp of the
+/// divide/multiply pair.
+///
+/// # Errors
+/// Returns [`DimacsError::Parse`] when the graph carries no coordinates
+/// or `scale` is not a positive finite number.
+pub fn write_co<W: Write>(graph: &CsrGraph, mut writer: W, scale: f64) -> Result<(), DimacsError> {
+    if !(scale.is_finite() && scale > 0.0) {
+        return Err(parse_err(0, "scale must be a positive finite number"));
+    }
+    let coords = graph
+        .all_coordinates()
+        .ok_or_else(|| parse_err(0, "graph carries no coordinates"))?;
+    writeln!(writer, "c generated by smq-graph")?;
+    writeln!(writer, "p aux sp co {}", graph.num_nodes())?;
+    for (idx, (x, y)) in coords.iter().enumerate() {
+        writeln!(writer, "v {} {} {}", idx + 1, x / scale, y / scale)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,6 +246,35 @@ mod tests {
     }
 
     #[test]
+    fn write_co_then_read_co_round_trips() {
+        let mut b = crate::GraphBuilder::new(3);
+        b.add_edge(0, 1, 1);
+        b.with_coordinates(vec![(1.5, -2.25), (0.0, 1e9), (-0.125, 42.0)]);
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_co(&g, &mut buf, 1.0).unwrap();
+        let coords = read_co(BufReader::new(buf.as_slice()), 3, 1.0).unwrap();
+        assert_eq!(coords, vec![(1.5, -2.25), (0.0, 1e9), (-0.125, 42.0)]);
+        // Power-of-two scales divide and re-multiply exactly too.
+        let mut buf = Vec::new();
+        write_co(&g, &mut buf, 0.25).unwrap();
+        let coords = read_co(BufReader::new(buf.as_slice()), 3, 0.25).unwrap();
+        assert_eq!(coords, vec![(1.5, -2.25), (0.0, 1e9), (-0.125, 42.0)]);
+    }
+
+    #[test]
+    fn write_co_without_coordinates_is_an_error() {
+        let g = uniform_random(4, 6, 10, 3);
+        let err = write_co(&g, &mut Vec::new(), 1.0).unwrap_err();
+        assert!(err.to_string().contains("no coordinates"), "{err}");
+        let mut b = crate::GraphBuilder::new(1);
+        b.with_coordinates(vec![(0.0, 0.0)]);
+        let g = b.build();
+        assert!(write_co(&g, &mut Vec::new(), 0.0).is_err());
+        assert!(write_co(&g, &mut Vec::new(), f64::NAN).is_err());
+    }
+
+    #[test]
     fn round_trip_preserves_power_law_structure() {
         let g = power_law(PowerLawParams {
             nodes: 200,
@@ -233,5 +288,56 @@ mod tests {
         let g2 = read_gr(BufReader::new(buf.as_slice())).unwrap();
         assert_eq!(g2.num_edges(), g.num_edges());
         assert_eq!(g2.max_degree(), g.max_degree());
+    }
+
+    proptest::proptest! {
+        /// `write_gr` → `read_gr` reproduces nodes, edges, and weights
+        /// exactly — per-edge, in order, not just in aggregate.
+        #[test]
+        fn gr_round_trip_is_exact(
+            nodes in 1u32..40,
+            raw_edges in proptest::collection::vec((0u32..40, 0u32..40, 1u32..1000), 0..200),
+        ) {
+            let mut b = crate::GraphBuilder::new(nodes);
+            for &(from, to, w) in &raw_edges {
+                b.add_edge(from % nodes, to % nodes, w);
+            }
+            let g = b.build();
+            let mut buf = Vec::new();
+            write_gr(&g, &mut buf).unwrap();
+            let g2 = read_gr(BufReader::new(buf.as_slice())).unwrap();
+            proptest::prop_assert_eq!(g2.num_nodes(), g.num_nodes());
+            proptest::prop_assert_eq!(g2.num_edges(), g.num_edges());
+            let original: Vec<crate::Edge> = g.edges().collect();
+            let round_tripped: Vec<crate::Edge> = g2.edges().collect();
+            proptest::prop_assert_eq!(round_tripped, original);
+        }
+
+        /// `write_co` → `read_co` reproduces every coordinate bit-exactly
+        /// at power-of-two scales (shortest-float formatting plus exact
+        /// divide/multiply).
+        #[test]
+        fn co_round_trip_is_exact(
+            raw_coords in proptest::collection::vec(
+                (-1_000_000i64..1_000_000, -1_000_000i64..1_000_000), 1..60),
+            scale_exp in -4i32..5,
+        ) {
+            let coords: Vec<(f64, f64)> = raw_coords
+                .iter()
+                .map(|&(x, y)| (x as f64 / 16.0, y as f64 / 16.0))
+                .collect();
+            let nodes = coords.len() as u32;
+            let mut b = crate::GraphBuilder::new(nodes);
+            if nodes > 1 {
+                b.add_edge(0, 1, 1);
+            }
+            b.with_coordinates(coords.clone());
+            let g = b.build();
+            let scale = 2.0f64.powi(scale_exp);
+            let mut buf = Vec::new();
+            write_co(&g, &mut buf, scale).unwrap();
+            let read_back = read_co(BufReader::new(buf.as_slice()), nodes as usize, scale).unwrap();
+            proptest::prop_assert_eq!(read_back, coords);
+        }
     }
 }

@@ -15,5 +15,9 @@
 pub mod csr;
 pub mod dimacs;
 pub mod generators;
+pub mod live;
+pub mod view;
 
-pub use csr::{CsrGraph, GraphBuilder};
+pub use csr::{CsrGraph, Edge, GraphBuilder};
+pub use live::{GraphSnapshot, GraphUpdate, LiveGraph};
+pub use view::{GraphSource, GraphView};

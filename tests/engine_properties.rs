@@ -23,17 +23,19 @@ use proptest::prelude::*;
 use smq_repro::algos::astar::AstarWorkload;
 use smq_repro::algos::cc::CcWorkload;
 use smq_repro::algos::engine::{self, DecreaseKeyWorkload, EngineRun};
+use smq_repro::algos::incremental::IncrementalSsspWorkload;
 use smq_repro::algos::kcore::KCoreWorkload;
 use smq_repro::algos::mst::BoruvkaWorkload;
 use smq_repro::algos::pagerank::{PagerankConfig, PagerankWorkload};
 use smq_repro::algos::sssp::SsspWorkload;
 use smq_repro::core::{Probability, Scheduler, Task};
 use smq_repro::graph::generators::uniform_random;
-use smq_repro::graph::CsrGraph;
+use smq_repro::graph::{CsrGraph, GraphUpdate, LiveGraph};
 use smq_repro::multiqueue::{DeletePolicy, InsertPolicy, MultiQueue, MultiQueueConfig, Reld};
 use smq_repro::obim::{Obim, ObimConfig};
 use smq_repro::smq::{HeapSmq, SkipListSmq, SmqConfig};
 use smq_repro::spraylist::{SprayList, SprayListConfig};
+use std::sync::Arc;
 
 /// Asserts the engine invariants on a finished run.
 fn assert_invariants<O>(run: &EngineRun<O>, label: &str) {
@@ -81,8 +83,9 @@ fn symmetrized(directed: &CsrGraph) -> CsrGraph {
     b.build()
 }
 
-/// Runs all seven workloads over the graph on fresh schedulers from `make`.
-fn check_all_workloads<S, F>(graph: &CsrGraph, make: F, threads: usize, batch: usize)
+/// Runs all eight workloads over the graph on fresh schedulers from `make`
+/// (`seed` derives the incremental workload's update batch).
+fn check_all_workloads<S, F>(graph: &CsrGraph, make: F, threads: usize, batch: usize, seed: u64)
 where
     S: Scheduler<Task>,
     F: Fn() -> S,
@@ -114,6 +117,18 @@ where
     );
     check(&KCoreWorkload::new(graph), &make(), threads, batch);
     check(&CcWorkload::new(graph), &make(), threads, batch);
+    // Incremental SSSP over a live-graph snapshot: publish a decrease
+    // batch onto a live copy and repair the pre-update distances.
+    let updates = GraphUpdate::random_decreases(graph, graph.num_edges() / 4 + 1, seed);
+    let live = LiveGraph::new(Arc::new(graph.clone()));
+    live.publish(&updates);
+    let snapshot = live.pin();
+    check(
+        &IncrementalSsspWorkload::after_updates(graph, &snapshot, 0, &updates),
+        &make(),
+        threads,
+        batch,
+    );
 }
 
 /// The hot-path batch sizes the properties sweep.
@@ -133,18 +148,21 @@ fn check_with_scheduler_family(
             || HeapSmq::<Task>::new(SmqConfig::default_for_threads(threads).with_seed(seed)),
             threads,
             batch,
+            seed,
         ),
         1 => check_all_workloads(
             graph,
             || SkipListSmq::<Task>::new(SmqConfig::default_for_threads(threads).with_seed(seed)),
             threads,
             batch,
+            seed,
         ),
         2 => check_all_workloads(
             graph,
             || MultiQueue::<Task>::new(MultiQueueConfig::classic(threads).with_seed(seed)),
             threads,
             batch,
+            seed,
         ),
         3 => check_all_workloads(
             graph,
@@ -158,6 +176,7 @@ fn check_with_scheduler_family(
             },
             threads,
             batch,
+            seed,
         ),
         4 => check_all_workloads(
             graph,
@@ -171,24 +190,28 @@ fn check_with_scheduler_family(
             },
             threads,
             batch,
+            seed,
         ),
         5 => check_all_workloads(
             graph,
             || Obim::<Task>::new(ObimConfig::obim(threads, 4, 8)),
             threads,
             batch,
+            seed,
         ),
         6 => check_all_workloads(
             graph,
             || Obim::<Task>::new(ObimConfig::pmod(threads, 4, 8)),
             threads,
             batch,
+            seed,
         ),
         _ => check_all_workloads(
             graph,
             || Reld::<Task>::new(threads, 2, seed),
             threads,
             batch,
+            seed,
         ),
     }
 }
@@ -224,7 +247,45 @@ proptest! {
             }),
             2,
             BATCHES[batch_idx],
+            seed,
         );
+    }
+}
+
+proptest! {
+    /// The GraphView abstraction's zero-regression pin: the same workload
+    /// on the same deterministically seeded scheduler, run once over the
+    /// plain `&CsrGraph` and once over a zero-delta `LiveGraph` snapshot
+    /// of the same graph, must replay **bit-identically** — same outputs,
+    /// same task classification, same scheduler `OpStats`.  Single thread
+    /// at batch 1 makes the replay deterministic, so any divergence the
+    /// trait dispatch or the snapshot read path introduced would show as
+    /// an exact-equality failure here.
+    #[test]
+    fn static_path_replays_identically_through_a_zero_delta_snapshot(
+        nodes in 16u32..96,
+        edge_factor in 2u64..5,
+        seed in 0u64..1_000_000,
+    ) {
+        let graph = uniform_random(nodes, u64::from(nodes) * edge_factor, 200, seed);
+        let live = LiveGraph::new(Arc::new(graph.clone()));
+        let snapshot = live.pin();
+        let make = || HeapSmq::<Task>::new(SmqConfig::default_for_threads(1).with_seed(seed ^ 5));
+
+        let direct = engine::run_parallel_batched(&SsspWorkload::new(&graph, 0), &make(), 1, 1);
+        let via = engine::run_parallel_batched(&SsspWorkload::new(&snapshot, 0), &make(), 1, 1);
+        prop_assert_eq!(&direct.output, &via.output);
+        prop_assert_eq!(direct.result.useful_tasks, via.result.useful_tasks);
+        prop_assert_eq!(direct.result.wasted_tasks, via.result.wasted_tasks);
+        prop_assert_eq!(direct.result.metrics.total, via.result.metrics.total);
+
+        let target = (graph.num_nodes() - 1) as u32;
+        let direct = engine::run_parallel_batched(&AstarWorkload::new(&graph, 0, target), &make(), 1, 1);
+        let via = engine::run_parallel_batched(&AstarWorkload::new(&snapshot, 0, target), &make(), 1, 1);
+        prop_assert_eq!(&direct.output, &via.output);
+        prop_assert_eq!(direct.result.useful_tasks, via.result.useful_tasks);
+        prop_assert_eq!(direct.result.wasted_tasks, via.result.wasted_tasks);
+        prop_assert_eq!(direct.result.metrics.total, via.result.metrics.total);
     }
 }
 
