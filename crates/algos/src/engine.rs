@@ -135,7 +135,11 @@ pub fn run_on_pool<W>(workload: &W, pool: &WorkerPool) -> EngineRun<W::Output>
 where
     W: DecreaseKeyWorkload,
 {
-    finish(workload, pool.run_job(&WorkloadJob(workload)))
+    finish(
+        workload,
+        pool.run_job(&WorkloadJob(workload))
+            .expect("engine workload ran on the pool"),
+    )
 }
 
 /// Runs `workload` to quiescence on up to `gangs` gangs of a resident
@@ -149,7 +153,11 @@ pub fn run_on_gangs<W>(workload: &W, pool: &WorkerPool, gangs: usize) -> EngineR
 where
     W: DecreaseKeyWorkload,
 {
-    finish(workload, pool.run_job_on(&WorkloadJob(workload), gangs))
+    finish(
+        workload,
+        pool.run_job_on(&WorkloadJob(workload), gangs)
+            .expect("engine workload ran on the pool"),
+    )
 }
 
 fn finish<W: DecreaseKeyWorkload>(workload: &W, out: smq_pool::JobOutput) -> EngineRun<W::Output> {

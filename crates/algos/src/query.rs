@@ -498,7 +498,7 @@ mod tests {
 
     fn gang_pool(gangs: usize, gang_size: usize) -> WorkerPool {
         WorkerPool::new_partitioned(
-            |g| {
+            move |g| {
                 HeapSmq::<Task>::new(
                     SmqConfig::default_for_threads(gang_size).with_seed(4 + g as u64),
                 )

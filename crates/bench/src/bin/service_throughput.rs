@@ -45,10 +45,24 @@
 //! happened (achieved updates/sec > 0, versions advanced) while every
 //! answer stayed exact.
 //!
+//! **Fault tolerance** (`--fault-rate P` / `--deadline-ms D`): the same
+//! query stream is run once more through a pool with a seeded
+//! deterministic fault plan (worker panics, mid-push panics, stalls at
+//! probability `P` per task — needs a build with `--features
+//! fault-inject`) and a per-job deadline of `D` ms with retry-on-loss
+//! (≤ 3 attempts).  The chaos row reports completed / failed / cancelled
+//! / retried counts and the pool's poison/respawn counters next to
+//! jobs/sec and p99; every query that survives (including via retry) is
+//! still verified against sequential A*, and the run asserts that the
+//! fleet recovers to its full gang count once the storm's budgets are
+//! exhausted.  `--deadline-ms` alone works on any build.
+//!
 //! ```sh
 //! cargo run --release -p smq-bench --bin service_throughput -- --threads 4 --concurrency 4
 //! cargo run --release -p smq-bench --bin service_throughput -- --scale ci --concurrency 2 --batch 8 \
 //!     --update-rate 0,2000 --metrics-json /tmp/m.jsonl --trace /tmp/t.json  # CI smoke
+//! cargo run --release -p smq-bench --features fault-inject --bin service_throughput -- \
+//!     --scale ci --fault-rate 0.05 --deadline-ms 50  # CI chaos smoke
 //! ```
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -63,7 +77,9 @@ use smq_graph::generators::{road_network, RoadNetworkParams};
 use smq_graph::{CsrGraph, GraphUpdate, GraphView, LiveGraph};
 use smq_multiqueue::{MultiQueue, MultiQueueConfig};
 use smq_obim::{Obim, ObimConfig};
-use smq_pool::{JobService, PoolConfig, ServiceConfig, WorkerPool};
+#[cfg(feature = "fault-inject")]
+use smq_pool::FaultPlan;
+use smq_pool::{JobPolicy, JobService, PoolConfig, ServiceConfig, WorkerPool};
 use smq_scheduler::{HeapSmq, SkipListSmq, SmqConfig};
 use smq_telemetry::{
     snapshot::write_jsonl, trace::write_chrome_trace, LogHistogram, MetricsSnapshot, Phase,
@@ -159,7 +175,7 @@ fn run_service<S, F>(
     gangs: usize,
     gang_size: usize,
     batch: usize,
-    make: &F,
+    make: F,
     engine: &Arc<RouteQueryEngine>,
     queries: &Arc<Vec<(u32, u32)>>,
     expected: &Arc<Vec<u64>>,
@@ -168,11 +184,11 @@ fn run_service<S, F>(
 ) -> ServiceRow
 where
     S: Scheduler<Task> + Send + Sync + 'static,
-    F: Fn(usize, usize) -> S,
+    F: Fn(usize, usize) -> S + Send + Sync + 'static,
 {
     let threads = gangs * gang_size;
     let pool = WorkerPool::new_partitioned(
-        |g| make(gang_size, g),
+        move |g| make(gang_size, g),
         PoolConfig::partitioned(gangs, gang_size)
             .with_batch(batch)
             .with_telemetry(telemetry),
@@ -307,7 +323,7 @@ fn run_live_service<S, F>(
     gangs: usize,
     gang_size: usize,
     batch: usize,
-    make: &F,
+    make: F,
     base: &Arc<CsrGraph>,
     queries: &Arc<Vec<(u32, u32)>>,
     clients: usize,
@@ -316,13 +332,13 @@ fn run_live_service<S, F>(
 ) -> LiveRow
 where
     S: Scheduler<Task> + Send + Sync + 'static,
-    F: Fn(usize, usize) -> S,
+    F: Fn(usize, usize) -> S + Send + Sync + 'static,
 {
     // Fresh live graph per row: every rate starts from the pristine base.
     let live = Arc::new(LiveGraph::new(Arc::clone(base)));
     let engine = Arc::new(RouteQueryEngine::with_lanes(Arc::clone(&live), gangs));
     let pool = WorkerPool::new_partitioned(
-        |g| make(gang_size, g),
+        move |g| make(gang_size, g),
         PoolConfig::partitioned(gangs, gang_size).with_batch(batch),
     );
     let service = Arc::new(JobService::new(
@@ -443,10 +459,185 @@ where
     }
 }
 
+/// One row of the fault/deadline (chaos) sweep.
+struct ChaosRow {
+    label: String,
+    jobs: usize,
+    completed: u64,
+    failed: u64,
+    cancelled: u64,
+    no_capacity: u64,
+    retried: u64,
+    jobs_per_sec: f64,
+    p99: Duration,
+    gangs_poisoned: u64,
+    gangs_respawned: u64,
+    panics_injected: u64,
+    stalls_injected: u64,
+}
+
+/// The overload/chaos run: the same closed-loop clients and query stream
+/// as [`run_service`], but jobs carry a [`JobPolicy`] (deadline + bounded
+/// retry-with-backoff) and the pool may be wired with a seeded
+/// `FaultPlan`.  Every surviving answer is still verified against
+/// sequential A*; faulted or cancelled tickets must resolve with a typed
+/// error — never hang a client.  After the clients drain, any gang still
+/// dead is respawned and the fleet must be back at full strength.
+#[allow(clippy::too_many_arguments)]
+fn run_chaos_service<S, F>(
+    label: &str,
+    gangs: usize,
+    gang_size: usize,
+    batch: usize,
+    make: F,
+    engine: &Arc<RouteQueryEngine>,
+    queries: &Arc<Vec<(u32, u32)>>,
+    expected: &Arc<Vec<u64>>,
+    clients: usize,
+    fault_rate: f64,
+    deadline: Option<Duration>,
+    seed: u64,
+) -> ChaosRow
+where
+    S: Scheduler<Task> + Send + Sync + 'static,
+    F: Fn(usize, usize) -> S + Send + Sync + 'static,
+{
+    #[cfg(not(feature = "fault-inject"))]
+    let _ = (fault_rate, seed);
+    let config = PoolConfig::partitioned(gangs, gang_size).with_batch(batch);
+    #[cfg(feature = "fault-inject")]
+    let plan = (fault_rate > 0.0).then(|| {
+        // Rates are per *scheduler operation*; a query touches thousands,
+        // so budgets (not rates) bound how much of the run burns.  Half
+        // the panics strike mid-push — the scheduler-corruption case.
+        let rate_ppm = (fault_rate * 1e6) as u64;
+        FaultPlan::new(seed ^ 0xfa17)
+            .with_panic_rate(rate_ppm, 12)
+            .with_push_panic_rate(rate_ppm / 2, 6)
+            .with_stall_rate(rate_ppm, Duration::from_millis(2), 32)
+    });
+    #[cfg(feature = "fault-inject")]
+    let config = if let Some(plan) = &plan {
+        config.with_faults(plan.clone())
+    } else {
+        config
+    };
+    let pool = WorkerPool::new_partitioned(move |g| make(gang_size, g), config);
+    let service = Arc::new(JobService::new(
+        pool,
+        ServiceConfig {
+            queue_capacity: 32,
+            dispatchers: 0, // one dispatcher per gang
+        },
+    ));
+    let clients = clients.max(gangs);
+    // Retry is sound here: a re-run query only re-relaxes edges on its own
+    // private lane, so a half-executed lost attempt leaves nothing behind.
+    let mut policy = JobPolicy::default().with_retries(3, Duration::from_millis(1));
+    if let Some(deadline) = deadline {
+        policy = policy.with_timeout(deadline);
+    }
+
+    let wall = Instant::now();
+    let mut latency = LogHistogram::new();
+    let mut exact = 0u64;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for client in 0..clients {
+            let service = Arc::clone(&service);
+            let engine = Arc::clone(engine);
+            let queries = Arc::clone(queries);
+            let expected = Arc::clone(expected);
+            let policy = policy.clone();
+            handles.push(scope.spawn(move || {
+                let mut local = LogHistogram::new();
+                let mut ok = 0u64;
+                for i in (client..queries.len()).step_by(clients) {
+                    let (source, target) = queries[i];
+                    let engine = Arc::clone(&engine);
+                    let ticket = service
+                        .submit_with(policy.clone(), move |pool| {
+                            Ok(engine.query(source, target, pool))
+                        })
+                        .expect("service accepts while clients run");
+                    // A faulted, shed, or cancelled ticket resolves with
+                    // a typed error — never a hang, never a client panic
+                    // — and is simply not counted as ok.
+                    if let Ok(done) = ticket.wait() {
+                        // A query that survived the storm — possibly via
+                        // retry — must still be exact.
+                        assert_eq!(
+                            done.output.distance, expected[i],
+                            "query {source}->{target} diverged under faults"
+                        );
+                        local.record_duration(done.total_latency());
+                        ok += 1;
+                    }
+                }
+                (local, ok)
+            }));
+        }
+        for handle in handles {
+            let (local, ok) = handle.join().expect("client thread");
+            latency.merge(&local);
+            exact += ok;
+        }
+    });
+    let elapsed = wall.elapsed();
+
+    let service = Arc::into_inner(service).expect("clients joined");
+    // Recovery: rebuild anything still dead (lazy respawn only fires on
+    // claim, so a gang poisoned by the final job may still be down), then
+    // the fleet must be whole again.
+    service.pool().respawn_dead();
+    assert_eq!(
+        service.pool().live_gangs(),
+        gangs,
+        "capacity must recover to the full gang count after the storm"
+    );
+    let pool_stats = service.pool_stats();
+    let stats = service.shutdown();
+    assert_eq!(
+        stats.completed + stats.failed + stats.cancelled + stats.no_capacity,
+        stats.submitted,
+        "every accepted job must land in exactly one outcome counter"
+    );
+    assert_eq!(
+        stats.completed, exact,
+        "completed count must match verified answers"
+    );
+
+    #[cfg(feature = "fault-inject")]
+    let (panics_injected, stalls_injected) = plan
+        .as_ref()
+        .map(|p| (p.panics_injected(), p.stalls_injected()))
+        .unwrap_or((0, 0));
+    #[cfg(not(feature = "fault-inject"))]
+    let (panics_injected, stalls_injected) = (0u64, 0u64);
+
+    ChaosRow {
+        label: label.to_string(),
+        jobs: queries.len(),
+        completed: stats.completed,
+        failed: stats.failed,
+        cancelled: stats.cancelled,
+        no_capacity: stats.no_capacity,
+        retried: stats.retried,
+        jobs_per_sec: stats.completed as f64 / elapsed.as_secs_f64().max(1e-9),
+        p99: latency.quantile_duration(0.99),
+        gangs_poisoned: pool_stats.gangs_poisoned,
+        gangs_respawned: pool_stats.gangs_respawned,
+        panics_injected,
+        stalls_injected,
+    }
+}
+
 fn main() {
     let (args, rest) = BenchArgs::from_env();
     let mut concurrency = 1usize;
     let mut update_rates: Option<Vec<u64>> = None;
+    let mut fault_rate = 0.0f64;
+    let mut deadline_ms: Option<u64> = None;
     let mut iter = rest.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -469,12 +660,34 @@ fn main() {
                         .collect(),
                 );
             }
+            "--fault-rate" => {
+                fault_rate = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--fault-rate needs a probability");
+                assert!(
+                    (0.0..1.0).contains(&fault_rate),
+                    "--fault-rate takes a per-task probability in [0, 1)"
+                );
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--deadline-ms needs a duration in milliseconds"),
+                );
+            }
             other => panic!(
-                "unknown flag '{other}' (service_throughput adds --concurrency N and \
-                 --update-rate R[,R...])"
+                "unknown flag '{other}' (service_throughput adds --concurrency N, \
+                 --update-rate R[,R...], --fault-rate P and --deadline-ms D)"
             ),
         }
     }
+    #[cfg(not(feature = "fault-inject"))]
+    assert!(
+        fault_rate == 0.0,
+        "--fault-rate needs a build with --features fault-inject"
+    );
     let (grid, query_count, base_clients) = sizing(args.scale);
     let threads = args.threads;
     // One consistent rule: the requested gang count must be realizable on
@@ -527,7 +740,7 @@ fn main() {
                 gangs,
                 gang_size,
                 batch,
-                &|size, g| {
+                move |size, g| {
                     HeapSmq::<Task>::new(
                         SmqConfig::default_for_threads(size).with_seed(seed + g as u64),
                     )
@@ -543,7 +756,7 @@ fn main() {
                 gangs,
                 gang_size,
                 batch,
-                &|size, g| {
+                move |size, g| {
                     MultiQueue::<Task>::new(
                         MultiQueueConfig::classic(size)
                             .with_c_factor(4)
@@ -561,7 +774,7 @@ fn main() {
                 gangs,
                 gang_size,
                 batch,
-                &|size, _g| Obim::<Task>::new(ObimConfig::obim(size, 10, 32)),
+                |size, _g| Obim::<Task>::new(ObimConfig::obim(size, 10, 32)),
                 &engine,
                 &queries,
                 &expected,
@@ -574,7 +787,7 @@ fn main() {
                     gangs,
                     gang_size,
                     batch,
-                    &|size, _g| Obim::<Task>::new(ObimConfig::pmod(size, 10, 32)),
+                    |size, _g| Obim::<Task>::new(ObimConfig::pmod(size, 10, 32)),
                     &engine,
                     &queries,
                     &expected,
@@ -586,7 +799,7 @@ fn main() {
                     gangs,
                     gang_size,
                     batch,
-                    &|size, g| {
+                    move |size, g| {
                         SkipListSmq::<Task>::new(
                             SmqConfig::default_for_threads(size).with_seed(seed + g as u64),
                         )
@@ -868,7 +1081,7 @@ fn main() {
         let gangs = concurrency;
         let gang_size = threads / gangs;
         let batch = args.batch.unwrap_or(8);
-        let make = |size: usize, g: usize| {
+        let make = move |size: usize, g: usize| {
             HeapSmq::<Task>::new(SmqConfig::default_for_threads(size).with_seed(seed + g as u64))
         };
         let mut best_ratio = 0.0f64;
@@ -878,7 +1091,7 @@ fn main() {
                 gangs,
                 gang_size,
                 batch,
-                &make,
+                make,
                 &engine,
                 &queries,
                 &expected,
@@ -891,7 +1104,7 @@ fn main() {
                 gangs,
                 gang_size,
                 batch,
-                &make,
+                make,
                 &engine,
                 &queries,
                 &expected,
@@ -934,7 +1147,7 @@ fn main() {
             gangs,
             gang_size,
             live_batch,
-            &|size, g| {
+            move |size, g| {
                 HeapSmq::<Task>::new(
                     SmqConfig::default_for_threads(size).with_seed(seed + g as u64),
                 )
@@ -950,7 +1163,7 @@ fn main() {
             gangs,
             gang_size,
             live_batch,
-            &|size, g| {
+            move |size, g| {
                 MultiQueue::<Task>::new(
                     MultiQueueConfig::classic(size)
                         .with_c_factor(4)
@@ -1018,6 +1231,89 @@ fn main() {
             assert_eq!(
                 row.max_version_served, 1,
                 "zero-rate baseline must serve the initial version only"
+            );
+        }
+    }
+
+    // The fault/deadline sweep: the same query stream through a pool with
+    // a seeded fault plan and/or per-job deadlines, with bounded
+    // retry-with-backoff.  Off by default so plain runs keep the
+    // production path; CI drives it with
+    // `--features fault-inject -- --fault-rate 0.05 --deadline-ms 50`.
+    if fault_rate > 0.0 || deadline_ms.is_some() {
+        let gangs = concurrency;
+        let gang_size = threads / gangs;
+        let batch = args.batch.unwrap_or(8);
+        let deadline = deadline_ms.map(Duration::from_millis);
+        let row = run_chaos_service(
+            "SMQ (Default)",
+            gangs,
+            gang_size,
+            batch,
+            move |size, g| {
+                HeapSmq::<Task>::new(
+                    SmqConfig::default_for_threads(size).with_seed(seed + g as u64),
+                )
+            },
+            &engine,
+            &queries,
+            &expected,
+            base_clients,
+            fault_rate,
+            deadline,
+            seed,
+        );
+        let mut chaos_table = Table::new(
+            format!(
+                "Fault tolerance — {query_count} queries at fault rate {fault_rate}, deadline \
+                 {deadline_ms:?} ms ({threads} workers, G={gangs}, B={batch}, retries<=3 with \
+                 backoff)"
+            ),
+            &[
+                "Scheduler",
+                "Jobs",
+                "Ok",
+                "Failed",
+                "Cancelled",
+                "NoCap",
+                "Retried",
+                "Respawn/Poison",
+                "Panics inj",
+                "Stalls inj",
+                "Jobs/sec",
+                "p99 (ms)",
+            ],
+        );
+        chaos_table.add_row(vec![
+            row.label.clone(),
+            row.jobs.to_string(),
+            row.completed.to_string(),
+            row.failed.to_string(),
+            row.cancelled.to_string(),
+            row.no_capacity.to_string(),
+            row.retried.to_string(),
+            format!("{}/{}", row.gangs_respawned, row.gangs_poisoned),
+            row.panics_injected.to_string(),
+            row.stalls_injected.to_string(),
+            f2(row.jobs_per_sec),
+            f2(row.p99.as_secs_f64() * 1e3),
+        ]);
+        chaos_table.print();
+        // The service must make progress through the storm, and every
+        // injected panic must have been absorbed by poison + respawn
+        // (capacity recovery itself is asserted inside the run).
+        assert!(
+            row.completed > 0 && row.jobs_per_sec > 0.0,
+            "the storm must not starve the service"
+        );
+        if fault_rate > 0.0 {
+            assert!(
+                row.gangs_respawned > 0,
+                "an injected panic storm must exercise gang respawn"
+            );
+            assert_eq!(
+                row.gangs_respawned, row.gangs_poisoned,
+                "every poisoned gang must eventually be respawned"
             );
         }
     }

@@ -41,23 +41,50 @@
 //! invalidate themselves, and a tally leaked across jobs asserts in debug
 //! builds.
 //!
-//! # Panic containment
+//! # Panic containment and gang respawn
 //!
 //! A job whose `process` panics kills the worker it ran on, which strands
 //! that worker's thread-local queues; the gang it happened on is therefore
-//! **poisoned** and permanently retired from the allocator (its surviving
-//! workers bail out via an abort flag instead of spinning on an unreachable
-//! quiescence, and are joined at shutdown).  The `run_job*` call that owned
-//! the gang panics; *other* gangs — and their in-flight jobs — are
-//! untouched, so a long-lived service survives a bad job with one gang's
-//! capacity lost.  Only when every gang has been poisoned do further claims
-//! panic.
+//! **poisoned** and pulled from the allocator (its surviving workers bail
+//! out via an abort flag instead of spinning on an unreachable quiescence).
+//! The `run_job*` call that owned the gang returns
+//! [`Err(JobError::Lost)`](JobError::Lost); *other* gangs — and their
+//! in-flight jobs — are untouched, so a long-lived service survives a bad
+//! job.  On pools built from a scheduler *factory*
+//! ([`new_partitioned`](WorkerPool::new_partitioned) and friends) a
+//! poisoned gang is then **respawned**: its surviving workers are joined,
+//! the slot gets a fresh scheduler from the stored factory and fresh
+//! threads, and the gang returns to the free list — so `live_gangs`
+//! recovers to the configured gang count after any panic storm
+//! ([`PoolStats::gangs_respawned`] counts the rebuilds).  Respawn runs
+//! lazily at the next claim by default, or immediately when the claim that
+//! observed the poison releases ([`RespawnPolicy::Eager`]);
+//! [`RespawnPolicy::Never`] keeps the historical retire-forever behaviour.
+//! Pools without a factory ([`WorkerPool::new`],
+//! [`with_borrowed`](WorkerPool::with_borrowed)) cannot rebuild a
+//! scheduler and always retire poisoned gangs; once every gang of such a
+//! pool is dead, claims fail with [`JobError::NoCapacity`] instead of
+//! panicking the caller.
+//!
+//! # Deadlines, budgets, cancellation
+//!
+//! A [`JobSpec`] attaches a wall-clock deadline and/or a per-job executed
+//! task budget to a job ([`run_job_with`](WorkerPool::run_job_with), or the
+//! service's `submit_with`).  Workers check the limits every few tasks;
+//! when one trips, the job is **cancelled, not poisoned**: every worker of
+//! the job flips into drain-and-discard mode (the shared worker loop
+//! records completions for popped tasks without processing them and pushes
+//! nothing), so the frontier collapses to ordinary quiescence, the
+//! scheduler ends provably empty, and the gang is immediately reusable.
+//! The call returns [`Err(JobError::DeadlineExceeded)`](JobError) (or
+//! `BudgetExceeded`), and the partial work is discarded.
 //!
 //! On top of the pool, [`JobService`] adds a bounded multi-producer
 //! submission queue with FIFO admission, a configurable number of
 //! dispatcher threads (default: one per gang, so up to `gangs` jobs are in
 //! flight), completion tickets carrying queue-wait and service-time
-//! measurements, and graceful drain-then-join shutdown.
+//! measurements, per-job timeouts with bounded retry/backoff, and graceful
+//! drain-then-join shutdown.
 //!
 //! # Scheduler ownership
 //!
@@ -80,21 +107,102 @@
 
 #![warn(missing_docs)]
 
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod service;
 
+#[cfg(feature = "fault-inject")]
+pub use fault::FaultPlan;
 pub use service::{
-    JobCompletion, JobLost, JobService, JobTicket, ServiceConfig, ServiceStats, SubmitError,
+    JobCompletion, JobPolicy, JobService, JobTicket, RetryPolicy, ServiceConfig, ServiceStats,
+    SubmitError,
 };
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use smq_core::{OpStats, Scheduler, SchedulerHandle, Task};
-use smq_runtime::executor::{worker_loop_instrumented, WorkerLoopConfig};
+use smq_runtime::executor::{worker_loop_instrumented, LoopControl, WorkerLoopConfig};
 use smq_runtime::{RunMetrics, Scratch, TerminationDetector, Topology};
 use smq_telemetry::{TelemetryConfig, TelemetryReport, WorkerReport, WorkerTelemetry};
+
+/// Why a pool job produced no output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobError {
+    /// The job (or a pool worker executing it) panicked; the gang it ran on
+    /// was poisoned.  The job may have had partial side effects.
+    Lost,
+    /// Every gang of the pool is dead and cannot be respawned (no scheduler
+    /// factory), so nothing can serve the job.
+    NoCapacity,
+    /// The job tripped its [`JobSpec::deadline`] and was cooperatively
+    /// cancelled; its gangs drained cleanly and remain usable.
+    DeadlineExceeded,
+    /// The job tripped its [`JobSpec::budget`] and was cooperatively
+    /// cancelled; its gangs drained cleanly and remain usable.
+    BudgetExceeded,
+}
+
+/// Backwards-compatible name for [`JobError::Lost`]: earlier releases
+/// surfaced job loss as a dedicated `JobLost` unit type, and the variant
+/// alias keeps both `Err(JobLost)` expressions and patterns compiling.
+#[doc(hidden)]
+pub use JobError::Lost as JobLost;
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Lost => {
+                write!(f, "job was lost: it panicked while executing on the pool")
+            }
+            JobError::NoCapacity => {
+                write!(f, "worker pool has no live gangs left to serve the job")
+            }
+            JobError::DeadlineExceeded => write!(f, "job exceeded its deadline and was cancelled"),
+            JobError::BudgetExceeded => {
+                write!(f, "job exceeded its task budget and was cancelled")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Per-job execution limits, enforced cooperatively by the workers (a
+/// cheap check every few tasks — see the module docs).  The default spec
+/// imposes no limits and adds no per-task work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Cancel the job once this instant passes.
+    pub deadline: Option<Instant>,
+    /// Cancel the job once its workers have *processed* (not merely
+    /// popped) this many tasks in total, across every gang it claimed.
+    pub budget: Option<u64>,
+}
+
+impl JobSpec {
+    /// True when the spec imposes no limit (the zero-overhead fast path).
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.budget.is_none()
+    }
+}
+
+/// When poisoned gangs of a factory-built pool are rebuilt.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RespawnPolicy {
+    /// Rebuild dead gangs at the next [`claim`](WorkerPool::run_job), off
+    /// the job hot path (the default for factory-built pools).
+    #[default]
+    Lazy,
+    /// Rebuild a poisoned gang as soon as the claim that observed the
+    /// poison releases, so capacity returns before the next job asks.
+    Eager,
+    /// Never rebuild: a poisoned gang is retired forever (the historical
+    /// behaviour, and the only option for pools without a factory).
+    Never,
+}
 
 /// Pool tuning knobs.
 ///
@@ -136,6 +244,13 @@ pub struct PoolConfig {
     /// uninstrumented hot path takes no timestamps and makes no extra
     /// scheduler calls.
     pub telemetry: TelemetryConfig,
+    /// When poisoned gangs are rebuilt (see [`RespawnPolicy`]).  Ignored by
+    /// pools without a scheduler factory, which can never rebuild.
+    pub respawn: RespawnPolicy,
+    /// Deterministic fault plan injected into every worker — chaos-testing
+    /// only, see [`fault::FaultPlan`].
+    #[cfg(feature = "fault-inject")]
+    pub faults: Option<FaultPlan>,
 }
 
 impl PoolConfig {
@@ -148,6 +263,9 @@ impl PoolConfig {
             worker: WorkerLoopConfig::default(),
             topology: None,
             telemetry: TelemetryConfig::disabled(),
+            respawn: RespawnPolicy::default(),
+            #[cfg(feature = "fault-inject")]
+            faults: None,
         }
     }
 
@@ -160,6 +278,9 @@ impl PoolConfig {
             worker: WorkerLoopConfig::default(),
             topology: None,
             telemetry: TelemetryConfig::disabled(),
+            respawn: RespawnPolicy::default(),
+            #[cfg(feature = "fault-inject")]
+            faults: None,
         }
     }
 
@@ -185,6 +306,9 @@ impl PoolConfig {
             worker: WorkerLoopConfig::default(),
             topology: Some(topology),
             telemetry: TelemetryConfig::disabled(),
+            respawn: RespawnPolicy::default(),
+            #[cfg(feature = "fault-inject")]
+            faults: None,
         }
     }
 
@@ -239,6 +363,20 @@ impl PoolConfig {
         self
     }
 
+    /// Sets when poisoned gangs are rebuilt (see [`RespawnPolicy`]).
+    pub fn with_respawn(mut self, respawn: RespawnPolicy) -> Self {
+        self.respawn = respawn;
+        self
+    }
+
+    /// Injects a deterministic fault plan into every worker of the pool
+    /// (chaos testing — see [`fault::FaultPlan`]).
+    #[cfg(feature = "fault-inject")]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Total worker threads across all gangs.
     pub fn total_threads(&self) -> usize {
         self.gangs * self.gang_size
@@ -278,8 +416,9 @@ pub struct JobOutput {
 /// Point-in-time pool counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolStats {
-    /// Worker threads spawned over the pool's entire lifetime.  Stays equal
-    /// to the configured fleet size — workers are never respawned; this is
+    /// Worker threads spawned over the pool's entire lifetime.  Equals the
+    /// configured fleet size unless a poisoned gang was respawned (each
+    /// rebuild spawns `gang_size` fresh threads); at zero faults this is
     /// the metric service tests assert "zero thread respawns" with.
     pub threads_spawned: u64,
     /// Scheduler handles created over the pool's entire lifetime.  Each
@@ -290,8 +429,90 @@ pub struct PoolStats {
     pub handles_created: u64,
     /// Jobs fully executed so far (across all gangs).
     pub jobs_completed: u64,
-    /// Gangs permanently retired because a job panicked on them.
+    /// Gangs poisoned by a panicking job, cumulatively — a respawned gang
+    /// still counts here (compare with [`gangs_respawned`](Self::gangs_respawned)).
     pub gangs_poisoned: u64,
+    /// Poisoned gangs rebuilt with fresh threads and a fresh scheduler from
+    /// the pool's factory (see [`RespawnPolicy`]).
+    pub gangs_respawned: u64,
+}
+
+/// Reason codes for [`JobControl::reason`] — which limit tripped first.
+const CANCEL_DEADLINE: u8 = 1;
+const CANCEL_BUDGET: u8 = 2;
+
+/// Shared cancellation state for one limited job, cloned into **every**
+/// gang the job claimed so limits are job-wide: whichever worker trips the
+/// deadline or budget first cancels the whole job.  Only allocated when the
+/// job's [`JobSpec`] carries a limit — unlimited jobs stay on the
+/// zero-overhead path.
+struct JobControl {
+    /// Workers poll this in the shared worker loop; once set they drain
+    /// their queues without processing (see `LoopControl::cancel`).
+    cancel: AtomicBool,
+    /// Which limit tripped (`CANCEL_DEADLINE` / `CANCEL_BUDGET`); written
+    /// once, before `cancel` is raised.
+    reason: AtomicU8,
+    /// Tasks *processed* so far across all of the job's workers.
+    budget_used: AtomicU64,
+    /// Task budget; 0 = unlimited.
+    budget: u64,
+    /// Wall-clock deadline, checked every [`Self::CHECK_EVERY`] tasks.
+    deadline: Option<Instant>,
+}
+
+impl JobControl {
+    /// How many processed tasks a worker batches between deadline checks
+    /// (`Instant::now` is the only non-trivial cost on the limited path).
+    const CHECK_EVERY: u32 = 16;
+
+    fn new(spec: &JobSpec) -> Self {
+        Self {
+            cancel: AtomicBool::new(false),
+            reason: AtomicU8::new(0),
+            budget_used: AtomicU64::new(0),
+            budget: spec.budget.unwrap_or(0),
+            deadline: spec.deadline,
+        }
+    }
+
+    /// Records one processed task and trips the budget limit when crossed.
+    fn note_processed(&self) {
+        let used = self.budget_used.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.budget != 0 && used >= self.budget {
+            self.trip(CANCEL_BUDGET);
+        }
+    }
+
+    fn check_deadline(&self) {
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.trip(CANCEL_DEADLINE);
+            }
+        }
+    }
+
+    /// First tripper wins; the reason is published before the flag so any
+    /// reader that observes `cancel` also observes a reason.
+    fn trip(&self, reason: u8) {
+        if self
+            .reason
+            .compare_exchange(0, reason, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.cancel.store(true, Ordering::Release);
+        }
+    }
+
+    fn cancelled_reason(&self) -> Option<JobError> {
+        if !self.cancel.load(Ordering::Acquire) {
+            return None;
+        }
+        Some(match self.reason.load(Ordering::Acquire) {
+            CANCEL_BUDGET => JobError::BudgetExceeded,
+            _ => JobError::DeadlineExceeded,
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -460,20 +681,54 @@ struct JobState {
     job: Option<JobRef>,
     /// Per-worker (local tid) seed slices for the current job, taken once.
     seeds: Vec<Option<Vec<Task>>>,
+    /// Shared limit state of the current job (`None` for unlimited jobs).
+    control: Option<Arc<JobControl>>,
     /// Workers still running the current job.
     remaining: usize,
     /// Per-worker results of the current job.
     results: Vec<Option<WorkerResult>>,
-    /// Set when a worker panicked mid-job; the gang is retired.
+    /// Set when a worker panicked mid-job; the gang is retired (and, on
+    /// factory pools, later respawned).
     poisoned: bool,
-    /// Set once; parked workers exit instead of waiting for the next job.
+    /// Set once per thread generation; parked workers exit instead of
+    /// waiting for the next job.  Cleared again by a respawn.
     shutdown: bool,
+}
+
+impl JobState {
+    /// The idle state fresh worker threads expect: `seq` restarts at 0 so a
+    /// respawned gang's workers (whose `last_seq` starts at 0) never see a
+    /// phantom job from before the rebuild.
+    fn fresh(size: usize) -> Self {
+        Self {
+            seq: 0,
+            job: None,
+            seeds: Vec::new(),
+            control: None,
+            remaining: 0,
+            results: (0..size).map(|_| None).collect(),
+            poisoned: false,
+            shutdown: false,
+        }
+    }
 }
 
 /// One independent worker gang: scheduler, detector, and hand-off state.
 struct Gang {
     size: usize,
-    scheduler: SchedulerRef,
+    /// NUMA node this gang is placed on, when the pool has a topology —
+    /// kept so respawned threads get the same `smq-pool-n{node}-…` names.
+    node: Option<usize>,
+    /// The gang's scheduler; replaced wholesale on respawn.  Workers read
+    /// it exactly once, at thread start.
+    scheduler: Mutex<SchedulerRef>,
+    /// Owns the pointee of `scheduler` for owning pools (`None` when the
+    /// scheduler is borrowed).  Only ever replaced *after* every thread of
+    /// the previous generation is joined, so the erased pointer cannot
+    /// dangle.
+    keeper: Mutex<Option<Box<dyn std::any::Any + Send + Sync>>>,
+    /// Join handles of this gang's current worker threads.
+    threads: Mutex<Vec<JoinHandle<()>>>,
     detector: TerminationDetector,
     state: Mutex<JobState>,
     /// Workers wait here for `seq` to advance (or `shutdown`).
@@ -492,8 +747,14 @@ struct Gang {
 struct ClaimState {
     /// Indices of idle, live gangs.
     free: Vec<usize>,
-    /// Gangs permanently retired by a job panic.
-    dead: usize,
+    /// Indices of gangs retired by a job panic, awaiting respawn (or
+    /// permanently dead on pools that cannot respawn).
+    dead: Vec<usize>,
+    /// Gangs poisoned over the pool's lifetime (cumulative — respawning a
+    /// gang does not un-count its poisoning).
+    poisoned_total: u64,
+    /// Poisoned gangs rebuilt over the pool's lifetime.
+    respawned_total: u64,
     /// FIFO admission: tickets are served strictly in issue order, so a
     /// whole-fleet job cannot be starved by a stream of one-gang jobs.
     next_ticket: u64,
@@ -505,6 +766,12 @@ struct ClaimState {
 /// [`WorkerPool::new_mixed`].  The signature mentions no scheduler type, so
 /// one plain function pointer serves both.
 type WorkerEntry = fn(&Arc<Inner>, usize, usize);
+
+/// Rebuilds one gang's scheduler: returns the erased ref and the box that
+/// owns its pointee.  Stored by factory constructors so poisoned gangs can
+/// be respawned with a fresh scheduler.
+type RespawnFactory =
+    Box<dyn Fn(usize) -> (SchedulerRef, Box<dyn std::any::Any + Send + Sync>) + Send + Sync>;
 
 struct Inner {
     gangs: Vec<Gang>,
@@ -523,6 +790,17 @@ struct Inner {
     /// never grows again (the service tests' "zero handle allocations after
     /// warm-up" metric, companion to `PoolStats::threads_spawned`).
     handles_created: AtomicU64,
+    /// Worker threads spawned over the pool's lifetime (fleet size, plus
+    /// `gang_size` per respawn).
+    threads_spawned: AtomicU64,
+    /// The thread entry every worker of this pool runs.
+    entry: WorkerEntry,
+    /// Present on factory-built pools: how to rebuild a gang's scheduler.
+    respawn_factory: Option<RespawnFactory>,
+    respawn_policy: RespawnPolicy,
+    /// Deterministic fault schedule shared by every worker (chaos testing).
+    #[cfg(feature = "fault-inject")]
+    faults: Option<FaultPlan>,
 }
 
 /// Ignore `std` mutex poisoning: the pool has its own `poisoned` flags with
@@ -551,26 +829,153 @@ pub(crate) fn take_last_job_output() -> Option<JobOutput> {
     LAST_JOB_OUTPUT.with(|slot| slot.borrow_mut().take())
 }
 
+thread_local! {
+    /// The typed error of the last failed `run_job*` call *on this thread*.
+    /// The job service brackets each job with [`clear_last_job_error`] /
+    /// [`take_last_job_error`] so it can classify a failure (lost vs.
+    /// cancelled vs. no capacity) even when the user's closure swallows or
+    /// unwraps the `Result` itself.
+    static LAST_JOB_ERROR: std::cell::Cell<Option<JobError>> = const { std::cell::Cell::new(None) };
+
+    /// The [`JobSpec`] `run_job`/`run_job_on` calls on this thread apply.
+    /// Set by the service dispatcher around a limited job's closure, so the
+    /// user-facing closure signature (`|pool| pool.run_job(..)`) stays
+    /// spec-free.
+    static CURRENT_JOB_SPEC: std::cell::Cell<JobSpec> = const { std::cell::Cell::new(JobSpec {
+        deadline: None,
+        budget: None,
+    }) };
+}
+
+/// Drops any stale error left by a previous job on this thread.
+pub(crate) fn clear_last_job_error() {
+    LAST_JOB_ERROR.with(|slot| slot.set(None));
+}
+
+/// Takes the error recorded by the most recent failed `run_job*`.
+pub(crate) fn take_last_job_error() -> Option<JobError> {
+    LAST_JOB_ERROR.with(|slot| slot.take())
+}
+
+/// Installs the spec `run_job`/`run_job_on` on this thread will apply.
+pub(crate) fn set_current_job_spec(spec: JobSpec) {
+    CURRENT_JOB_SPEC.with(|slot| slot.set(spec));
+}
+
+/// Resets this thread's ambient spec to unlimited.
+pub(crate) fn clear_current_job_spec() {
+    CURRENT_JOB_SPEC.with(|slot| slot.set(JobSpec::default()));
+}
+
+fn current_job_spec() -> JobSpec {
+    CURRENT_JOB_SPEC.with(|slot| slot.get())
+}
+
 /// Gangs held by one job; returns live gangs to the allocator on drop (also
-/// on unwind) and retires poisoned ones.
+/// on unwind) and retires poisoned ones (respawning them right away under
+/// [`RespawnPolicy::Eager`]).
 struct GangClaim<'p> {
-    inner: &'p Inner,
+    inner: &'p Arc<Inner>,
     gangs: Vec<usize>,
 }
 
 impl Drop for GangClaim<'_> {
     fn drop(&mut self) {
-        let mut st = lock(&self.inner.claims);
+        let inner = self.inner;
+        let mut st = lock(&inner.claims);
         for &g in &self.gangs {
-            if lock(&self.inner.gangs[g].state).poisoned {
-                st.dead += 1;
+            if lock(&inner.gangs[g].state).poisoned {
+                st.poisoned_total += 1;
+                st.dead.push(g);
             } else {
                 st.free.push(g);
             }
         }
+        if inner.respawn_policy == RespawnPolicy::Eager && inner.respawn_factory.is_some() {
+            while let Some(g) = st.dead.pop() {
+                respawn_gang(inner, &mut st, g);
+            }
+        }
         // Wake every waiter: the head ticket re-checks its gang count, and
-        // if all gangs just died, everyone gets to observe that and fail.
-        self.inner.claim_ready.notify_all();
+        // if all gangs just died for good, everyone observes that and fails.
+        inner.claim_ready.notify_all();
+    }
+}
+
+/// Rebuilds one poisoned gang: joins the previous thread generation, swaps
+/// in a fresh scheduler from the pool's factory, resets the hand-off state,
+/// and spawns `gang_size` fresh threads.  Called with the claims lock held
+/// (`st`); the gang must be off both the free and dead lists.
+fn respawn_gang(inner: &Arc<Inner>, st: &mut ClaimState, g: usize) {
+    let factory = inner
+        .respawn_factory
+        .as_ref()
+        .expect("respawn requires a scheduler factory");
+    let gang = &inner.gangs[g];
+    // Drain the survivors: a poisoned gang's live workers are parked (their
+    // completion guards already ran), so a gang-local shutdown flag plus a
+    // wake is all it takes for them to exit.  The panicked worker's handle
+    // reports `Err` from `join`; just reap it.
+    {
+        let mut gst = lock(&gang.state);
+        gst.shutdown = true;
+        gang.job_ready.notify_all();
+    }
+    for handle in lock(&gang.threads).drain(..) {
+        let _ = handle.join();
+    }
+    // Every old thread is gone, so the old scheduler (possibly left mid-op
+    // by the panic) can be dropped and replaced.  Order matters: the old
+    // keeper must outlive the joins above, never the other way around.
+    let (scheduler, keeper) = factory(g);
+    *lock(&gang.scheduler) = scheduler;
+    *lock(&gang.keeper) = Some(keeper);
+    *lock(&gang.state) = JobState::fresh(gang.size);
+    gang.aborted.store(false, Ordering::Release);
+    // A fresh generation also zeroes the detector counters the panicked
+    // job left unbalanced.
+    gang.detector.advance_generation();
+    spawn_gang_threads(inner, g);
+    st.respawned_total += 1;
+    st.free.push(g);
+}
+
+/// Spawns `gang_size` worker threads for gang `gang_idx`, registering their
+/// handles on the gang.  On a spawn failure the whole fleet (every gang's
+/// already-running threads) is shut down and joined *before* unwinding:
+/// without that, live workers could outlive the (possibly borrowed) erased
+/// scheduler pointers — a use-after-free, not just a leak.
+fn spawn_gang_threads(inner: &Arc<Inner>, gang_idx: usize) {
+    let gang = &inner.gangs[gang_idx];
+    for local in 0..gang.size {
+        let name = match gang.node {
+            Some(node) => format!("smq-pool-n{node}-{gang_idx}-{local}"),
+            None => format!("smq-pool-{gang_idx}-{local}"),
+        };
+        let worker_inner = Arc::clone(inner);
+        let entry = inner.entry;
+        match std::thread::Builder::new()
+            .name(name)
+            .spawn(move || entry(&worker_inner, gang_idx, local))
+        {
+            Ok(handle) => {
+                lock(&gang.threads).push(handle);
+                inner.threads_spawned.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(error) => {
+                for g in &inner.gangs {
+                    let mut gst = lock(&g.state);
+                    gst.shutdown = true;
+                    g.job_ready.notify_all();
+                }
+                for g in &inner.gangs {
+                    for handle in lock(&g.threads).drain(..) {
+                        let _ = handle.join();
+                    }
+                }
+                panic!("failed to spawn pool worker {gang_idx}-{local}: {error}");
+            }
+        }
     }
 }
 
@@ -584,12 +989,19 @@ impl Drop for GangClaim<'_> {
 /// in [`JobService`].
 pub struct WorkerPool {
     inner: Arc<Inner>,
-    workers: Vec<JoinHandle<()>>,
     jobs_completed: AtomicU64,
-    threads_spawned: u64,
-    /// Keeps the owned schedulers alive; dropped only after `Drop` joined
-    /// the workers (field drop runs after `drop(&mut self)`).
-    _owned_schedulers: Option<Box<dyn std::any::Any + Send + Sync>>,
+}
+
+/// Erases one freshly built scheduler: the ref points into the box, and the
+/// box (the *keeper*) must outlive every thread that dereferences the ref.
+fn erase_scheduler<S>(scheduler: S) -> (SchedulerRef, Box<dyn std::any::Any + Send + Sync>)
+where
+    S: Scheduler<Task> + Send + Sync + 'static,
+{
+    let boxed: Box<S> = Box::new(scheduler);
+    let erased: &(dyn DynScheduler + 'static) = &*boxed;
+    let ptr: *const (dyn DynScheduler + 'static) = erased;
+    (SchedulerRef(ptr), boxed)
 }
 
 impl WorkerPool {
@@ -598,6 +1010,7 @@ impl WorkerPool {
     /// The scheduler lives as long as the pool.  Requires
     /// `config.gangs == 1` (one scheduler serves exactly one gang) — build
     /// multi-gang pools with [`new_partitioned`](Self::new_partitioned).
+    /// No factory means no respawn: a poisoned gang stays dead.
     pub fn new<S>(scheduler: S, config: PoolConfig) -> WorkerPool
     where
         S: Scheduler<Task> + Send + Sync + 'static,
@@ -607,12 +1020,10 @@ impl WorkerPool {
             "WorkerPool::new builds a single-gang pool; use new_partitioned for {} gangs",
             config.gangs
         );
-        let boxed: Box<S> = Box::new(scheduler);
-        let erased: &(dyn DynScheduler + 'static) = &*boxed;
-        let ptr: *const (dyn DynScheduler + 'static) = erased;
+        let (sref, keeper) = erase_scheduler(scheduler);
         Self::spawn(
-            vec![SchedulerRef(ptr)],
-            Some(Box::new(boxed)),
+            vec![(sref, Some(keeper))],
+            None,
             config,
             worker_main_typed::<S>,
         )
@@ -623,20 +1034,22 @@ impl WorkerPool {
     ///
     /// Every scheduler must be configured for `config.gang_size` threads —
     /// a gang is an independent scheduler universe sized to its workers.
-    pub fn new_partitioned<S, F>(mut factory: F, config: PoolConfig) -> WorkerPool
+    /// The factory is retained for the pool's lifetime so poisoned gangs
+    /// can be **respawned** with a fresh scheduler (see [`RespawnPolicy`]),
+    /// which is why it must be `Fn + Send + Sync + 'static`.
+    pub fn new_partitioned<S, F>(factory: F, config: PoolConfig) -> WorkerPool
     where
         S: Scheduler<Task> + Send + Sync + 'static,
-        F: FnMut(usize) -> S,
+        F: Fn(usize) -> S + Send + Sync + 'static,
     {
-        let boxes: Vec<Box<S>> = (0..config.gangs).map(|g| Box::new(factory(g))).collect();
-        let refs: Vec<SchedulerRef> = boxes
-            .iter()
-            .map(|b| {
-                let erased: &(dyn DynScheduler + 'static) = &**b;
-                SchedulerRef(erased as *const _)
+        let make: RespawnFactory = Box::new(move |g| erase_scheduler(factory(g)));
+        let schedulers: Vec<_> = (0..config.gangs)
+            .map(|g| {
+                let (sref, keeper) = make(g);
+                (sref, Some(keeper))
             })
             .collect();
-        Self::spawn(refs, Some(Box::new(boxes)), config, worker_main_typed::<S>)
+        Self::spawn(schedulers, Some(make), config, worker_main_typed::<S>)
     }
 
     /// Spawns a socket-aligned pool: like
@@ -647,13 +1060,13 @@ impl WorkerPool {
     ///
     /// Typically used with [`PoolConfig::numa_aligned`]; without a
     /// configured topology every gang reports node 0.
-    pub fn new_aligned<S, F>(mut factory: F, config: PoolConfig) -> WorkerPool
+    pub fn new_aligned<S, F>(factory: F, config: PoolConfig) -> WorkerPool
     where
         S: Scheduler<Task> + Send + Sync + 'static,
-        F: FnMut(usize, usize) -> S,
+        F: Fn(usize, usize) -> S + Send + Sync + 'static,
     {
         let nodes: Vec<usize> = (0..config.gangs).map(|g| config.node_of_gang(g)).collect();
-        Self::new_partitioned(|g| factory(g, nodes[g]), config)
+        Self::new_partitioned(move |g| factory(g, nodes[g]), config)
     }
 
     /// Spawns a pool whose gangs may run **different scheduler types** —
@@ -665,20 +1078,28 @@ impl WorkerPool {
     /// batch size is configured.  Homogeneous pools (every other
     /// constructor) skip the vtable entirely via a monomorphized worker
     /// entry.
-    pub fn new_mixed<F>(mut factory: F, config: PoolConfig) -> WorkerPool
+    pub fn new_mixed<F>(factory: F, config: PoolConfig) -> WorkerPool
     where
-        F: FnMut(usize) -> Box<dyn DynScheduler + Send + Sync>,
+        F: Fn(usize) -> Box<dyn DynScheduler + Send + Sync> + Send + Sync + 'static,
     {
-        let boxes: Vec<Box<dyn DynScheduler + Send + Sync>> =
-            (0..config.gangs).map(&mut factory).collect();
-        let refs: Vec<SchedulerRef> = boxes
-            .iter()
-            .map(|b| {
-                let erased: &(dyn DynScheduler + 'static) = &**b;
-                SchedulerRef(erased as *const _)
+        let make: RespawnFactory = Box::new(move |g| {
+            // Double-box: the inner box's heap pointee is what the ref
+            // targets, so moving the outer keeper never invalidates it.
+            let boxed: Box<dyn DynScheduler + Send + Sync> = factory(g);
+            let erased: &(dyn DynScheduler + 'static) = &*boxed;
+            let ptr: *const (dyn DynScheduler + 'static) = erased;
+            (
+                SchedulerRef(ptr),
+                Box::new(boxed) as Box<dyn std::any::Any + Send + Sync>,
+            )
+        });
+        let schedulers: Vec<_> = (0..config.gangs)
+            .map(|g| {
+                let (sref, keeper) = make(g);
+                (sref, Some(keeper))
             })
             .collect();
-        Self::spawn(refs, Some(Box::new(boxes)), config, worker_main_dyn)
+        Self::spawn(schedulers, Some(make), config, worker_main_dyn)
     }
 
     /// Runs `f` against a transient single-gang pool built on a *borrowed*
@@ -704,7 +1125,7 @@ impl WorkerPool {
         let ptr: *const (dyn DynScheduler + 'static) =
             unsafe { std::mem::transmute(erased as *const dyn DynScheduler) };
         let mut pool = Self::spawn(
-            vec![SchedulerRef(ptr)],
+            vec![(SchedulerRef(ptr), None)],
             None,
             config,
             worker_main_typed::<S>,
@@ -715,8 +1136,8 @@ impl WorkerPool {
     }
 
     fn spawn(
-        schedulers: Vec<SchedulerRef>,
-        keeper: Option<Box<dyn std::any::Any + Send + Sync>>,
+        schedulers: Vec<(SchedulerRef, Option<Box<dyn std::any::Any + Send + Sync>>)>,
+        respawn_factory: Option<RespawnFactory>,
         config: PoolConfig,
         entry: WorkerEntry,
     ) -> WorkerPool {
@@ -735,7 +1156,7 @@ impl WorkerPool {
                 "gang size must divide threads_per_node so gangs never straddle a node"
             );
         }
-        for (g, scheduler) in schedulers.iter().enumerate() {
+        for (g, (scheduler, _)) in schedulers.iter().enumerate() {
             // SAFETY: the pointees are alive for the whole constructor.
             let scheduler_threads = unsafe { (*scheduler.0).num_threads() };
             assert_eq!(
@@ -746,19 +1167,17 @@ impl WorkerPool {
 
         let gangs: Vec<Gang> = schedulers
             .into_iter()
-            .map(|scheduler| Gang {
+            .enumerate()
+            .map(|(g, (scheduler, keeper))| Gang {
                 size: config.gang_size,
-                scheduler,
+                // Socket-aligned pools carry the node in the worker
+                // identity so thread dumps show placement at a glance.
+                node: config.topology.as_ref().map(|_| config.node_of_gang(g)),
+                scheduler: Mutex::new(scheduler),
+                keeper: Mutex::new(keeper),
+                threads: Mutex::new(Vec::with_capacity(config.gang_size)),
                 detector: TerminationDetector::new(config.gang_size),
-                state: Mutex::new(JobState {
-                    seq: 0,
-                    job: None,
-                    seeds: Vec::new(),
-                    remaining: 0,
-                    results: (0..config.gang_size).map(|_| None).collect(),
-                    poisoned: false,
-                    shutdown: false,
-                }),
+                state: Mutex::new(JobState::fresh(config.gang_size)),
                 job_ready: Condvar::new(),
                 job_done: Condvar::new(),
                 aborted: AtomicBool::new(false),
@@ -768,7 +1187,9 @@ impl WorkerPool {
         let inner = Arc::new(Inner {
             claims: Mutex::new(ClaimState {
                 free: (0..gangs.len()).collect(),
-                dead: 0,
+                dead: Vec::new(),
+                poisoned_total: 0,
+                respawned_total: 0,
                 next_ticket: 0,
                 now_serving: 0,
             }),
@@ -777,53 +1198,22 @@ impl WorkerPool {
             telemetry: config.telemetry.clone(),
             origin: Instant::now(),
             handles_created: AtomicU64::new(0),
+            threads_spawned: AtomicU64::new(0),
+            entry,
+            respawn_factory,
+            respawn_policy: config.respawn,
+            #[cfg(feature = "fault-inject")]
+            faults: config.faults.clone(),
             gangs,
         });
 
-        let total = config.total_threads();
-        let mut workers = Vec::with_capacity(total);
         for gang in 0..config.gangs {
-            // Socket-aligned pools carry the node in the worker identity so
-            // thread dumps show placement at a glance.
-            let name_of = |local: usize| match &config.topology {
-                Some(_) => {
-                    let node = config.node_of_gang(gang);
-                    format!("smq-pool-n{node}-{gang}-{local}")
-                }
-                None => format!("smq-pool-{gang}-{local}"),
-            };
-            for local in 0..config.gang_size {
-                let worker_inner = Arc::clone(&inner);
-                match std::thread::Builder::new()
-                    .name(name_of(local))
-                    .spawn(move || entry(&worker_inner, gang, local))
-                {
-                    Ok(handle) => workers.push(handle),
-                    Err(error) => {
-                        // Join the partial fleet before unwinding: without
-                        // this, already-running workers would outlive the
-                        // (possibly borrowed) erased scheduler pointers — a
-                        // use-after-free, not just a leak.
-                        for g in &inner.gangs {
-                            let mut st = lock(&g.state);
-                            st.shutdown = true;
-                            g.job_ready.notify_all();
-                        }
-                        for worker in workers {
-                            let _ = worker.join();
-                        }
-                        panic!("failed to spawn pool worker {gang}-{local}: {error}");
-                    }
-                }
-            }
+            spawn_gang_threads(&inner, gang);
         }
 
         WorkerPool {
             inner,
-            workers,
             jobs_completed: AtomicU64::new(0),
-            threads_spawned: total as u64,
-            _owned_schedulers: keeper,
         }
     }
 
@@ -842,42 +1232,80 @@ impl WorkerPool {
         self.inner.gangs[0].size
     }
 
-    /// Gangs not yet retired by a job panic.
+    /// Gangs not currently retired by a job panic (respawn brings retired
+    /// gangs back — see [`RespawnPolicy`]).
     pub fn live_gangs(&self) -> usize {
         let st = lock(&self.inner.claims);
-        self.inner.gangs.len() - st.dead
+        self.inner.gangs.len() - st.dead.len()
     }
 
-    /// Lifetime counters: threads spawned (never grows after construction —
-    /// workers are parked between jobs, not respawned), jobs completed, and
-    /// gangs lost to job panics.
+    /// Lifetime counters: threads spawned (fleet size, plus `gang_size` per
+    /// gang respawn), jobs completed, gangs lost to job panics, and gangs
+    /// rebuilt afterwards.
     pub fn stats(&self) -> PoolStats {
+        let st = lock(&self.inner.claims);
         PoolStats {
-            threads_spawned: self.threads_spawned,
+            threads_spawned: self.inner.threads_spawned.load(Ordering::Relaxed),
             handles_created: self.inner.handles_created.load(Ordering::Relaxed),
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
-            gangs_poisoned: lock(&self.inner.claims).dead as u64,
+            gangs_poisoned: st.poisoned_total,
+            gangs_respawned: st.respawned_total,
         }
+    }
+
+    /// Forces an immediate rebuild of every dead gang (factory pools only);
+    /// returns how many were respawned.  [`RespawnPolicy::Lazy`] pools do
+    /// this implicitly at the next claim — this entry point exists so tests
+    /// and benchmarks can restore full capacity at a deterministic moment.
+    pub fn respawn_dead(&self) -> usize {
+        if self.inner.respawn_factory.is_none() {
+            return 0;
+        }
+        let mut st = lock(&self.inner.claims);
+        let mut rebuilt = 0;
+        while let Some(g) = st.dead.pop() {
+            respawn_gang(&self.inner, &mut st, g);
+            rebuilt += 1;
+        }
+        if rebuilt > 0 {
+            self.inner.claim_ready.notify_all();
+        }
+        rebuilt
     }
 
     /// Claims `want` gangs (capped to the live gang count) in strict FIFO
     /// order.  Blocks until this caller is at the head of the queue *and*
-    /// enough gangs are idle.
+    /// enough gangs are idle.  Dead gangs are respawned here first (the
+    /// [`RespawnPolicy::Lazy`] path), so on factory pools capacity recovers
+    /// before admission is decided.
     ///
-    /// # Panics
-    /// Panics when every gang has been poisoned — the pool has no capacity
-    /// left to serve any job.
-    fn claim(&self, want: usize) -> GangClaim<'_> {
-        let inner = &*self.inner;
+    /// Fails with [`JobError::NoCapacity`] when every gang is dead and none
+    /// can be respawned.  That state is *permanent* (only a panic kills a
+    /// gang, only a factory revives one), so failing every waiter — ticket
+    /// order notwithstanding — is sound: no later ticket could ever be
+    /// served either.
+    fn claim(&self, want: usize) -> Result<GangClaim<'_>, JobError> {
+        let inner = &self.inner;
         let mut st = lock(&inner.claims);
         let ticket = st.next_ticket;
         st.next_ticket += 1;
         loop {
-            let live = inner.gangs.len() - st.dead;
-            assert!(
-                live > 0,
-                "worker pool has no live gangs left (all poisoned by panicking jobs)"
-            );
+            if inner.respawn_factory.is_some() && inner.respawn_policy != RespawnPolicy::Never {
+                let mut respawned = false;
+                while let Some(g) = st.dead.pop() {
+                    respawn_gang(inner, &mut st, g);
+                    respawned = true;
+                }
+                if respawned {
+                    // Freed capacity may unblock the head ticket, which is
+                    // not necessarily us.
+                    inner.claim_ready.notify_all();
+                }
+            }
+            let live = inner.gangs.len() - st.dead.len();
+            if live == 0 {
+                return Err(JobError::NoCapacity);
+            }
             let need = want.clamp(1, live);
             if st.now_serving == ticket && st.free.len() >= need {
                 let at = st.free.len() - need;
@@ -886,10 +1314,10 @@ impl WorkerPool {
                 // The next ticket may already be satisfiable (enough gangs
                 // still free): let it through without waiting for a release.
                 inner.claim_ready.notify_all();
-                return GangClaim {
+                return Ok(GangClaim {
                     inner,
                     gangs: taken,
-                };
+                });
             }
             st = inner
                 .claim_ready
@@ -904,11 +1332,15 @@ impl WorkerPool {
     /// Blocks until the job is quiescent.  Concurrent callers are admitted
     /// in FIFO order; on a single-gang pool this is exactly the historical
     /// one-job-at-a-time behaviour.  A panicking job poisons the gangs it
-    /// ran on and `run_job` panics for it (see the module docs — other
-    /// gangs and callers are unaffected unless none are left).
-    pub fn run_job(&self, job: &dyn PoolJob) -> JobOutput {
-        let claim = self.claim(self.inner.gangs.len());
-        self.execute(job, &claim)
+    /// ran on and resolves to [`Err(JobError::Lost)`](JobError::Lost) —
+    /// other gangs and callers are unaffected (see the module docs).
+    ///
+    /// Applies the ambient [`JobSpec`] installed by the service dispatcher,
+    /// if any; direct callers run unlimited (use
+    /// [`run_job_with`](Self::run_job_with) for explicit limits).
+    pub fn run_job(&self, job: &dyn PoolJob) -> Result<JobOutput, JobError> {
+        let spec = current_job_spec();
+        self.run_job_with(job, self.inner.gangs.len(), &spec)
     }
 
     /// Executes one job on up to `gangs` gangs (at least one; capped to the
@@ -917,17 +1349,67 @@ impl WorkerPool {
     ///
     /// `run_job_on(job, 1)` is the service mode for small jobs: each
     /// occupies one gang, so a pool with G gangs serves G jobs at once.
-    pub fn run_job_on(&self, job: &dyn PoolJob, gangs: usize) -> JobOutput {
+    pub fn run_job_on(&self, job: &dyn PoolJob, gangs: usize) -> Result<JobOutput, JobError> {
+        let spec = current_job_spec();
+        self.run_job_with(job, gangs, &spec)
+    }
+
+    /// Executes one job on up to `gangs` gangs under the given limits: the
+    /// job is cooperatively cancelled — not poisoned — if it outlives
+    /// `spec.deadline` or processes more than `spec.budget` tasks (see the
+    /// module docs).
+    pub fn run_job_with(
+        &self,
+        job: &dyn PoolJob,
+        gangs: usize,
+        spec: &JobSpec,
+    ) -> Result<JobOutput, JobError> {
         assert!(gangs >= 1, "a job needs at least one gang");
-        let claim = self.claim(gangs);
-        self.execute(job, &claim)
+        let result = self.run_job_inner(job, gangs, spec);
+        if let Err(error) = result {
+            // Publish the typed error for the service dispatcher, which
+            // classifies outcomes even when the user closure discards the
+            // `Result` (see `LAST_JOB_ERROR`).
+            LAST_JOB_ERROR.with(|slot| slot.set(Some(error)));
+        }
+        result
+    }
+
+    fn run_job_inner(
+        &self,
+        job: &dyn PoolJob,
+        gangs: usize,
+        spec: &JobSpec,
+    ) -> Result<JobOutput, JobError> {
+        if spec
+            .deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
+        {
+            // Already over-deadline: shed without claiming any capacity.
+            return Err(JobError::DeadlineExceeded);
+        }
+        let claim = self.claim(gangs)?;
+        self.execute(job, &claim, spec)
     }
 
     /// Runs `job` on the claimed gangs: seeds split round-robin across all
     /// participating workers, every gang runs to quiescence under a fresh
     /// detector generation, results are merged into one metrics slice.
-    fn execute(&self, job: &dyn PoolJob, claim: &GangClaim<'_>) -> JobOutput {
+    fn execute(
+        &self,
+        job: &dyn PoolJob,
+        claim: &GangClaim<'_>,
+        spec: &JobSpec,
+    ) -> Result<JobOutput, JobError> {
         let inner = &*self.inner;
+        // One shared control for the whole job (all claimed gangs), so
+        // whichever worker trips a limit cancels the job everywhere.
+        // Unlimited jobs allocate nothing and keep the historic hot path.
+        let control: Option<Arc<JobControl>> = if spec.is_unlimited() {
+            None
+        } else {
+            Some(Arc::new(JobControl::new(spec)))
+        };
         let gang_idxs = &claim.gangs;
         let total_workers: usize = gang_idxs.iter().map(|&g| inner.gangs[g].size).sum();
 
@@ -970,6 +1452,7 @@ impl WorkerPool {
             st.seq += 1;
             st.job = Some(job_ref);
             st.seeds = gang_seeds.into_iter().map(Some).collect();
+            st.control = control.clone();
             st.remaining = gang.size;
             st.results = (0..gang.size).map(|_| None).collect();
             gang.job_ready.notify_all();
@@ -993,12 +1476,19 @@ impl WorkerPool {
                 );
             }
         }
-        // The claim guard (dropped by our caller, also on this unwind)
-        // retires the poisoned gangs and frees the rest.
-        assert!(
-            !any_poisoned,
-            "a worker panicked while executing a pool job"
-        );
+        // The claim guard (dropped by our caller, also on early returns)
+        // retires the poisoned gangs and frees the rest.  Poison takes
+        // precedence over cancellation: a job that both tripped a limit
+        // and killed a worker is *lost*, not cleanly cancelled.
+        if any_poisoned {
+            return Err(JobError::Lost);
+        }
+        if let Some(reason) = control.as_deref().and_then(JobControl::cancelled_reason) {
+            // The workers drained to quiescence discarding tasks, so the
+            // gangs are clean and immediately reusable; the partial work
+            // (and its metrics) is discarded with the job.
+            return Err(reason);
+        }
         let elapsed = start.elapsed();
         self.jobs_completed.fetch_add(1, Ordering::Relaxed);
 
@@ -1055,7 +1545,7 @@ impl WorkerPool {
             };
             *slot.borrow_mut() = Some(capture);
         });
-        output
+        Ok(output)
     }
 
     /// Stops accepting jobs and joins every worker thread.  Called
@@ -1070,10 +1560,12 @@ impl WorkerPool {
             st.shutdown = true;
             gang.job_ready.notify_all();
         }
-        for worker in self.workers.drain(..) {
-            // A worker that panicked mid-job reports `Err` here; its gang is
-            // already marked poisoned, so just reap the thread.
-            let _ = worker.join();
+        for gang in &self.inner.gangs {
+            for worker in lock(&gang.threads).drain(..) {
+                // A worker that panicked mid-job reports `Err` here; its
+                // gang is already marked poisoned, so just reap the thread.
+                let _ = worker.join();
+            }
         }
     }
 }
@@ -1081,8 +1573,8 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         self.shutdown();
-        // `_owned_schedulers` drops after this body: workers are joined
-        // first, so no erased pointer can dangle.
+        // The per-gang keepers drop with `inner` after every thread is
+        // joined, so no erased scheduler pointer can dangle.
     }
 }
 
@@ -1112,6 +1604,7 @@ impl Drop for CompletionGuard<'_> {
         st.remaining -= 1;
         if st.remaining == 0 {
             st.job = None;
+            st.control = None;
             self.gang.job_done.notify_all();
         }
     }
@@ -1123,10 +1616,13 @@ impl Drop for CompletionGuard<'_> {
 /// direct (typically inlined) call — no `Box`, no vtable.
 fn worker_main_typed<S: Scheduler<Task>>(inner: &Arc<Inner>, gang_idx: usize, local: usize) {
     let gang = &inner.gangs[gang_idx];
+    // Read once at thread start: the ref is only ever replaced by a respawn,
+    // which joins this whole thread generation first.
+    let sref = *lock(&gang.scheduler);
     // SAFETY: the constructor that installed this entry built every gang's
     // scheduler as an `S` (the erased pointer's pointee), and the pool
     // joins this thread before invalidating it (see `SchedulerRef`).
-    let scheduler: &S = unsafe { &*(gang.scheduler.0 as *const S) };
+    let scheduler: &S = unsafe { &*(sref.0 as *const S) };
     // One handle and one scratch arena for the thread's whole life: local
     // queues, insert buffers, and scratch capacity all persist across jobs.
     let mut handle = scheduler.handle(local);
@@ -1139,9 +1635,10 @@ fn worker_main_typed<S: Scheduler<Task>>(inner: &Arc<Inner>, gang_idx: usize, lo
 /// indirect call (one per *batch* on the batch paths).
 fn worker_main_dyn(inner: &Arc<Inner>, gang_idx: usize, local: usize) {
     let gang = &inner.gangs[gang_idx];
+    let sref = *lock(&gang.scheduler);
     // SAFETY: the pool joins this thread before invalidating the pointer
     // (see `SchedulerRef`).
-    let scheduler: &dyn DynScheduler = unsafe { &*gang.scheduler.0 };
+    let scheduler: &dyn DynScheduler = unsafe { &*sref.0 };
     let mut handle = scheduler.dyn_handle(local);
     inner.handles_created.fetch_add(1, Ordering::Relaxed);
     run_worker(inner, gang_idx, local, &mut handle);
@@ -1171,7 +1668,7 @@ fn run_worker<H: SchedulerHandle<Task>>(
 
     loop {
         // Park until a new job (or shutdown) arrives on this gang.
-        let (job_ref, seeds, seq) = {
+        let (job_ref, seeds, seq, control) = {
             let mut st = lock(&gang.state);
             loop {
                 if st.shutdown {
@@ -1180,7 +1677,7 @@ fn run_worker<H: SchedulerHandle<Task>>(
                 if st.seq > last_seq {
                     let job_ref = st.job.expect("job published without a body");
                     let seeds = st.seeds[local].take().expect("seed slice taken twice");
-                    break (job_ref, seeds, st.seq);
+                    break (job_ref, seeds, st.seq, st.control.clone());
                 }
                 st = gang.job_ready.wait(st).unwrap_or_else(|e| e.into_inner());
             }
@@ -1225,20 +1722,65 @@ fn run_worker<H: SchedulerHandle<Task>>(
 
         let mut useful = 0u64;
         let mut wasted = 0u64;
+        // Limited jobs pay one relaxed fetch-add per task plus a clock read
+        // every CHECK_EVERY tasks; unlimited jobs skip the whole block.
+        let mut since_check = 0u32;
+        #[cfg(feature = "fault-inject")]
+        let faults = inner.faults.as_ref();
         let outcome = worker_loop_instrumented(
             handle,
             &gang.detector,
             &mut tally,
             &mut scratch,
             &inner.loop_config,
-            Some(&gang.aborted),
+            LoopControl {
+                abort: Some(&gang.aborted),
+                cancel: control.as_ref().map(|c| &c.cancel),
+            },
             telemetry.as_mut(),
             |task, sink, scratch| {
-                let mut push = |t: Task| sink.push(t);
-                if job.process(task, &mut push, scratch) {
-                    useful += 1;
-                } else {
-                    wasted += 1;
+                #[cfg(feature = "fault-inject")]
+                let mut panic_in_push = false;
+                #[cfg(feature = "fault-inject")]
+                if let Some(plan) = faults {
+                    match plan.next_action() {
+                        Some(fault::FaultAction::Panic) => {
+                            panic!("injected fault: worker panic")
+                        }
+                        Some(fault::FaultAction::Stall(wait)) => std::thread::sleep(wait),
+                        Some(fault::FaultAction::PanicInPush) => panic_in_push = true,
+                        None => {}
+                    }
+                }
+                {
+                    let mut push = |t: Task| {
+                        sink.push(t);
+                        #[cfg(feature = "fault-inject")]
+                        if panic_in_push {
+                            // Fires *after* the follow-up is published —
+                            // the mid-scheduler-op unwind path.
+                            panic!("injected fault: panic mid scheduler push")
+                        }
+                    };
+                    if job.process(task, &mut push, scratch) {
+                        useful += 1;
+                    } else {
+                        wasted += 1;
+                    }
+                }
+                #[cfg(feature = "fault-inject")]
+                if panic_in_push {
+                    // The task pushed nothing; fire the claimed budget
+                    // anyway so injected counts match observed poisons.
+                    panic!("injected fault: panic after task with no push")
+                }
+                if let Some(ctl) = control.as_deref() {
+                    ctl.note_processed();
+                    since_check += 1;
+                    if since_check >= JobControl::CHECK_EVERY {
+                        since_check = 0;
+                        ctl.check_deadline();
+                    }
                 }
             },
         );
@@ -1301,7 +1843,7 @@ mod tests {
 
     fn partitioned(gangs: usize, gang_size: usize) -> WorkerPool {
         WorkerPool::new_partitioned(
-            |_| smq(gang_size),
+            move |_| smq(gang_size),
             PoolConfig::partitioned(gangs, gang_size),
         )
     }
@@ -1344,10 +1886,11 @@ mod tests {
         let topology = Topology::uniform(2, 2);
         let cfg = PoolConfig::numa_aligned(topology.clone(), 2);
         assert_eq!(cfg.gangs, 2);
-        let mut seen = Vec::new();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let record = Arc::clone(&seen);
         let mut pool = WorkerPool::new_aligned(
-            |gang, node| {
-                seen.push((gang, node));
+            move |gang, node| {
+                record.lock().unwrap().push((gang, node));
                 HeapSmq::new(
                     SmqConfig::default_for_threads(2)
                         .with_numa_scaled(Topology::single_node(2))
@@ -1356,9 +1899,9 @@ mod tests {
             },
             cfg,
         );
-        assert_eq!(seen, vec![(0, 0), (1, 1)]);
+        assert_eq!(*seen.lock().unwrap(), vec![(0, 0), (1, 1)]);
         let job = FanoutJob::new(50, 50);
-        let out = pool.run_job(&job);
+        let out = pool.run_job(&job).unwrap();
         assert_eq!(out.metrics.tasks_executed, 150);
         pool.shutdown();
     }
@@ -1370,7 +1913,7 @@ mod tests {
         telemetry: TelemetryConfig,
     ) -> JobOutput {
         let pool = WorkerPool::new(scheduler, PoolConfig::new(1).with_telemetry(telemetry));
-        pool.run_job(&FanoutJob::new(60, 60))
+        pool.run_job(&FanoutJob::new(60, 60)).unwrap()
     }
 
     #[test]
@@ -1415,7 +1958,7 @@ mod tests {
         );
         let mut report = TelemetryReport::new();
         for _ in 0..4 {
-            let out = pool.run_job(&FanoutJob::new(400, 400));
+            let out = pool.run_job(&FanoutJob::new(400, 400)).unwrap();
             report.merge(out.metrics.telemetry.as_ref().expect("telemetry enabled"));
         }
         // Every worker contributed a lane named after its thread.
@@ -1440,7 +1983,7 @@ mod tests {
         let mut pool = WorkerPool::new(smq(2), PoolConfig::new(2));
         for round in 0..50 {
             let job = FanoutJob::new(100, 100);
-            let out = pool.run_job(&job);
+            let out = pool.run_job(&job).unwrap();
             assert_eq!(out.metrics.tasks_executed, 300, "round {round}");
             assert_eq!(job.processed.load(Ordering::Relaxed), 300);
             assert_eq!(out.useful_tasks, 300);
@@ -1460,7 +2003,7 @@ mod tests {
     fn empty_job_terminates() {
         let pool = WorkerPool::new(smq(2), PoolConfig::new(2));
         let job = FanoutJob::new(0, 0);
-        let out = pool.run_job(&job);
+        let out = pool.run_job(&job).unwrap();
         assert_eq!(out.metrics.tasks_executed, 0);
     }
 
@@ -1469,7 +2012,7 @@ mod tests {
         let scheduler = smq(3);
         let executed = WorkerPool::with_borrowed(&scheduler, PoolConfig::new(3), |pool| {
             let job = FanoutJob::new(500, 500);
-            let out = pool.run_job(&job);
+            let out = pool.run_job(&job).unwrap();
             out.metrics.tasks_executed
         });
         assert_eq!(executed, 1_500);
@@ -1492,7 +2035,7 @@ mod tests {
         let pool = WorkerPool::new(smq(1), PoolConfig::new(1));
         for _ in 0..10 {
             let job = FanoutJob::new(50, 50);
-            assert_eq!(pool.run_job(&job).metrics.tasks_executed, 150);
+            assert_eq!(pool.run_job(&job).unwrap().metrics.tasks_executed, 150);
         }
         assert_eq!(pool.stats().threads_spawned, 1);
     }
@@ -1506,7 +2049,7 @@ mod tests {
         assert_eq!(pool.gangs(), 2);
         for _ in 0..20 {
             let job = FanoutJob::new(120, 120);
-            let out = pool.run_job(&job);
+            let out = pool.run_job(&job).unwrap();
             assert_eq!(out.metrics.tasks_executed, 360);
             assert_eq!(out.metrics.threads, 4);
             assert_eq!(out.metrics.total.pushes, out.metrics.total.pops);
@@ -1557,7 +2100,8 @@ mod tests {
                         started: a1,
                     },
                     1,
-                );
+                )
+                .unwrap();
             });
             scope.spawn(move || {
                 pool.run_job_on(
@@ -1566,7 +2110,8 @@ mod tests {
                         started: b2,
                     },
                     1,
-                );
+                )
+                .unwrap();
             });
         });
         // If jobs were serialized, each would spin forever on its partner;
@@ -1578,7 +2123,7 @@ mod tests {
     fn gang_claims_are_capped_to_the_fleet() {
         let pool = partitioned(2, 1);
         // Asking for more gangs than exist claims what is there.
-        let out = pool.run_job_on(&FanoutJob::new(40, 40), 64);
+        let out = pool.run_job_on(&FanoutJob::new(40, 40), 64).unwrap();
         assert_eq!(out.metrics.tasks_executed, 120);
         assert_eq!(out.metrics.threads, 2);
     }
@@ -1598,27 +2143,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "worker panicked")]
-    fn panicking_job_poisons_the_pool_instead_of_deadlocking() {
+    fn panicking_job_loses_the_job_instead_of_deadlocking() {
         // The regression this guards: on a multi-worker pool, a panicking
         // task used to leave the detector permanently unbalanced, so the
         // surviving worker spun forever and `run_job` never returned.
         let pool = WorkerPool::new(smq(2), PoolConfig::new(2));
-        pool.run_job(&PanickingJob);
+        assert_eq!(pool.run_job(&PanickingJob).map(|_| ()), Err(JobError::Lost));
+        assert_eq!(pool.stats().gangs_poisoned, 1);
     }
 
     #[test]
     fn panic_poisons_one_gang_and_the_rest_keep_serving() {
-        let pool = partitioned(2, 1);
-        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            pool.run_job_on(&PanickingJob, 1);
-        }));
-        assert!(poisoned.is_err(), "the panicking job's caller must panic");
+        // Never-respawn keeps the historic retire-forever behaviour so the
+        // test can observe the degraded one-gang pool.
+        let pool = WorkerPool::new_partitioned(
+            move |_| smq(1),
+            PoolConfig::partitioned(2, 1).with_respawn(RespawnPolicy::Never),
+        );
+        assert_eq!(
+            pool.run_job_on(&PanickingJob, 1).map(|_| ()),
+            Err(JobError::Lost)
+        );
         assert_eq!(pool.stats().gangs_poisoned, 1);
+        assert_eq!(pool.stats().gangs_respawned, 0);
         assert_eq!(pool.live_gangs(), 1);
         // The surviving gang still executes jobs correctly.
         for _ in 0..5 {
-            let out = pool.run_job(&FanoutJob::new(30, 30));
+            let out = pool.run_job(&FanoutJob::new(30, 30)).unwrap();
             assert_eq!(out.metrics.tasks_executed, 90);
             assert_eq!(out.metrics.threads, 1, "only the live gang participates");
         }
@@ -1626,21 +2177,182 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no live gangs")]
-    fn fully_poisoned_pool_rejects_jobs() {
-        let pool = partitioned(1, 1);
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            pool.run_job(&PanickingJob);
-        }));
+    fn fully_poisoned_pool_rejects_jobs_with_no_capacity() {
+        let pool = WorkerPool::new_partitioned(
+            move |_| smq(1),
+            PoolConfig::partitioned(1, 1).with_respawn(RespawnPolicy::Never),
+        );
+        assert_eq!(pool.run_job(&PanickingJob).map(|_| ()), Err(JobError::Lost));
         assert_eq!(pool.live_gangs(), 0);
-        pool.run_job(&FanoutJob::new(1, 0)); // must panic: nothing can serve it
+        // Nothing can serve the job, and nothing ever will: a typed error,
+        // not a panic, and it stays that way for every later call.
+        for _ in 0..3 {
+            assert_eq!(
+                pool.run_job(&FanoutJob::new(1, 0)).map(|_| ()),
+                Err(JobError::NoCapacity)
+            );
+        }
+    }
+
+    #[test]
+    fn poisoned_gang_respawns_on_next_claim() {
+        // Default policy (Lazy) on a factory pool: the panic poisons gang,
+        // the next job's claim rebuilds it, and capacity is back to full.
+        let pool = partitioned(2, 1);
+        assert_eq!(
+            pool.run_job_on(&PanickingJob, 1).map(|_| ()),
+            Err(JobError::Lost)
+        );
+        // The next whole-fleet job forces a claim, which respawns first —
+        // so it runs on BOTH gangs again.
+        let out = pool.run_job(&FanoutJob::new(40, 40)).unwrap();
+        assert_eq!(out.metrics.threads, 2, "respawned gang participates");
+        assert_eq!(out.metrics.tasks_executed, 120);
+        assert_eq!(pool.live_gangs(), 2);
+        let stats = pool.stats();
+        assert_eq!(stats.gangs_poisoned, 1);
+        assert_eq!(stats.gangs_respawned, 1);
+        assert_eq!(
+            stats.threads_spawned, 3,
+            "2 at construction + 1 for the respawned gang"
+        );
+    }
+
+    #[test]
+    fn eager_respawn_restores_capacity_before_the_next_claim() {
+        let pool = WorkerPool::new_partitioned(
+            move |_| smq(1),
+            PoolConfig::partitioned(2, 1).with_respawn(RespawnPolicy::Eager),
+        );
+        assert_eq!(
+            pool.run_job_on(&PanickingJob, 1).map(|_| ()),
+            Err(JobError::Lost)
+        );
+        // No claim in between: the release of the poisoned claim rebuilt it.
+        assert_eq!(pool.live_gangs(), 2);
+        assert_eq!(pool.stats().gangs_respawned, 1);
+        let out = pool.run_job(&FanoutJob::new(40, 40)).unwrap();
+        assert_eq!(out.metrics.threads, 2);
+    }
+
+    #[test]
+    fn respawn_dead_forces_recovery_on_lazy_pools() {
+        let pool = partitioned(2, 1);
+        assert_eq!(
+            pool.run_job_on(&PanickingJob, 1).map(|_| ()),
+            Err(JobError::Lost)
+        );
+        assert_eq!(pool.live_gangs(), 1);
+        assert_eq!(pool.respawn_dead(), 1);
+        assert_eq!(pool.live_gangs(), 2);
+        assert_eq!(pool.respawn_dead(), 0, "nothing left to rebuild");
+        assert_eq!(pool.stats().gangs_respawned, 1);
+    }
+
+    #[test]
+    fn repeated_panics_keep_respawning_the_same_slot() {
+        let pool = partitioned(2, 1);
+        for round in 1..=4u64 {
+            assert_eq!(
+                pool.run_job_on(&PanickingJob, 1).map(|_| ()),
+                Err(JobError::Lost),
+                "round {round}"
+            );
+            let out = pool.run_job(&FanoutJob::new(20, 20)).unwrap();
+            assert_eq!(out.metrics.threads, 2, "round {round}");
+            assert_eq!(pool.stats().gangs_poisoned, round);
+            assert_eq!(pool.stats().gangs_respawned, round);
+        }
+        assert_eq!(pool.live_gangs(), 2);
+    }
+
+    /// An endless chain: every processed task pushes a successor, so the
+    /// job can only ever end by being cancelled.
+    struct EndlessJob {
+        /// Sleep per task, to give wall-clock deadlines something to trip.
+        nap: std::time::Duration,
+    }
+
+    impl PoolJob for EndlessJob {
+        fn seed_tasks(&self) -> Vec<Task> {
+            vec![Task::new(0, 0)]
+        }
+
+        fn process(&self, task: Task, push: &mut dyn FnMut(Task), _s: &mut Scratch) -> bool {
+            if !self.nap.is_zero() {
+                std::thread::sleep(self.nap);
+            }
+            push(Task::new(task.key + 1, 0));
+            true
+        }
+    }
+
+    #[test]
+    fn deadline_cancels_the_job_and_keeps_the_gang_usable() {
+        let pool = WorkerPool::new(smq(1), PoolConfig::new(1));
+        let spec = JobSpec {
+            deadline: Some(Instant::now() + std::time::Duration::from_millis(20)),
+            budget: None,
+        };
+        let endless = EndlessJob {
+            nap: std::time::Duration::from_millis(1),
+        };
+        assert_eq!(
+            pool.run_job_with(&endless, 1, &spec).map(|_| ()),
+            Err(JobError::DeadlineExceeded)
+        );
+        // Cancelled, not poisoned: the gang drained cleanly and serves the
+        // next (unlimited) job exactly.
+        assert_eq!(pool.stats().gangs_poisoned, 0);
+        assert_eq!(pool.live_gangs(), 1);
+        let out = pool.run_job(&FanoutJob::new(30, 30)).unwrap();
+        assert_eq!(out.metrics.tasks_executed, 90);
+    }
+
+    #[test]
+    fn already_expired_deadline_sheds_without_running() {
+        let pool = WorkerPool::new(smq(1), PoolConfig::new(1));
+        let job = FanoutJob::new(10, 10);
+        let spec = JobSpec {
+            deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+            budget: None,
+        };
+        assert_eq!(
+            pool.run_job_with(&job, 1, &spec).map(|_| ()),
+            Err(JobError::DeadlineExceeded)
+        );
+        assert_eq!(
+            job.processed.load(Ordering::Relaxed),
+            0,
+            "shed before any task ran"
+        );
+    }
+
+    #[test]
+    fn budget_cancels_the_job_after_the_configured_tasks() {
+        let pool = WorkerPool::new(smq(1), PoolConfig::new(1));
+        let spec = JobSpec {
+            deadline: None,
+            budget: Some(100),
+        };
+        let endless = EndlessJob {
+            nap: std::time::Duration::ZERO,
+        };
+        assert_eq!(
+            pool.run_job_with(&endless, 1, &spec).map(|_| ()),
+            Err(JobError::BudgetExceeded)
+        );
+        assert_eq!(pool.stats().gangs_poisoned, 0);
+        // The pool is immediately reusable.
+        let out = pool.run_job(&FanoutJob::new(30, 30)).unwrap();
+        assert_eq!(out.metrics.tasks_executed, 90);
     }
 
     #[test]
     fn handles_are_created_once_per_worker_across_many_jobs() {
         let pool = WorkerPool::new(smq(2), PoolConfig::new(2));
         for _ in 0..100 {
-            pool.run_job(&FanoutJob::new(20, 20));
+            pool.run_job(&FanoutJob::new(20, 20)).unwrap();
         }
         let stats = pool.stats();
         assert_eq!(stats.jobs_completed, 100);
@@ -1656,7 +2368,7 @@ mod tests {
         let pool = WorkerPool::new(smq(2), PoolConfig::new(2).with_batch(8));
         for _ in 0..10 {
             let job = FanoutJob::new(100, 100);
-            let out = pool.run_job(&job);
+            let out = pool.run_job(&job).unwrap();
             assert_eq!(out.metrics.tasks_executed, 300);
             assert_eq!(out.metrics.total.pushes, out.metrics.total.pops);
             // The native SMQ batch paths actually ran.
@@ -1683,7 +2395,7 @@ mod tests {
         assert_eq!(pool.gangs(), 2);
         for _ in 0..5 {
             let job = FanoutJob::new(60, 60);
-            let out = pool.run_job(&job);
+            let out = pool.run_job(&job).unwrap();
             assert_eq!(out.metrics.tasks_executed, 180);
             assert_eq!(out.metrics.total.pushes, out.metrics.total.pops);
         }
@@ -1696,7 +2408,7 @@ mod tests {
     #[test]
     fn shutdown_is_idempotent_and_drop_safe() {
         let mut pool = WorkerPool::new(smq(2), PoolConfig::new(2));
-        pool.run_job(&FanoutJob::new(10, 10));
+        pool.run_job(&FanoutJob::new(10, 10)).unwrap();
         pool.shutdown();
         pool.shutdown();
         // Drop after explicit shutdown must not double-join.
@@ -1705,7 +2417,7 @@ mod tests {
     #[test]
     fn shutdown_joins_partitioned_fleet() {
         let mut pool = partitioned(3, 2);
-        pool.run_job_on(&FanoutJob::new(10, 10), 2);
+        pool.run_job_on(&FanoutJob::new(10, 10), 2).unwrap();
         pool.shutdown();
         assert_eq!(pool.stats().jobs_completed, 1);
     }

@@ -22,23 +22,60 @@
 //! already-accepted job, then joins the dispatchers and the pool — no
 //! accepted job is ever dropped.
 //!
+//! # Failure taxonomy
+//!
+//! A ticket resolves to exactly one of `Ok(JobCompletion)` or a typed
+//! [`JobError`] — **never a hang, never a client panic**:
+//!
+//! - [`JobError::Lost`] — the job (or the pool worker running it)
+//!   panicked.  The gang it poisoned is respawned by the pool per its
+//!   [`RespawnPolicy`](crate::RespawnPolicy); the service keeps serving.
+//! - [`JobError::DeadlineExceeded`] / [`JobError::BudgetExceeded`] — the
+//!   job tripped a [`JobPolicy`] limit and was cooperatively cancelled;
+//!   its gangs drained cleanly and went straight back into rotation.
+//! - [`JobError::NoCapacity`] — every gang is dead and the pool has no
+//!   factory to rebuild them.
+//!
+//! The dispatcher counts each outcome in [`ServiceStats`]: after
+//! shutdown, `submitted == completed + failed + cancelled + no_capacity`.
+//!
+//! # Deadlines, budgets and retry
+//!
+//! [`submit_with`](JobService::submit_with) attaches a [`JobPolicy`] to a
+//! job.  A `timeout` becomes a hard deadline measured from **acceptance**
+//! (queue wait counts against it — an overloaded service sheds stale work
+//! without ever starting it); a `budget` caps processed tasks.  Both are
+//! enforced cooperatively by the pool workers via the ambient
+//! [`JobSpec`] the dispatcher installs around the
+//! closure, so every `run_job*` the closure performs inherits the limits.
+//!
+//! A [`RetryPolicy`] re-runs the closure with exponential backoff when an
+//! attempt resolves to [`JobError::Lost`] — and **only** then.
+//! Cancellation is not retried (the same limit would just trip again,
+//! later), and `NoCapacity` is permanent by definition.  **Retry is only
+//! sound for idempotent jobs**: a lost job may have executed partial side
+//! effects before its worker died, and a retry re-executes them.  The
+//! graph workloads in this repo are safe (their shared state is monotone
+//! — re-relaxing an edge is a no-op), but a job with non-idempotent
+//! effects must keep `max_retries` at 0 and handle `Lost` itself.
+//!
 //! # Panic safety
 //!
 //! A job that panics (or runs on a gang whose worker panics) does **not**
-//! tear the service down: the dispatcher catches the unwind, counts the
-//! job as [`failed`](ServiceStats::failed), and keeps serving.  The
-//! panicking job's own ticket — and only that ticket — resolves to
-//! [`Err(JobLost)`](JobLost) instead of a completion, so client threads of
-//! a long-lived service survive a bad job.  (The gang the panic happened
-//! on is retired by the pool; capacity shrinks but correctness doesn't.)
+//! tear the service down: the unwind is caught inside the queued closure,
+//! the job is counted as [`failed`](ServiceStats::failed), and the
+//! dispatcher keeps serving.  The panicking job's own ticket — and only
+//! that ticket — resolves to `Err`.  Dropping a [`JobTicket`] without
+//! waiting is also safe: the slot is marked abandoned, the job still runs
+//! (and is counted), and its result is discarded instead of stranded.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::WorkerPool;
+use crate::{JobError, JobSpec, WorkerPool};
 
 /// Service tuning knobs.
 #[derive(Debug, Clone)]
@@ -82,19 +119,70 @@ impl std::fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
-/// The job this ticket tracked will never complete: the job itself (or the
-/// pool gang executing it) panicked.  The service and all other tickets
-/// remain live.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct JobLost;
+/// Per-job limits and retry behaviour for
+/// [`submit_with`](JobService::submit_with).  The default policy imposes
+/// no limits and never retries — identical to plain `submit`.
+#[derive(Debug, Clone, Default)]
+pub struct JobPolicy {
+    /// Hard deadline measured from **acceptance** (not start): queue wait
+    /// counts against it, so an overloaded service sheds stale jobs
+    /// without running them at all.
+    pub timeout: Option<Duration>,
+    /// Cap on tasks the job may process across all its gangs (see
+    /// [`JobSpec::budget`](crate::JobSpec::budget)).
+    pub budget: Option<u64>,
+    /// Retry-on-loss behaviour; see the module docs for the idempotency
+    /// contract.
+    pub retry: RetryPolicy,
+}
 
-impl std::fmt::Display for JobLost {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "job was lost: it panicked while executing on the pool")
+impl JobPolicy {
+    /// Sets the acceptance-relative deadline.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the processed-task budget.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Enables up to `max_retries` re-runs after [`JobError::Lost`],
+    /// sleeping `initial_backoff` before the first retry and doubling it
+    /// each time.  **Only sound for idempotent jobs** (module docs).
+    pub fn with_retries(mut self, max_retries: u32, initial_backoff: Duration) -> Self {
+        self.retry.max_retries = max_retries;
+        self.retry.initial_backoff = initial_backoff;
+        self
     }
 }
 
-impl std::error::Error for JobLost {}
+/// How [`submit_with`](JobService::submit_with) handles a
+/// [`JobError::Lost`] attempt.  Other errors are never retried.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (0 = never retry, the
+    /// default).
+    pub max_retries: u32,
+    /// Sleep before the first retry; grows by `multiplier` per retry
+    /// (exponential backoff, letting a lazily-respawning pool rebuild the
+    /// gang the lost attempt poisoned).
+    pub initial_backoff: Duration,
+    /// Backoff growth factor per retry.
+    pub multiplier: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 0,
+            initial_backoff: Duration::from_millis(1),
+            multiplier: 2,
+        }
+    }
+}
 
 /// A completed job's output plus its measured latencies.
 #[derive(Debug)]
@@ -103,7 +191,8 @@ pub struct JobCompletion<R> {
     pub output: R,
     /// Time spent queued before a dispatcher picked the job up.
     pub queue_wait: Duration,
-    /// Time spent executing on the worker pool.
+    /// Time spent executing on the worker pool (all attempts, including
+    /// retry backoff).
     pub service_time: Duration,
     /// The per-job metrics delta of the **last** `run_job`/`run_job_on`
     /// the closure performed (scheduler-operation deltas carved out of the
@@ -111,6 +200,9 @@ pub struct JobCompletion<R> {
     /// telemetry aggregates with trace lanes stripped).  `None` when the
     /// closure ran no pool job.
     pub metrics: Option<crate::JobOutput>,
+    /// Executions it took to produce this output: 1 without retries,
+    /// `1 + retries` when a [`RetryPolicy`] recovered a lost attempt.
+    pub attempts: u32,
 }
 
 impl<R> JobCompletion<R> {
@@ -121,44 +213,131 @@ impl<R> JobCompletion<R> {
     }
 }
 
-/// A one-shot handle to a submitted job's completion.
-#[derive(Debug)]
-pub struct JobTicket<R> {
-    rx: mpsc::Receiver<JobCompletion<R>>,
+/// One job's result slot, shared between its [`JobTicket`] and the queued
+/// closure that eventually resolves it.
+struct TicketState<R> {
+    outcome: Option<Result<JobCompletion<R>, JobError>>,
+    /// The client dropped its ticket without waiting: the resolver
+    /// discards the outcome instead of stranding it in the slot.
+    abandoned: bool,
 }
 
-impl<R> JobTicket<R> {
-    /// Blocks until the job completes, or resolves to [`JobLost`] when the
-    /// job panicked mid-execution.  Other jobs — and the service itself —
-    /// are unaffected by one lost job.
-    pub fn wait(self) -> Result<JobCompletion<R>, JobLost> {
-        self.rx.recv().map_err(|_| JobLost)
-    }
+struct TicketShared<R> {
+    slot: Mutex<TicketState<R>>,
+    ready: Condvar,
+}
 
-    /// Non-blocking poll: `None` while the job is still queued or running,
-    /// `Some(Ok(_))` once it completed, `Some(Err(JobLost))` if it
-    /// panicked.
-    pub fn try_wait(&self) -> Option<Result<JobCompletion<R>, JobLost>> {
-        match self.rx.try_recv() {
-            Ok(completion) => Some(Ok(completion)),
-            Err(mpsc::TryRecvError::Empty) => None,
-            Err(mpsc::TryRecvError::Disconnected) => Some(Err(JobLost)),
+impl<R> TicketShared<R> {
+    fn new() -> Self {
+        Self {
+            slot: Mutex::new(TicketState {
+                outcome: None,
+                abandoned: false,
+            }),
+            ready: Condvar::new(),
         }
     }
 }
 
-/// Point-in-time service counters.
+/// Stores `outcome` for the waiting client — or drops it on the floor if
+/// the client abandoned its ticket.  Never blocks: the service's shutdown
+/// drain cannot be held up by a slow (or absent) client.
+fn resolve<R>(shared: &TicketShared<R>, outcome: Result<JobCompletion<R>, JobError>) {
+    let mut st = shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+    if st.abandoned {
+        return;
+    }
+    st.outcome = Some(outcome);
+    shared.ready.notify_all();
+}
+
+/// A one-shot handle to a submitted job's outcome.
+///
+/// Dropping a ticket without calling [`wait`](JobTicket::wait) is safe:
+/// the job still runs (an accepted job is never dropped) and is counted
+/// in [`ServiceStats`], but its result is discarded instead of stranded,
+/// and shutdown is never blocked on the missing client.
+pub struct JobTicket<R> {
+    shared: Option<Arc<TicketShared<R>>>,
+}
+
+impl<R> std::fmt::Debug for JobTicket<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobTicket").finish_non_exhaustive()
+    }
+}
+
+impl<R> JobTicket<R> {
+    /// Blocks until the job resolves — to its completion, or to the typed
+    /// [`JobError`] that ended it (module docs).  Never hangs: every
+    /// accepted job is resolved by a dispatcher, even during shutdown.
+    pub fn wait(mut self) -> Result<JobCompletion<R>, JobError> {
+        let shared = self
+            .shared
+            .take()
+            .expect("JobTicket::wait consumes the ticket");
+        let mut st = shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(outcome) = st.outcome.take() {
+                return outcome;
+            }
+            st = shared.ready.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Non-blocking poll: `None` while the job is still queued or
+    /// running, `Some(outcome)` once it resolved.  A ticket that returned
+    /// `Some` is spent — further polls return `None`.
+    pub fn try_wait(&mut self) -> Option<Result<JobCompletion<R>, JobError>> {
+        let shared = self.shared.as_ref()?;
+        let outcome = {
+            let mut st = shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+            st.outcome.take()
+        };
+        if outcome.is_some() {
+            self.shared = None;
+        }
+        outcome
+    }
+}
+
+impl<R> Drop for JobTicket<R> {
+    fn drop(&mut self) {
+        let Some(shared) = self.shared.take() else {
+            return; // waited (or polled to completion): nothing to release
+        };
+        let mut st = shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+        st.abandoned = true;
+        // An outcome that raced in before the drop is released here; one
+        // that arrives later is dropped by `resolve`.
+        st.outcome = None;
+    }
+}
+
+/// Point-in-time service counters.  Every accepted job lands in exactly
+/// one of the four outcome counters, so after shutdown
+/// `submitted == completed + failed + cancelled + no_capacity`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Jobs accepted into the queue.
     pub submitted: u64,
     /// Jobs fully executed.
     pub completed: u64,
-    /// `try_submit` calls rejected with [`SubmitError::QueueFull`].
+    /// `try_submit` calls rejected with [`SubmitError::QueueFull`] (these
+    /// were never accepted and are not part of `submitted`).
     pub rejected: u64,
-    /// Jobs that panicked mid-execution (their tickets resolved to
-    /// [`JobLost`]).  `submitted == completed + failed` after shutdown.
+    /// Jobs lost to a panic ([`JobError::Lost`]) after exhausting any
+    /// retries.
     pub failed: u64,
+    /// Jobs cancelled by a deadline or budget — including ones shed
+    /// before they ever started because their deadline passed in the
+    /// queue.
+    pub cancelled: u64,
+    /// Jobs that found every gang dead ([`JobError::NoCapacity`]).
+    pub no_capacity: u64,
+    /// Extra attempts run by [`RetryPolicy`] (a job that succeeded on its
+    /// third attempt adds 2 here and 1 to `completed`).
+    pub retried: u64,
     /// Live gauge: jobs accepted but not yet picked up by a dispatcher.
     /// Drains to zero by the time [`JobService::shutdown`] returns.
     pub queue_depth: u64,
@@ -167,7 +346,15 @@ pub struct ServiceStats {
     pub in_flight: u64,
 }
 
-type QueuedJob = Box<dyn FnOnce(&WorkerPool) + Send + 'static>;
+/// What a queued closure reports back to its dispatcher for accounting.
+struct JobOutcome {
+    /// `None` = completed; `Some(e)` picks the outcome counter.
+    error: Option<JobError>,
+    /// Extra attempts beyond the first (retry accounting).
+    retries: u32,
+}
+
+type QueuedJob = Box<dyn FnOnce(&WorkerPool) -> JobOutcome + Send + 'static>;
 
 struct QueueState {
     jobs: VecDeque<QueuedJob>,
@@ -183,6 +370,9 @@ struct ServiceInner {
     completed: AtomicU64,
     rejected: AtomicU64,
     failed: AtomicU64,
+    cancelled: AtomicU64,
+    no_capacity: AtomicU64,
+    retried: AtomicU64,
     in_flight: AtomicU64,
 }
 
@@ -220,6 +410,9 @@ impl JobService {
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            no_capacity: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
         });
         let pool = Arc::new(pool);
@@ -249,20 +442,8 @@ impl JobService {
         F: FnOnce(&WorkerPool) -> R + Send + 'static,
         R: Send + 'static,
     {
-        let mut st = lock(&self.inner.state);
-        loop {
-            if st.closed {
-                return Err(SubmitError::ShuttingDown);
-            }
-            if st.jobs.len() < self.inner.capacity {
-                return Ok(self.enqueue(st, job));
-            }
-            st = self
-                .inner
-                .not_full
-                .wait(st)
-                .unwrap_or_else(|e| e.into_inner());
-        }
+        let st = self.blocking_slot()?;
+        Ok(self.enqueue(st, job))
     }
 
     /// Submits a job without blocking; fails with
@@ -283,37 +464,184 @@ impl JobService {
         Ok(self.enqueue(st, job))
     }
 
+    /// Submits a fallible job under a [`JobPolicy`] (deadline, budget,
+    /// retry-on-loss), blocking while the queue is full.
+    ///
+    /// The closure runs with the policy's limits installed as the ambient
+    /// [`JobSpec`], so every `run_job*` it performs is
+    /// deadline- and budget-checked; returning `Err` (or panicking) makes
+    /// the attempt fail with that error.  Only [`JobError::Lost`] attempts
+    /// are retried — see the module docs for why retry requires an
+    /// idempotent job.  The closure is `Fn` (not `FnOnce`) precisely so it
+    /// can be re-run.
+    pub fn submit_with<F, R>(&self, policy: JobPolicy, job: F) -> Result<JobTicket<R>, SubmitError>
+    where
+        F: Fn(&WorkerPool) -> Result<R, JobError> + Send + 'static,
+        R: Send + 'static,
+    {
+        let st = self.blocking_slot()?;
+        Ok(self.enqueue_with(st, policy, job))
+    }
+
+    /// Blocks until the queue has a free slot (or the service closes).
+    fn blocking_slot(&self) -> Result<MutexGuard<'_, QueueState>, SubmitError> {
+        let mut st = lock(&self.inner.state);
+        loop {
+            if st.closed {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if st.jobs.len() < self.inner.capacity {
+                return Ok(st);
+            }
+            st = self
+                .inner
+                .not_full
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
     fn enqueue<F, R>(&self, mut st: MutexGuard<'_, QueueState>, job: F) -> JobTicket<R>
     where
         F: FnOnce(&WorkerPool) -> R + Send + 'static,
         R: Send + 'static,
     {
-        let (tx, rx) = mpsc::sync_channel(1);
+        let shared = Arc::new(TicketShared::new());
+        let slot = Arc::clone(&shared);
         let accepted_at = Instant::now();
         st.jobs.push_back(Box::new(move |pool: &WorkerPool| {
-            // Bracket the job with the thread-local capture so the
-            // completion carries the metrics of the job this closure ran
-            // (and never a stale capture from a previous job on this
-            // dispatcher).
+            // Bracket the job with the thread-local captures so the
+            // completion carries the metrics — and the failure the typed
+            // error — of the job this closure ran (never a stale capture
+            // from a previous job on this dispatcher).
             crate::clear_last_job_output();
+            crate::clear_last_job_error();
             let started = Instant::now();
-            let output = job(pool);
-            // The client may have dropped its ticket; that is fine.  If
-            // `job` panics instead, `tx` is dropped by the unwind and the
-            // ticket resolves to `JobLost`.
-            let _ = tx.send(JobCompletion {
-                output,
-                queue_wait: started.duration_since(accepted_at),
-                service_time: started.elapsed(),
-                metrics: crate::take_last_job_output(),
-            });
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(pool)));
+            let pool_error = crate::take_last_job_error();
+            match result {
+                Ok(output) => {
+                    resolve(
+                        &slot,
+                        Ok(JobCompletion {
+                            output,
+                            queue_wait: started.duration_since(accepted_at),
+                            service_time: started.elapsed(),
+                            metrics: crate::take_last_job_output(),
+                            attempts: 1,
+                        }),
+                    );
+                    JobOutcome {
+                        error: None,
+                        retries: 0,
+                    }
+                }
+                Err(_) => {
+                    // The closure unwound.  If its last pool job recorded
+                    // a typed error (a poisoned gang, a cancellation the
+                    // closure `unwrap`ped...), classify by it; a panic
+                    // with no pool involvement is a plain lost job.
+                    let error = pool_error.unwrap_or(JobError::Lost);
+                    resolve(&slot, Err(error));
+                    JobOutcome {
+                        error: Some(error),
+                        retries: 0,
+                    }
+                }
+            }
         }));
         self.inner.submitted.fetch_add(1, Ordering::Relaxed);
         self.inner.not_empty.notify_one();
-        JobTicket { rx }
+        JobTicket {
+            shared: Some(shared),
+        }
     }
 
-    /// Admission / completion / rejection / failure counters plus the live
+    fn enqueue_with<F, R>(
+        &self,
+        mut st: MutexGuard<'_, QueueState>,
+        policy: JobPolicy,
+        job: F,
+    ) -> JobTicket<R>
+    where
+        F: Fn(&WorkerPool) -> Result<R, JobError> + Send + 'static,
+        R: Send + 'static,
+    {
+        let shared = Arc::new(TicketShared::new());
+        let slot = Arc::clone(&shared);
+        let accepted_at = Instant::now();
+        st.jobs.push_back(Box::new(move |pool: &WorkerPool| {
+            let deadline = policy.timeout.map(|timeout| accepted_at + timeout);
+            let spec = JobSpec {
+                deadline,
+                budget: policy.budget,
+            };
+            let started = Instant::now();
+            let queue_wait = started.duration_since(accepted_at);
+            let mut attempts: u32 = 0;
+            let mut backoff = policy.retry.initial_backoff;
+            let outcome = loop {
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    // Shed: the deadline passed in the queue (or during
+                    // retry backoff) — don't touch the pool at all.
+                    break Err(JobError::DeadlineExceeded);
+                }
+                attempts += 1;
+                crate::clear_last_job_output();
+                crate::clear_last_job_error();
+                crate::set_current_job_spec(spec);
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(pool)));
+                crate::clear_current_job_spec();
+                let pool_error = crate::take_last_job_error();
+                let error = match result {
+                    Ok(Ok(output)) => break Ok(output),
+                    Ok(Err(error)) => error,
+                    Err(_) => pool_error.unwrap_or(JobError::Lost),
+                };
+                if error == JobError::Lost && attempts <= policy.retry.max_retries {
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                    backoff = backoff.saturating_mul(policy.retry.multiplier);
+                    continue;
+                }
+                break Err(error);
+            };
+            let retries = attempts.saturating_sub(1);
+            match outcome {
+                Ok(output) => {
+                    resolve(
+                        &slot,
+                        Ok(JobCompletion {
+                            output,
+                            queue_wait,
+                            service_time: started.elapsed(),
+                            metrics: crate::take_last_job_output(),
+                            attempts,
+                        }),
+                    );
+                    JobOutcome {
+                        error: None,
+                        retries,
+                    }
+                }
+                Err(error) => {
+                    resolve(&slot, Err(error));
+                    JobOutcome {
+                        error: Some(error),
+                        retries,
+                    }
+                }
+            }
+        }));
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.not_empty.notify_one();
+        JobTicket {
+            shared: Some(shared),
+        }
+    }
+
+    /// Admission / outcome / rejection counters plus the live
     /// `queue_depth` / `in_flight` gauges.
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
@@ -321,15 +649,24 @@ impl JobService {
             completed: self.inner.completed.load(Ordering::Relaxed),
             rejected: self.inner.rejected.load(Ordering::Relaxed),
             failed: self.inner.failed.load(Ordering::Relaxed),
+            cancelled: self.inner.cancelled.load(Ordering::Relaxed),
+            no_capacity: self.inner.no_capacity.load(Ordering::Relaxed),
+            retried: self.inner.retried.load(Ordering::Relaxed),
             queue_depth: lock(&self.inner.state).jobs.len() as u64,
             in_flight: self.inner.in_flight.load(Ordering::Relaxed),
         }
     }
 
     /// The underlying pool's lifetime counters (thread spawns, jobs run,
-    /// gangs lost to panics).
+    /// gangs lost to panics and respawned after them).
     pub fn pool_stats(&self) -> crate::PoolStats {
         self.pool.stats()
+    }
+
+    /// The worker pool this service dispatches onto (e.g. to force a
+    /// [`respawn_dead`](WorkerPool::respawn_dead) between chaos rounds).
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
     }
 
     /// Graceful shutdown: stops admission, drains every accepted job
@@ -376,27 +713,30 @@ fn dispatcher_main(inner: &ServiceInner, pool: &WorkerPool) {
                 st = inner.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
             }
         };
-        // Contain job panics to the job: the unwind drops the ticket's
-        // sender (the client sees `JobLost`), the pool retires the gang the
-        // panic happened on, and this dispatcher keeps serving.
+        // Queued closures contain their own panics (see `enqueue*`) and
+        // report a typed outcome; nothing can unwind out of `job` here.
         inner.in_flight.fetch_add(1, Ordering::Relaxed);
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(pool)));
+        let outcome = job(pool);
         inner.in_flight.fetch_sub(1, Ordering::Relaxed);
-        match outcome {
-            Ok(()) => {
-                inner.completed.fetch_add(1, Ordering::Relaxed);
-            }
-            Err(_) => {
-                inner.failed.fetch_add(1, Ordering::Relaxed);
-            }
+        if outcome.retries > 0 {
+            inner
+                .retried
+                .fetch_add(u64::from(outcome.retries), Ordering::Relaxed);
         }
+        let counter = match outcome.error {
+            None => &inner.completed,
+            Some(JobError::Lost) => &inner.failed,
+            Some(JobError::DeadlineExceeded | JobError::BudgetExceeded) => &inner.cancelled,
+            Some(JobError::NoCapacity) => &inner.no_capacity,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{PoolConfig, PoolJob};
+    use crate::{JobLost, PoolConfig, PoolJob, RespawnPolicy};
     use smq_core::Task;
     use smq_multiqueue::{MultiQueue, MultiQueueConfig};
     use smq_runtime::Scratch;
@@ -414,6 +754,34 @@ mod tests {
 
         fn process(&self, _t: Task, _push: &mut dyn FnMut(Task), _s: &mut Scratch) -> bool {
             self.counter.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+    }
+
+    struct BadJob;
+
+    impl PoolJob for BadJob {
+        fn seed_tasks(&self) -> Vec<Task> {
+            vec![Task::new(0, 0)]
+        }
+
+        fn process(&self, _t: Task, _p: &mut dyn FnMut(Task), _s: &mut Scratch) -> bool {
+            panic!("intentional service job panic");
+        }
+    }
+
+    /// Naps on every task and pushes a successor: runs forever unless a
+    /// deadline or budget cancels it.
+    struct EndlessJob;
+
+    impl PoolJob for EndlessJob {
+        fn seed_tasks(&self) -> Vec<Task> {
+            vec![Task::new(0, 0)]
+        }
+
+        fn process(&self, _t: Task, push: &mut dyn FnMut(Task), _s: &mut Scratch) -> bool {
+            std::thread::sleep(Duration::from_millis(1));
+            push(Task::new(1, 1));
             true
         }
     }
@@ -459,11 +827,12 @@ mod tests {
                                     seeds: 10 + client,
                                     counter,
                                 };
-                                pool.run_job(&job).metrics.tasks_executed
+                                pool.run_job(&job).expect("pool job").metrics.tasks_executed
                             })
                             .expect("submit");
                         let done = ticket.wait().expect("job completed");
                         assert_eq!(done.output, 10 + client);
+                        assert_eq!(done.attempts, 1);
                     }
                 });
             }
@@ -510,7 +879,8 @@ mod tests {
             tickets.push(
                 service
                     .submit(move |pool| {
-                        pool.run_job_on(&MeetJob { mine, partner }, 1);
+                        pool.run_job_on(&MeetJob { mine, partner }, 1)
+                            .expect("meet job");
                     })
                     .expect("submit"),
             );
@@ -525,21 +895,11 @@ mod tests {
 
     #[test]
     fn panicking_job_yields_job_lost_not_a_client_panic() {
-        struct BadJob;
-        impl PoolJob for BadJob {
-            fn seed_tasks(&self) -> Vec<Task> {
-                vec![Task::new(0, 0)]
-            }
-            fn process(&self, _t: Task, _p: &mut dyn FnMut(Task), _s: &mut Scratch) -> bool {
-                panic!("intentional service job panic");
-            }
-        }
-
         let counter = Arc::new(AtomicU64::new(0));
         let service = partitioned_service(2, 4);
         let bad = service
             .submit(|pool| {
-                pool.run_job_on(&BadJob, 1);
+                pool.run_job_on(&BadJob, 1).expect("fails by panicking");
             })
             .expect("submit");
         assert_eq!(
@@ -556,7 +916,10 @@ mod tests {
                     seeds: 7,
                     counter: ok_counter,
                 };
-                pool.run_job_on(&job, 1).metrics.tasks_executed
+                pool.run_job_on(&job, 1)
+                    .expect("pool job")
+                    .metrics
+                    .tasks_executed
             })
             .expect("service still accepts jobs");
         assert_eq!(good.wait().expect("good job completes").output, 7);
@@ -609,7 +972,7 @@ mod tests {
                 service
                     .submit(move |pool| {
                         let job = CountJob { seeds: 5, counter };
-                        pool.run_job(&job);
+                        pool.run_job(&job).expect("pool job");
                     })
                     .expect("submit"),
             );
@@ -624,6 +987,29 @@ mod tests {
     }
 
     #[test]
+    fn dropped_tickets_neither_leak_nor_block_shutdown() {
+        // Regression: a client that submits and walks away must not strand
+        // the result slot or hold up the shutdown drain.
+        let service = service(8);
+        let counter = Arc::new(AtomicU64::new(0));
+        for _ in 0..4 {
+            let counter = Arc::clone(&counter);
+            let ticket = service
+                .submit(move |pool| {
+                    let job = CountJob { seeds: 3, counter };
+                    pool.run_job(&job).expect("pool job");
+                })
+                .expect("submit");
+            drop(ticket); // abandon immediately, before the job resolves
+        }
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 4, "abandoned jobs still run and count");
+        assert_eq!(counter.load(Ordering::Relaxed), 12);
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.in_flight, 0);
+    }
+
+    #[test]
     fn gauges_drain_to_zero_after_shutdown() {
         let service = service(8);
         let counter = Arc::new(AtomicU64::new(0));
@@ -632,7 +1018,7 @@ mod tests {
             service
                 .submit(move |pool| {
                     let job = CountJob { seeds: 3, counter };
-                    pool.run_job(&job);
+                    pool.run_job(&job).expect("pool job");
                 })
                 .expect("submit");
         }
@@ -656,7 +1042,7 @@ mod tests {
                     seeds: 9,
                     counter: job_counter,
                 };
-                pool.run_job(&job).metrics.tasks_executed
+                pool.run_job(&job).expect("pool job").metrics.tasks_executed
             })
             .expect("submit");
         let done = ticket.wait().expect("job completed");
@@ -674,6 +1060,142 @@ mod tests {
         let idle = service.submit(|_pool| 42u64).expect("submit");
         assert!(idle.wait().expect("completes").metrics.is_none());
         service.shutdown();
+    }
+
+    #[test]
+    fn submit_with_retries_a_lost_job_until_it_lands() {
+        // First attempt panics the gang; the lazy respawn rebuilds it and
+        // the retry succeeds.  Sound because CountJob is idempotent.
+        let service = partitioned_service(2, 4);
+        let tries = Arc::new(AtomicU64::new(0));
+        let counter = Arc::new(AtomicU64::new(0));
+        let (t, c) = (Arc::clone(&tries), Arc::clone(&counter));
+        let ticket = service
+            .submit_with(
+                JobPolicy::default().with_retries(3, Duration::from_millis(1)),
+                move |pool| {
+                    if t.fetch_add(1, Ordering::Relaxed) == 0 {
+                        pool.run_job_on(&BadJob, 1).map(|_| 0)
+                    } else {
+                        let job = CountJob {
+                            seeds: 5,
+                            counter: Arc::clone(&c),
+                        };
+                        pool.run_job_on(&job, 1)
+                            .map(|out| out.metrics.tasks_executed)
+                    }
+                },
+            )
+            .expect("submit");
+        let done = ticket.wait().expect("retry recovered the lost job");
+        assert_eq!(done.output, 5);
+        assert_eq!(done.attempts, 2);
+        let pool_stats = service.pool_stats();
+        let stats = service.shutdown();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 0, "a recovered job is not a failure");
+        assert_eq!(stats.retried, 1);
+        assert_eq!(pool_stats.gangs_poisoned, 1);
+        assert_eq!(counter.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn submit_with_deadline_cancels_and_counts_the_job() {
+        let service = partitioned_service(1, 4);
+        let ticket = service
+            .submit_with(
+                JobPolicy::default().with_timeout(Duration::from_millis(20)),
+                |pool| pool.run_job(&EndlessJob).map(|_| ()),
+            )
+            .expect("submit");
+        assert_eq!(
+            ticket.wait().map(|c| c.output),
+            Err(JobError::DeadlineExceeded)
+        );
+
+        // The cancelled job's gang went straight back into rotation.
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&counter);
+        let good = service
+            .submit(move |pool| {
+                let job = CountJob {
+                    seeds: 4,
+                    counter: c,
+                };
+                pool.run_job(&job).expect("pool job");
+            })
+            .expect("submit");
+        good.wait().expect("gang reusable after cancellation");
+
+        let pool_stats = service.pool_stats();
+        let stats = service.shutdown();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.failed, 0, "cancellation is not a failure");
+        assert_eq!(stats.completed, 1);
+        assert_eq!(pool_stats.gangs_poisoned, 0);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn expired_deadline_sheds_the_job_without_running_it() {
+        let service = service(4);
+        let ran = Arc::new(AtomicU64::new(0));
+        let r = Arc::clone(&ran);
+        let ticket = service
+            .submit_with(
+                JobPolicy::default().with_timeout(Duration::ZERO),
+                move |_pool| {
+                    r.fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                },
+            )
+            .expect("submit");
+        assert_eq!(
+            ticket.wait().map(|c| c.output),
+            Err(JobError::DeadlineExceeded)
+        );
+        let stats = service.shutdown();
+        assert_eq!(ran.load(Ordering::Relaxed), 0, "shed job must never run");
+        assert_eq!(stats.cancelled, 1);
+    }
+
+    #[test]
+    fn dead_pool_resolves_tickets_with_no_capacity() {
+        // One gang, no respawn: after the panic the pool is permanently
+        // dead and every later job gets the typed NoCapacity outcome.
+        let service = JobService::new(
+            WorkerPool::new_partitioned(
+                |g| MultiQueue::<Task>::new(MultiQueueConfig::classic(1).with_seed(5 + g as u64)),
+                PoolConfig::partitioned(1, 1).with_respawn(RespawnPolicy::Never),
+            ),
+            ServiceConfig {
+                queue_capacity: 4,
+                dispatchers: 0,
+            },
+        );
+        let bad = service
+            .submit(|pool| {
+                pool.run_job_on(&BadJob, 1).expect("fails by panicking");
+            })
+            .expect("submit");
+        assert!(bad.wait().is_err());
+
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&counter);
+        let starved = service
+            .submit_with(JobPolicy::default(), move |pool| {
+                let job = CountJob {
+                    seeds: 3,
+                    counter: Arc::clone(&c),
+                };
+                pool.run_job(&job).map(|_| ())
+            })
+            .expect("submit");
+        assert_eq!(starved.wait().map(|c| c.output), Err(JobError::NoCapacity));
+        let stats = service.shutdown();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.no_capacity, 1);
+        assert_eq!(counter.load(Ordering::Relaxed), 0, "nothing left to run it");
     }
 
     #[test]

@@ -156,6 +156,34 @@ pub struct WorkerLoopOutcome {
     pub executed: u64,
     /// Quiescence scans this worker performed (each is O(threads)).
     pub scans: u64,
+    /// Tasks popped but *discarded* because the job was cancelled (see
+    /// [`LoopControl::cancel`]): their completions were recorded so the
+    /// detector stays balanced, but `process` never ran for them.
+    pub discarded: u64,
+}
+
+/// External control signals a [`worker_loop`] run observes.
+///
+/// Both flags are optional; `LoopControl::default()` (no flags) is the
+/// one-shot executor's mode.  The resident worker pool wires them per job:
+///
+/// * `abort` — the *poison* escape: set when a sibling worker died mid-job.
+///   A dead worker's thread-local queues can strand published tasks, so
+///   quiescence may be unreachable; survivors bail out on their next empty
+///   pop, leaving whatever is still queued stranded (the gang is retired or
+///   respawned, never reused as-is).
+/// * `cancel` — *cooperative cancellation*: set when the job tripped its
+///   deadline or budget.  Unlike `abort`, cancellation must leave the gang
+///   **reusable**, so workers keep popping but discard every task (its
+///   completion is recorded, `process` is skipped, nothing is pushed).  The
+///   frontier therefore collapses, normal quiescence is reached, and the
+///   scheduler is provably empty when the loop returns.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoopControl<'a> {
+    /// Bail out on the next empty pop (gang poisoned; tasks may strand).
+    pub abort: Option<&'a std::sync::atomic::AtomicBool>,
+    /// Drain-and-discard to quiescence (job cancelled; gang stays clean).
+    pub cancel: Option<&'a std::sync::atomic::AtomicBool>,
 }
 
 /// A handle through which task processors push newly created tasks.
@@ -228,19 +256,19 @@ fn flush_sink<T, H: SchedulerHandle<T>>(
 /// The caller must have pushed (and pre-credited, via
 /// [`TerminationDetector::preload`]) its seed tasks before entering the
 /// loop.  Returns once this worker has observed global quiescence for the
-/// detector's current generation — or, if `abort` is `Some` and becomes
-/// `true`, as soon as the worker next finds the scheduler empty.  The
-/// abort escape exists for the worker pool's panic path: a dead worker's
-/// thread-local queues can strand published-but-unreachable tasks, making
-/// quiescence impossible, so survivors must be told to stop waiting for
-/// it.
+/// detector's current generation — or, if `control.abort` is `Some` and
+/// becomes `true`, as soon as the worker next finds the scheduler empty
+/// (the worker pool's poison path; see [`LoopControl`]).  If
+/// `control.cancel` becomes `true` instead, the worker drains to
+/// quiescence while *discarding* every remaining task, so a cancelled
+/// job's gang ends with an empty scheduler and stays reusable.
 pub fn worker_loop<T, H, F>(
     handle: &mut H,
     detector: &TerminationDetector,
     tally: &mut WorkerTally<'_>,
     scratch: &mut Scratch,
     config: &WorkerLoopConfig,
-    abort: Option<&std::sync::atomic::AtomicBool>,
+    control: LoopControl<'_>,
     process: F,
 ) -> WorkerLoopOutcome
 where
@@ -254,7 +282,7 @@ where
         tally,
         scratch,
         config,
-        abort,
+        control,
         None,
         |_: &T| 0,
         process,
@@ -278,7 +306,7 @@ pub fn worker_loop_instrumented<T, H, F>(
     tally: &mut WorkerTally<'_>,
     scratch: &mut Scratch,
     config: &WorkerLoopConfig,
-    abort: Option<&std::sync::atomic::AtomicBool>,
+    control: LoopControl<'_>,
     telemetry: Option<&mut WorkerTelemetry>,
     process: F,
 ) -> WorkerLoopOutcome
@@ -293,7 +321,7 @@ where
         tally,
         scratch,
         config,
-        abort,
+        control,
         telemetry,
         T::key,
         process,
@@ -307,7 +335,7 @@ fn worker_loop_impl<T, H, F, K>(
     tally: &mut WorkerTally<'_>,
     scratch: &mut Scratch,
     config: &WorkerLoopConfig,
-    abort: Option<&std::sync::atomic::AtomicBool>,
+    control: LoopControl<'_>,
     mut telemetry: Option<&mut WorkerTelemetry>,
     key_of: K,
     mut process: F,
@@ -388,6 +416,21 @@ where
             empty_streak = 0;
             idle_spins = 0;
             backoff.reset();
+            // Cancellation is checked once per pop (not per task): when the
+            // job tripped its deadline/budget, every remaining task is
+            // discarded — completion recorded (the pop already counted it
+            // published), `process` skipped, nothing pushed — so the
+            // frontier monotonically collapses to ordinary quiescence.
+            let discarding = control
+                .cancel
+                .is_some_and(|flag| flag.load(std::sync::atomic::Ordering::Acquire));
+            if discarding {
+                for _task in pop_buf.drain(..) {
+                    tally.record_completion();
+                    outcome.discarded += 1;
+                }
+                continue;
+            }
             for task in pop_buf.drain(..) {
                 // The completion below must be recorded even if `process`
                 // unwinds: the popped task was already counted `published`,
@@ -443,7 +486,7 @@ where
             // conclude the system might be done.  (The sink buffer is
             // always empty here — it flushes at every task boundary.)
             handle.flush();
-            if let Some(flag) = abort {
+            if let Some(flag) = control.abort {
                 if flag.load(std::sync::atomic::Ordering::Acquire) {
                     break;
                 }
@@ -564,7 +607,7 @@ where
                         &mut tally,
                         &mut scratch,
                         loop_config,
-                        None,
+                        LoopControl::default(),
                         |task, sink, scratch| process(task, sink, scratch),
                     );
                     (outcome, handle.stats())

@@ -27,7 +27,9 @@ pub mod scratch;
 pub mod termination;
 pub mod topology;
 
-pub use executor::{run, ExecutorConfig, TaskSink, WorkerId, WorkerLoopConfig, WorkerLoopOutcome};
+pub use executor::{
+    run, ExecutorConfig, LoopControl, TaskSink, WorkerId, WorkerLoopConfig, WorkerLoopOutcome,
+};
 pub use metrics::RunMetrics;
 pub use scratch::Scratch;
 pub use termination::{TerminationDetector, WorkerTally};

@@ -58,7 +58,9 @@ fn main() {
     let live = Arc::new(LiveGraph::new(Arc::clone(&base)));
     let engine = Arc::new(RouteQueryEngine::with_lanes(Arc::clone(&live), gangs));
     let pool = WorkerPool::new_partitioned(
-        |g| HeapSmq::<Task>::new(SmqConfig::default_for_threads(gang_size).with_seed(g as u64 + 1)),
+        move |g| {
+            HeapSmq::<Task>::new(SmqConfig::default_for_threads(gang_size).with_seed(g as u64 + 1))
+        },
         PoolConfig::partitioned(gangs, gang_size),
     );
     let service = Arc::new(JobService::new(

@@ -32,7 +32,9 @@ use smq_repro::core::Task;
 use smq_repro::graph::generators::{road_network, uniform_random, RoadNetworkParams};
 use smq_repro::multiqueue::{MultiQueue, MultiQueueConfig};
 use smq_repro::obim::{Obim, ObimConfig};
-use smq_repro::pool::{JobLost, JobService, PoolConfig, PoolJob, ServiceConfig, WorkerPool};
+use smq_repro::pool::{
+    JobError, JobLost, JobService, PoolConfig, PoolJob, RespawnPolicy, ServiceConfig, WorkerPool,
+};
 use smq_repro::runtime::Scratch;
 use smq_repro::smq::{HeapSmq, SmqConfig};
 
@@ -45,7 +47,7 @@ fn smq_pool(threads: usize, seed: u64) -> WorkerPool {
 
 fn smq_gang_pool(gangs: usize, gang_size: usize, seed: u64) -> WorkerPool {
     WorkerPool::new_partitioned(
-        |g| {
+        move |g| {
             HeapSmq::<Task>::new(
                 SmqConfig::default_for_threads(gang_size).with_seed(seed + g as u64),
             )
@@ -399,7 +401,8 @@ impl PoolJob for PanickingJob {
 /// while live gangs remain, `Err` once the pool has none left.
 #[test]
 fn panicking_job_resolves_tickets_instead_of_panicking_clients() {
-    // Two gangs: the panic burns one, the second client's job still runs.
+    // Two gangs: the panic burns one (the factory-built pool lazily
+    // respawns it), the second client's job still runs.
     let graph = Arc::new(road_network(RoadNetworkParams {
         width: 8,
         height: 8,
@@ -418,7 +421,8 @@ fn panicking_job_resolves_tickets_instead_of_panicking_clients() {
 
     let bad = service
         .submit(|pool| {
-            pool.run_job_on(&PanickingJob, 1);
+            pool.run_job_on(&PanickingJob, 1)
+                .expect("fails by panicking");
         })
         .expect("submit panicking job");
     assert!(
@@ -442,10 +446,15 @@ fn panicking_job_resolves_tickets_instead_of_panicking_clients() {
     assert_eq!(stats.failed, 1);
     assert_eq!(stats.completed + stats.failed, stats.submitted);
     assert_eq!(pool_stats.gangs_poisoned, 1);
+    assert_eq!(
+        pool_stats.gangs_respawned, 1,
+        "the factory-built pool must lazily rebuild the poisoned gang"
+    );
 }
 
-/// Same regression on a single-gang pool: with no live gang left, later
-/// clients get `Err(JobLost)` — still never a panic out of `wait`.
+/// Same regression on a single-gang pool **without** a respawn factory:
+/// with no live gang left, later clients get the typed
+/// `Err(JobError::NoCapacity)` — still never a panic out of `wait`.
 #[test]
 fn fully_poisoned_service_fails_jobs_gracefully() {
     let service = JobService::new(
@@ -457,7 +466,7 @@ fn fully_poisoned_service_fails_jobs_gracefully() {
     );
     let bad = service
         .submit(|pool| {
-            pool.run_job(&PanickingJob);
+            pool.run_job(&PanickingJob).expect("fails by panicking");
         })
         .expect("submit panicking job");
     assert_eq!(bad.wait().map(|c| c.output), Err(JobLost));
@@ -465,14 +474,96 @@ fn fully_poisoned_service_fails_jobs_gracefully() {
     // The only gang is gone: the second client's job cannot run, but its
     // ticket still resolves to Err instead of panicking the client thread.
     let second = service
-        .submit(|pool| pool.run_job(&PanickingJob))
+        .submit(|pool| {
+            pool.run_job(&PanickingJob).expect("no capacity to run it");
+        })
         .expect("admission is still open");
-    assert!(
-        second.wait().is_err(),
-        "second client must see Err, not panic"
+    assert_eq!(
+        second.wait().map(|c| c.output),
+        Err(JobError::NoCapacity),
+        "second client must see the typed NoCapacity error, not a panic"
     );
 
     let stats = service.shutdown();
-    assert_eq!(stats.failed, 2);
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.no_capacity, 1);
     assert_eq!(stats.completed, 0);
+}
+
+/// The FIFO-allocator poisoned-gang edge (regression): a claim enqueued
+/// while every gang is unavailable — one busy, one freshly poisoned with
+/// no respawn — must re-route to the surviving gang when it frees, not
+/// starve behind the dead one.
+#[test]
+fn waiting_claim_reroutes_around_a_poisoned_gang() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Holds its gang until `gate` opens; flags `started` so the test
+    /// knows the gang is claimed.
+    struct GateJob {
+        started: Arc<AtomicBool>,
+        gate: Arc<AtomicBool>,
+    }
+    impl PoolJob for GateJob {
+        fn seed_tasks(&self) -> Vec<Task> {
+            vec![Task::new(0, 0)]
+        }
+        fn process(&self, _t: Task, _p: &mut dyn FnMut(Task), _s: &mut Scratch) -> bool {
+            self.started.store(true, Ordering::Release);
+            while !self.gate.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            true
+        }
+    }
+
+    let pool = Arc::new(WorkerPool::new_partitioned(
+        |g| HeapSmq::<Task>::new(SmqConfig::default_for_threads(1).with_seed(61 + g as u64)),
+        PoolConfig::partitioned(2, 1).with_respawn(RespawnPolicy::Never),
+    ));
+    let started = Arc::new(AtomicBool::new(false));
+    let gate = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        // Job 1 occupies one gang until the gate opens.
+        let holder = {
+            let pool = Arc::clone(&pool);
+            let (started, gate) = (Arc::clone(&started), Arc::clone(&gate));
+            scope.spawn(move || pool.run_job_on(&GateJob { started, gate }, 1))
+        };
+        while !started.load(Ordering::Acquire) {
+            std::thread::yield_now();
+        }
+
+        // Job 2 takes the only free gang and poisons it.
+        assert!(pool.run_job_on(&PanickingJob, 1).is_err());
+        assert_eq!(pool.live_gangs(), 1, "no respawn: the gang stays dead");
+
+        // Job 3 arrives while one gang is busy and the other is dead: it
+        // must wait for the busy gang, then run there — not starve.
+        struct OneTask;
+        impl PoolJob for OneTask {
+            fn seed_tasks(&self) -> Vec<Task> {
+                vec![Task::new(0, 0)]
+            }
+            fn process(&self, _t: Task, _p: &mut dyn FnMut(Task), _s: &mut Scratch) -> bool {
+                true
+            }
+        }
+        let third = {
+            let pool = Arc::clone(&pool);
+            scope.spawn(move || pool.run_job_on(&OneTask, 1))
+        };
+
+        // Give job 3 a moment to reach the claim queue, then free the gang.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        gate.store(true, Ordering::Release);
+
+        holder.join().expect("holder thread").expect("gate job");
+        let out = third.join().expect("third-job thread");
+        assert!(
+            out.is_ok(),
+            "the waiting claim must re-route to the surviving gang"
+        );
+    });
 }
